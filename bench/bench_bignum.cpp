@@ -1,0 +1,76 @@
+// bench_bignum.cpp — the arbitrary-precision substrate that carries the
+// benchmark arithmetic (the BigInteger stand-in).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bignum/bigint.hpp"
+
+namespace {
+
+using congen::BigInt;
+
+BigInt randomBig(std::mt19937_64& rng, int limbs) {
+  BigInt v;
+  for (int i = 0; i < limbs; ++i) {
+    v = (v << 32) + BigInt{static_cast<std::int64_t>(rng() & 0xFFFFFFFF)};
+  }
+  return v;
+}
+
+void base36Parse(benchmark::State& state) {
+  // The wordToNumber hot path of the Fig. 6 workload.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::fromString("concurrentgenerators", 36));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void decimalPrint(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  const BigInt v = randomBig(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(v.toString());
+}
+
+void multiply(benchmark::State& state) {
+  std::mt19937_64 rng(2);
+  const BigInt a = randomBig(rng, static_cast<int>(state.range(0)));
+  const BigInt b = randomBig(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(a * b);
+}
+
+void divide(benchmark::State& state) {
+  std::mt19937_64 rng(3);
+  const BigInt a = randomBig(rng, static_cast<int>(state.range(0)));
+  const BigInt b = randomBig(rng, static_cast<int>(state.range(0)) / 2 + 1);
+  for (auto _ : state) benchmark::DoNotOptimize(a / b);
+}
+
+void integerSqrt(benchmark::State& state) {
+  std::mt19937_64 rng(4);
+  const BigInt v = randomBig(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(v.isqrt());
+}
+
+void millerRabin(benchmark::State& state) {
+  // The heavyweight-hash prime component.
+  const BigInt p = (BigInt{1} << 89) - BigInt{1};  // Mersenne prime
+  for (auto _ : state) benchmark::DoNotOptimize(p.isProbablePrime());
+}
+
+void nextPrime(benchmark::State& state) {
+  const BigInt start{1 << 18};
+  for (auto _ : state) benchmark::DoNotOptimize(start.nextProbablePrime());
+}
+
+}  // namespace
+
+BENCHMARK(base36Parse)->Name("bignum/base36_parse");
+BENCHMARK(decimalPrint)->Name("bignum/decimal_print")->Arg(4)->Arg(32)->Arg(128);
+BENCHMARK(multiply)->Name("bignum/multiply")->Arg(4)->Arg(32)->Arg(64)->Arg(256);
+BENCHMARK(divide)->Name("bignum/divide")->Arg(4)->Arg(32)->Arg(128);
+BENCHMARK(integerSqrt)->Name("bignum/isqrt")->Arg(4)->Arg(32);
+BENCHMARK(millerRabin)->Name("bignum/miller_rabin_m89");
+BENCHMARK(nextPrime)->Name("bignum/next_probable_prime");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// bench_chunk.cpp — chunk-size ablation for the map-reduce of Fig. 4:
+// the DataParallel(1000) of Fig. 3 is a tunable; this sweeps it for the
+// generator-based map-reduce and data-parallel decompositions.
+#include <benchmark/benchmark.h>
+
+#include "wordcount.hpp"
+
+namespace {
+
+using namespace congen::wc;
+
+const std::vector<std::string>& corpus() {
+  static const auto c = makeCorpus(/*lines=*/512, /*wordsPerLine=*/6);
+  return c;
+}
+
+void juniconMapReduceChunk(benchmark::State& state) {
+  Params p;
+  p.chunkSize = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(juniconMapReduce(corpus(), p));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(corpus().size()));
+}
+
+void juniconDataParallelChunk(benchmark::State& state) {
+  Params p;
+  p.chunkSize = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(juniconDataParallel(corpus(), p));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(corpus().size()));
+}
+
+void nativeMapReduceChunk(benchmark::State& state) {
+  Params p;
+  p.chunkSize = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(nativeMapReduce(corpus(), p));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(corpus().size()));
+}
+
+}  // namespace
+
+BENCHMARK(juniconMapReduceChunk)
+    ->Name("chunk/junicon_mapreduce")
+    ->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(juniconDataParallelChunk)
+    ->Name("chunk/junicon_dataparallel")
+    ->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(nativeMapReduceChunk)
+    ->Name("chunk/native_mapreduce")
+    ->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// bench_coexpr.cpp — co-expression ablations: creation, activation,
+// refresh, and the cost of environment shadowing (the copy that Section
+// III.A's |<> performs at creation and every ^ refresh).
+#include <benchmark/benchmark.h>
+
+#include "congen.hpp"
+
+namespace {
+
+using namespace congen;
+
+void coexprCreate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CoExpression::create([] {
+      return RangeGen::create(Value::integer(1), Value::integer(10), Value::integer(1));
+    }));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void coexprActivate(benchmark::State& state) {
+  auto c = CoExpression::create([] {
+    return RangeGen::create(Value::integer(1), Value::integer(INT64_C(1) << 30), Value::integer(1));
+  });
+  for (auto _ : state) benchmark::DoNotOptimize(c->activate());
+  state.SetItemsProcessed(state.iterations());
+}
+
+void coexprRefresh(benchmark::State& state) {
+  auto c = CoExpression::create([] {
+    return RangeGen::create(Value::integer(1), Value::integer(10), Value::integer(1));
+  });
+  for (auto _ : state) benchmark::DoNotOptimize(c->refreshed());
+  state.SetItemsProcessed(state.iterations());
+}
+
+void shadowedCreate(benchmark::State& state) {
+  // |<> with `width` referenced locals: each creation copies them all.
+  const auto width = static_cast<std::size_t>(state.range(0));
+  std::vector<VarPtr> locals;
+  for (std::size_t i = 0; i < width; ++i) {
+    locals.push_back(CellVar::create(Value::integer(static_cast<std::int64_t>(i))));
+  }
+  auto factory = shadowEnv(locals, [](const std::vector<VarPtr>& copies) {
+    return VarGen::create(copies[0]);
+  });
+  for (auto _ : state) benchmark::DoNotOptimize(CoExpression::create(factory));
+  state.SetItemsProcessed(state.iterations());
+}
+
+void interleave(benchmark::State& state) {
+  // Alternating activation of two co-expressions — coroutine switching.
+  auto a = CoExpression::create([] {
+    return RangeGen::create(Value::integer(1), Value::integer(INT64_C(1) << 30), Value::integer(2));
+  });
+  auto b = CoExpression::create([] {
+    return RangeGen::create(Value::integer(2), Value::integer(INT64_C(1) << 30), Value::integer(2));
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a->activate());
+    benchmark::DoNotOptimize(b->activate());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void pipeVsCoexpr(benchmark::State& state) {
+  // The thread premium: the same 1000-element stream consumed through a
+  // plain co-expression vs a pipe.
+  const bool usePipe = state.range(0) != 0;
+  for (auto _ : state) {
+    GenFactory body = [] {
+      return RangeGen::create(Value::integer(1), Value::integer(1000), Value::integer(1));
+    };
+    CoExprPtr c = usePipe ? CoExprPtr(Pipe::create(body, 128)) : CoExpression::create(body);
+    std::int64_t count = 0;
+    while (c->activate()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.SetLabel(usePipe ? "pipe" : "coexpr");
+}
+
+}  // namespace
+
+BENCHMARK(coexprCreate)->Name("coexpr/create");
+BENCHMARK(coexprActivate)->Name("coexpr/activate");
+BENCHMARK(coexprRefresh)->Name("coexpr/refresh");
+BENCHMARK(shadowedCreate)->Name("coexpr/shadowed_create")->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(interleave)->Name("coexpr/interleave");
+BENCHMARK(pipeVsCoexpr)->Name("coexpr/stream_1000")->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// bench_fig2_models.cpp — Figure 2: pipeline vs data-parallel models.
+//
+// Fig. 2 contrasts the "fixed-code" pipeline decomposition (one thread
+// per stage, data flows between them) with the "fixed-data" parallel
+// decomposition (one thread per chunk, all stages applied locally).
+// This bench sweeps the per-element task weight and measures both
+// decompositions expressed with concurrent generators, exposing where
+// per-element queue traffic (pipeline) loses to chunked hand-off
+// (data-parallel) and how the gap closes as compute dominates.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "congen.hpp"
+
+namespace {
+
+using namespace congen;
+
+/// A tunable compute node: `weight` rounds of transcendental work.
+ProcPtr makeWork(int weight) {
+  return builtins::makeNative("work", [weight](std::vector<Value>& args) -> std::optional<Value> {
+    double x = args.at(0).requireReal("work");
+    for (int i = 0; i < weight; ++i) x = std::sin(x) + std::cos(x) + 1.0001;
+    return Value::real(x);
+  });
+}
+
+constexpr int kElements = 2000;
+
+GenPtr sourceGen() {
+  return makeToByGen(ConstGen::create(Value::integer(1)),
+                     ConstGen::create(Value::integer(kElements)), nullptr);
+}
+
+void pipelineModel(benchmark::State& state) {
+  const int weight = static_cast<int>(state.range(0));
+  auto work = makeWork(weight);
+  for (auto _ : state) {
+    // f(! |> s): the whole stream flows through a pipe into one stage.
+    Pipeline pipeline(/*pipeCapacity=*/256);
+    pipeline.stage(work);
+    double sink = 0;
+    auto gen = pipeline.buildLastInline(sourceGen);
+    while (auto v = gen->nextValue()) sink += v->requireReal("out");
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * kElements);
+}
+
+void dataParallelModel(benchmark::State& state) {
+  const int weight = static_cast<int>(state.range(0));
+  auto work = makeWork(weight);
+  for (auto _ : state) {
+    // every (c = chunk(s)) |> f(!c): chunk per thread.
+    DataParallel dp(/*chunkSize=*/250, /*pipeCapacity=*/256);
+    double sink = 0;
+    auto gen = dp.mapFlat(work, sourceGen);
+    while (auto v = gen->nextValue()) sink += v->requireReal("out");
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * kElements);
+}
+
+}  // namespace
+
+BENCHMARK(pipelineModel)->Name("fig2/pipeline")->Arg(0)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(dataParallelModel)->Name("fig2/data_parallel")->Arg(0)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

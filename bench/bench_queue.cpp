@@ -1,0 +1,77 @@
+// bench_queue.cpp — the blocking-queue substrate and pipe throttling:
+// capacity sweep for producer/consumer hand-off ("bounding the output
+// queue buffer size can also be used to throttle a threaded
+// co-expression", Section III.B).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "congen.hpp"
+
+namespace {
+
+using namespace congen;
+
+void queueHandoff(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  constexpr int kItems = 20000;
+  for (auto _ : state) {
+    BlockingQueue<int> q(capacity);
+    std::jthread producer([&q] {
+      for (int i = 0; i < kItems; ++i) {
+        if (!q.put(i)) return;
+      }
+      q.close();
+    });
+    std::int64_t sum = 0;
+    while (auto v = q.take()) sum += *v;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+
+void queueUncontended(benchmark::State& state) {
+  // Same-thread put/take: the raw mutex/CV cost without blocking.
+  BlockingQueue<int> q(64);
+  for (auto _ : state) {
+    q.put(1);
+    benchmark::DoNotOptimize(q.take());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void pipeThroughput(benchmark::State& state) {
+  // End-to-end pipe cost per element at different throttle bounds.
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  constexpr std::int64_t kItems = 20000;
+  for (auto _ : state) {
+    auto pipe = Pipe::create(
+        [] {
+          return RangeGen::create(Value::integer(1), Value::integer(kItems), Value::integer(1));
+        },
+        capacity);
+    std::int64_t count = 0;
+    while (pipe->activate()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+
+void futureLatency(benchmark::State& state) {
+  for (auto _ : state) {
+    FutureValue future([] { return ConstGen::create(Value::integer(42)); });
+    benchmark::DoNotOptimize(future.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(queueHandoff)->Name("queue/handoff_capacity")->Arg(1)->Arg(4)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(queueUncontended)->Name("queue/uncontended");
+BENCHMARK(pipeThroughput)->Name("queue/pipe_capacity")->Arg(1)->Arg(4)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(futureLatency)->Name("queue/future_roundtrip")->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// bench_scan.cpp — string scanning throughput: the scanning environment
+// (tab/upto/many over &subject) versus equivalent manual splitting, at
+// the kernel level and through the interpreter. Scanning is the
+// workload Section II motivates ("the forte of Icon and Unicon"); this
+// quantifies what the dynamic machinery costs over hand-written C++.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "congen.hpp"
+
+namespace {
+
+using namespace congen;
+
+std::string makeText(int words) {
+  std::ostringstream os;
+  for (int i = 0; i < words; ++i) {
+    if (i) os << (i % 7 == 0 ? ",  " : ",");
+    os << "word" << i;
+  }
+  return os.str();
+}
+
+void scanSplitInterp(benchmark::State& state) {
+  interp::Interpreter interp;
+  interp.load(R"(
+    def fields(s) {
+      local out;
+      out := [];
+      s ? while not pos(0) do {
+        put(out, tab(upto(",") | 0));
+        move(1);
+      };
+      return out;
+    }
+  )");
+  interp.defineGlobal("text", Value::string(makeText(200)));
+  auto gen = interp.eval("fields(text)");
+  for (auto _ : state) {
+    gen->restart();
+    auto v = gen->nextValue();
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+
+void scanSplitKernel(benchmark::State& state) {
+  // The same split composed directly against the kernel (emitted form).
+  const std::string text = makeText(200);
+  for (auto _ : state) {
+    auto body = LoopGen::whileDo(
+        NotGen::create(makeInvokeGen(ConstGen::create(Value::proc(builtins::lookup("pos"))),
+                                     {ConstGen::create(Value::integer(0))})),
+        SeqGen::create(
+            [&] {
+              std::vector<GenPtr> stmts;
+              stmts.push_back(AltGen::create(
+                  makeTabGen(makeInvokeGen(
+                      ConstGen::create(Value::proc(builtins::lookup("upto"))),
+                      {ConstGen::create(Value::string(","))})),
+                  makeTabGen(ConstGen::create(Value::integer(0)))));
+              stmts.push_back(makeMoveGen(ConstGen::create(Value::integer(1))));
+              return stmts;
+            }(),
+            SeqGen::Mode::Body));
+    auto scan = ScanGen::create(ConstGen::create(Value::string(text)), std::move(body));
+    benchmark::DoNotOptimize(scan->nextValue());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+
+void manualSplitNative(benchmark::State& state) {
+  const std::string text = makeText(200);
+  for (auto _ : state) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const auto comma = text.find(',', start);
+      if (comma == std::string::npos) {
+        out.push_back(text.substr(start));
+        break;
+      }
+      out.push_back(text.substr(start, comma - start));
+      start = comma + 1;
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+
+void tabMoveStep(benchmark::State& state) {
+  // Raw cost of one reversible tab step inside an installed environment.
+  ScanEnv::State s;
+  s.subject = std::make_shared<const std::string>(makeText(50));
+  ScanEnv::push(s);
+  for (auto _ : state) {
+    ScanEnv::current().pos = 1;
+    auto g = makeMoveGen(ConstGen::create(Value::integer(1)));
+    benchmark::DoNotOptimize(g->nextValue());
+  }
+  ScanEnv::pop();
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(scanSplitInterp)->Name("scan/split_interpreter")->Unit(benchmark::kMicrosecond);
+BENCHMARK(scanSplitKernel)->Name("scan/split_kernel")->Unit(benchmark::kMicrosecond);
+BENCHMARK(manualSplitNative)->Name("scan/split_native")->Unit(benchmark::kMicrosecond);
+BENCHMARK(tabMoveStep)->Name("scan/tab_step");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// fig6_report.cpp — regenerates the rows of Figure 6.
+//
+// Prints normalized execution time (log-friendly) for the eight program
+// variants in each weight class, normalized to the native MapReduce
+// (the paper's "Java parallel stream benchmark") of that class, with
+// warmup + measurement iterations in the JMH style. The shape to
+// compare against the paper:
+//   * Junicon variants are slower than native, but well under 10x on
+//     the lightweight set;
+//   * on the heavyweight set the Junicon overhead collapses toward 1x
+//     ("the performance impact ... is negligible");
+//   * relative ordering among the four strategies is consistent between
+//     the Junicon and native suites.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "wordcount.hpp"
+
+namespace {
+
+using namespace congen::wc;
+using Variant = double (*)(const std::vector<std::string>&, const Params&);
+
+struct Row {
+  const char* suite;
+  const char* name;
+  Variant fn;
+};
+
+constexpr Row kRows[] = {
+    {"junicon", "Sequential", juniconSequential},
+    {"junicon", "Pipeline", juniconPipeline},
+    {"junicon", "DataParallel", juniconDataParallel},
+    {"junicon", "MapReduce", juniconMapReduce},
+    {"native", "Sequential", nativeSequential},
+    {"native", "Pipeline", nativePipeline},
+    {"native", "DataParallel", nativeDataParallel},
+    {"native", "MapReduce", nativeMapReduce},
+};
+
+double timeOnce(Variant fn, const std::vector<std::string>& corpus, const Params& p) {
+  const auto start = std::chrono::steady_clock::now();
+  const double result = fn(corpus, p);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (result <= 0) std::fprintf(stderr, "suspicious zero hash\n");
+  return seconds;
+}
+
+/// Median of `iters` measurements after `warmup` discarded runs.
+double measure(Variant fn, const std::vector<std::string>& corpus, const Params& p, int warmup,
+               int iters) {
+  for (int i = 0; i < warmup; ++i) timeOnce(fn, corpus, p);
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) samples.push_back(timeOnce(fn, corpus, p));
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+void report(bool heavy) {
+  const auto corpus = heavy ? makeCorpus(24, 6) : makeCorpus(256, 8);
+  Params p;
+  p.heavy = heavy;
+  p.chunkSize = 16;
+  p.queueCapacity = 256;
+  const int warmup = heavy ? 2 : 5;
+  const int iters = heavy ? 5 : 11;
+
+  double times[std::size(kRows)];
+  for (std::size_t i = 0; i < std::size(kRows); ++i) {
+    times[i] = measure(kRows[i].fn, corpus, p, warmup, iters);
+  }
+  // Normalize to native MapReduce — the last row.
+  const double baseline = times[std::size(kRows) - 1];
+
+  std::printf("\n=== Figure 6 (%s): normalized execution time ===\n",
+              heavy ? "heavyweight" : "lightweight");
+  std::printf("(baseline = native MapReduce = %.3f ms; paper normalizes to Java parallel streams)\n",
+              baseline * 1e3);
+  std::printf("%-10s %-14s %12s %12s\n", "suite", "variant", "time(ms)", "normalized");
+  for (std::size_t i = 0; i < std::size(kRows); ++i) {
+    std::printf("%-10s %-14s %12.3f %12.2f\n", kRows[i].suite, kRows[i].name, times[i] * 1e3,
+                times[i] / baseline);
+  }
+
+  // The headline ratio of Section VII: junicon overhead vs same-shape native.
+  std::printf("-- junicon/native ratios: ");
+  for (int v = 0; v < 4; ++v) {
+    std::printf("%s=%.2fx ", kRows[v].name, times[v] / times[v + 4]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  std::printf("Reproduction of Fig. 6, Mills & Jeffery, IPDPS HIPS 2016.\n");
+  std::printf("Note: this container is single-core; parallel variants measure\n");
+  std::printf("coordination overhead rather than speedup (see EXPERIMENTS.md).\n");
+  report(/*heavy=*/false);
+  if (!quick) report(/*heavy=*/true);
+  return 0;
+}

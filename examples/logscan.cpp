@@ -1,0 +1,93 @@
+// logscan.cpp — goal-directed string processing with a parallel stage.
+//
+// String scanning is "the forte of Icon and Unicon" (Section II). This
+// example mines a synthetic log with goal-directed search: find() is a
+// generator of match positions, comparisons filter by failing, and a
+// pipe (|>) moves the scan off the main thread while the host code
+// aggregates — the high-level-coordination role the paper envisions for
+// embedded generators.
+#include <iostream>
+#include <sstream>
+
+#include "congen.hpp"
+
+using namespace congen;
+
+namespace {
+
+Value makeLog() {
+  auto log = ListImpl::create();
+  const char* kLevels[] = {"INFO", "WARN", "ERROR"};
+  for (int i = 0; i < 60; ++i) {
+    std::ostringstream line;
+    line << "t=" << 100 + i * 7 << " [" << kLevels[(i * i + i / 3) % 3] << "] service=s"
+         << i % 4 << " latency=" << (i * 37) % 240;
+    log->put(Value::string(line.str()));
+  }
+  return Value::list(log);
+}
+
+}  // namespace
+
+int main() {
+  interp::Interpreter interp;
+  interp.defineGlobal("log", makeLog());
+
+  // A generator function that scans one line: succeeds (producing the
+  // line) only for ERROR entries — isError cuts down to find(), which
+  // fails when the needle is absent.
+  interp.load(R"(
+    def isError(line) { return find("[ERROR]", line) & line; }
+    def errors() { suspend isError(!log); }
+  )");
+
+  std::cout << "-- ERROR lines (goal-directed filter) --\n";
+  for (const Value& v : iterate(interp.eval("errors()"))) {
+    std::cout << "  " << v.toDisplayString() << "\n";
+  }
+
+  // Parse latencies with a pipe: the scan runs in another thread while
+  // the host computes statistics from the streamed values.
+  interp.load(R"(
+    def latencyOf(line) {
+      local ws, w;
+      ws := split(line);
+      every w := !ws do if find("latency=", w) == 1 then
+        return integer(split(w, "=")[2]);
+      fail;
+    }
+    def latencies() { suspend latencyOf(!log); }
+  )");
+
+  std::cout << "-- latency stats (scan in a pipe, host aggregates) --\n";
+  double sum = 0, count = 0, worst = -1;
+  for (const Value& v : iterate(interp.eval("! |> latencies()"))) {
+    const double latency = v.requireReal("latency");
+    sum += latency;
+    count += 1;
+    if (latency > worst) worst = latency;
+  }
+  std::cout << "  samples: " << count << "\n  mean:    " << sum / count
+            << "\n  worst:   " << worst << "\n";
+
+  // Goal-directed join: service names that ever logged latency >= 200.
+  std::cout << "-- services with latency >= 200 --\n";
+  interp.load(R"(
+    def slowServices() {
+      local line, seen, ws, w, svc;
+      seen := set();
+      every line := !log do {
+        if (latencyOf(line) >= 200) then {
+          every w := !split(line) do if find("service=", w) == 1 then {
+            svc := split(w, "=")[2];
+            if not member(seen, svc) then { insert(seen, svc); suspend svc; }
+          }
+        }
+      }
+    }
+  )");
+  for (const Value& v : iterate(interp.eval("slowServices()"))) {
+    std::cout << "  " << v.toDisplayString() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// quickstart.cpp — a tour of the concurrent-generators public API.
+//
+// Shows the three ways to use the library:
+//  1. the kernel API: compose goal-directed generators directly in C++;
+//  2. the calculus of Fig. 1: co-expressions (<>, @, ^) and pipes (|>);
+//  3. the embedded language: evaluate Junicon text with the interpreter.
+#include <cassert>
+#include <iostream>
+
+#include "congen.hpp"
+
+using namespace congen;
+
+namespace {
+
+void kernelApi() {
+  std::cout << "-- kernel API: goal-directed products --\n";
+  // (1 to 3) * (1 to 3), searching for products 6 < p — comparisons fail
+  // rather than return false (and succeed with their right operand), so
+  // the search backtracks through the cross product of the operands.
+  auto gen = makeBinaryOpGen(
+      "<",
+      ConstGen::create(Value::integer(6)),
+      makeBinaryOpGen("*", makeToByGen(ConstGen::create(Value::integer(1)),
+                                       ConstGen::create(Value::integer(3)), nullptr),
+                      makeToByGen(ConstGen::create(Value::integer(1)),
+                                  ConstGen::create(Value::integer(3)), nullptr)));
+  for (const Value& v : iterate(gen)) std::cout << "  product over 6: " << v.image() << "\n";
+}
+
+void coExpressions() {
+  std::cout << "-- co-expressions: explicit stepping (@) and refresh (^) --\n";
+  // A co-expression over an infinite sequence; @ steps one result.
+  auto squares = CoExpression::create([] {
+    // i := seq(1) & i*i, built directly against the kernel
+    auto i = CellVar::create();
+    auto seq = builtins::lookup("seq")->invoke({Value::integer(1)});
+    return makeBinaryOpGen("*", InGen::create(i, std::move(seq)), VarGen::create(i));
+  });
+  for (int n = 0; n < 5; ++n) std::cout << "  @squares = " << squares->activate()->image() << "\n";
+  auto fresh = squares->refreshed();  // ^squares: restart from the beginning
+  std::cout << "  @(^squares) = " << fresh->activate()->image() << "\n";
+}
+
+void pipes() {
+  std::cout << "-- pipes: multithreaded generator proxies (|>) --\n";
+  // |> isprime(2 to 50): the primality search runs in another thread,
+  // results stream through a bounded blocking queue.
+  auto pipe = Pipe::create(
+      [] {
+        return makeInvokeGen(
+            ConstGen::create(Value::proc(builtins::lookup("isprime"))),
+            {makeToByGen(ConstGen::create(Value::integer(2)),
+                         ConstGen::create(Value::integer(50)), nullptr)});
+      },
+      /*capacity=*/8);
+  std::cout << "  primes:";
+  while (auto v = pipe->activate()) std::cout << " " << v->toDisplayString();
+  std::cout << "\n";
+}
+
+void pipelineAndMapReduce() {
+  std::cout << "-- higher-order: Pipeline and DataParallel (Figs. 2 and 4) --\n";
+  auto doubler = builtins::makeNative("double", [](std::vector<Value>& args) {
+    return ops::mul(args.at(0), Value::integer(2));
+  });
+  auto inc = builtins::makeNative("inc", [](std::vector<Value>& args) {
+    return ops::add(args.at(0), Value::integer(1));
+  });
+  auto source = [] {
+    return makeToByGen(ConstGen::create(Value::integer(1)), ConstGen::create(Value::integer(5)),
+                       nullptr);
+  };
+
+  Pipeline pipeline(/*pipeCapacity=*/16);
+  pipeline.stage(doubler).stage(inc);
+  std::cout << "  pipeline (x*2+1):";
+  for (const Value& v : iterate(pipeline.build(source))) std::cout << " " << v.toDisplayString();
+  std::cout << "\n";
+
+  auto add = builtins::makeNative("add", [](std::vector<Value>& args) {
+    return ops::add(args.at(0), args.at(1));
+  });
+  DataParallel dp(/*chunkSize=*/2);
+  std::cout << "  map-reduce chunk sums (x*2, chunks of 2):";
+  for (const Value& v : iterate(dp.mapReduce(doubler, source, add, Value::integer(0)))) {
+    std::cout << " " << v.toDisplayString();
+  }
+  std::cout << "\n";
+}
+
+void embeddedLanguage() {
+  std::cout << "-- embedded Junicon via the interpreter --\n";
+  interp::Interpreter interp;
+  interp.load("def fib() { local a, b; a := 0; b := 1;"
+              "  repeat { suspend a; a :=: b; b := a + b; } }");
+  std::cout << "  fib \\ 10:";
+  for (const Value& v : iterate(interp.eval("fib() \\ 10"))) {
+    std::cout << " " << v.toDisplayString();
+  }
+  std::cout << "\n  (1 to 2) * isprime(4 to 7):";
+  for (const Value& v : iterate(interp.eval("(1 to 2) * isprime(4 to 7)"))) {
+    std::cout << " " << v.toDisplayString();  // the Section II example: 5 7 10 14
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  kernelApi();
+  coExpressions();
+  pipes();
+  pipelineAndMapReduce();
+  embeddedLanguage();
+  return 0;
+}

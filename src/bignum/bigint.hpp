@@ -1,0 +1,148 @@
+// bigint.hpp — arbitrary-precision signed integers.
+//
+// Substrate for the congen runtime: Icon/Unicon integers are implicitly
+// arbitrary precision, and the paper's word-count benchmarks (Fig. 3/6)
+// lean on big-integer arithmetic (base-36 word decoding, square roots,
+// probabilistic primality for the heavyweight hash). This module is the
+// stand-in for Java's BigInteger used by the original evaluation.
+//
+// Representation: sign + little-endian magnitude in 32-bit limbs.
+// The empty limb vector represents zero (sign is then +1 by convention).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace congen {
+
+/// Signed arbitrary-precision integer.
+///
+/// Value type with the usual arithmetic, comparison, and bit-shift
+/// operators, plus the number-theoretic helpers the benchmark suite needs
+/// (isqrt, Miller-Rabin primality, next probable prime). All operations
+/// are strongly exception-safe; only allocation can throw.
+class BigInt {
+ public:
+  using Limb = std::uint32_t;
+  using DoubleLimb = std::uint64_t;
+
+  /// Zero.
+  BigInt() noexcept = default;
+
+  /// From a native integer.
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor): numeric literal ergonomics
+  BigInt(int v) : BigInt(static_cast<std::int64_t>(v)) {}
+
+  /// Parse from text in the given radix (2..36, digits 0-9 a-z,
+  /// case-insensitive, optional leading '+'/'-').
+  /// Returns std::nullopt on malformed input.
+  static std::optional<BigInt> parse(std::string_view text, unsigned radix = 10);
+
+  /// Parse, throwing std::invalid_argument on malformed input.
+  static BigInt fromString(std::string_view text, unsigned radix = 10);
+
+  /// Render in the given radix (2..36, lowercase digits).
+  [[nodiscard]] std::string toString(unsigned radix = 10) const;
+
+  // -- observers ------------------------------------------------------
+  [[nodiscard]] bool isZero() const noexcept { return limbs_.empty(); }
+  [[nodiscard]] bool isNegative() const noexcept { return negative_; }
+  [[nodiscard]] bool isOdd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1u); }
+  [[nodiscard]] bool isEven() const noexcept { return !isOdd(); }
+  /// -1, 0, +1.
+  [[nodiscard]] int signum() const noexcept { return isZero() ? 0 : (negative_ ? -1 : 1); }
+  /// Number of significant bits of the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bitLength() const noexcept;
+  /// Number of limbs (implementation detail exposed for benchmarks).
+  [[nodiscard]] std::size_t limbCount() const noexcept { return limbs_.size(); }
+  /// Bit i of the magnitude.
+  [[nodiscard]] bool testBit(std::size_t i) const noexcept;
+
+  /// Fits in int64? If so, its value.
+  [[nodiscard]] std::optional<std::int64_t> toInt64() const noexcept;
+  /// Closest double (may overflow to +/-inf).
+  [[nodiscard]] double toDouble() const noexcept;
+
+  // -- arithmetic -----------------------------------------------------
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  /// Truncated division (C semantics: quotient rounds toward zero).
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  /// Remainder with the sign of the dividend (C semantics).
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+  BigInt operator-() const;
+  BigInt& operator+=(const BigInt& b) { return *this = *this + b; }
+  BigInt& operator-=(const BigInt& b) { return *this = *this - b; }
+  BigInt& operator*=(const BigInt& b) { return *this = *this * b; }
+  BigInt& operator/=(const BigInt& b) { return *this = *this / b; }
+  BigInt& operator%=(const BigInt& b) { return *this = *this % b; }
+
+  /// Quotient and remainder in one pass. Throws std::domain_error on
+  /// division by zero.
+  static void divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r);
+
+  friend BigInt operator<<(const BigInt& a, std::size_t bits);
+  friend BigInt operator>>(const BigInt& a, std::size_t bits);
+
+  [[nodiscard]] BigInt abs() const;
+  /// this^e for e >= 0 (throws std::domain_error for negative e).
+  [[nodiscard]] BigInt pow(std::uint64_t e) const;
+  /// Modular exponentiation: this^e mod m, m > 0.
+  [[nodiscard]] BigInt powMod(const BigInt& e, const BigInt& m) const;
+  /// Integer square root of a non-negative value (throws on negative).
+  [[nodiscard]] BigInt isqrt() const;
+  /// Greatest common divisor of magnitudes.
+  static BigInt gcd(BigInt a, BigInt b);
+
+  // -- number theory (heavyweight benchmark hash) ---------------------
+  /// Miller-Rabin with `rounds` random bases after small-prime sieving.
+  /// Deterministic for values < 3.3e14 via fixed witness set.
+  [[nodiscard]] bool isProbablePrime(unsigned rounds = 20) const;
+  /// Smallest probable prime strictly greater than this value.
+  [[nodiscard]] BigInt nextProbablePrime() const;
+
+  // -- comparisons ----------------------------------------------------
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept;
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) noexcept;
+
+  /// FNV-1a over sign and limbs; consistent with operator==.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+ private:
+  // Magnitude comparison: -1, 0, +1.
+  static int compareMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b) noexcept;
+  static std::vector<Limb> addMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  // Requires |a| >= |b|.
+  static std::vector<Limb> subMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static std::vector<Limb> mulMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static std::vector<Limb> mulSchoolbook(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static std::vector<Limb> mulKaratsuba(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  // Knuth algorithm D over magnitudes; b must be nonzero.
+  static void divmodMagnitude(const std::vector<Limb>& a, const std::vector<Limb>& b,
+                              std::vector<Limb>& q, std::vector<Limb>& r);
+  static void trim(std::vector<Limb>& v) noexcept;
+  void normalize() noexcept;
+
+  BigInt(bool negative, std::vector<Limb> limbs) noexcept
+      : negative_(negative), limbs_(std::move(limbs)) {
+    normalize();
+  }
+
+  bool negative_ = false;
+  std::vector<Limb> limbs_;  // little-endian, no trailing zero limbs
+};
+
+}  // namespace congen
+
+template <>
+struct std::hash<congen::BigInt> {
+  std::size_t operator()(const congen::BigInt& v) const noexcept { return v.hash(); }
+};

@@ -1,0 +1,37 @@
+// builtins.hpp — Icon/Unicon built-in functions as first-class procedures.
+//
+// Every builtin is a ProcPtr (a variadic generator function), so builtins
+// and user-defined procedures are interchangeable in expressions —
+// including generator builtins like seq() and find() that suspend
+// multiple results, and failure-driven ones like get() that fail rather
+// than error. The registry backs both the interpreter's global scope and
+// direct use from C++ through the kernel API.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/proc.hpp"
+#include "runtime/value.hpp"
+
+namespace congen::builtins {
+
+/// Look up a builtin by its Unicon name; nullptr if unknown.
+ProcPtr lookup(const std::string& name);
+
+/// Names of all registered builtins (for diagnostics and tests).
+std::vector<std::string> names();
+
+/// Wrap a plain C++ function (args → at most one value) as a procedure;
+/// nullopt means failure. The bridge for native cut-through (::) calls.
+ProcPtr makeNative(std::string name,
+                   std::function<std::optional<Value>(std::vector<Value>&)> fn);
+
+/// Wrap a generator-returning C++ function as a procedure.
+ProcPtr makeNativeGen(std::string name, std::function<GenPtr(std::vector<Value>&)> fn);
+
+/// Direct handles used by examples and benches (avoid name lookup).
+Value arg(const std::vector<Value>& args, std::size_t i);
+
+}  // namespace congen::builtins

@@ -1,0 +1,44 @@
+// shadow.hpp — environment shadowing for co-expressions.
+//
+// A co-expression "creates a copy of its local environment, i.e., it
+// shadows any referenced method local variables and parameters" (Section
+// III.A):
+//
+//   ^e → ((x,y,z)-> <>e) ((()->[x,y,z])())
+//
+// shadowEnv captures the *current values* of the referenced locals at
+// factory-invocation time and hands the body builder fresh cells holding
+// those copies — so each refresh (^) re-copies, and the running
+// co-expression can never interfere with the enclosing procedure's
+// locals.
+#pragma once
+
+#include <vector>
+
+#include "kernel/gen.hpp"
+
+namespace congen {
+
+/// Builds a body generator over the shadowed (copied) locals. The i-th
+/// element of the vector is the fresh cell shadowing the i-th captured
+/// variable.
+using ShadowBodyBuilder = std::function<GenPtr(const std::vector<VarPtr>&)>;
+
+/// Create a co-expression body factory that, each time it runs (creation
+/// and every ^ refresh), snapshots the referenced locals into fresh cells
+/// and builds the body over them.
+inline GenFactory shadowEnv(std::vector<VarPtr> locals, ShadowBodyBuilder builder) {
+  return [locals = std::move(locals), builder = std::move(builder)]() -> GenPtr {
+    std::vector<VarPtr> copies;
+    copies.reserve(locals.size());
+    for (const auto& local : locals) copies.push_back(CellVar::create(local->get()));
+    return builder(copies);
+  };
+}
+
+/// Convenience for bodies that reference no locals.
+inline GenFactory plainEnv(std::function<GenPtr()> builder) {
+  return GenFactory(std::move(builder));
+}
+
+}  // namespace congen

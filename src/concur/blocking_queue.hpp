@@ -1,0 +1,102 @@
+// blocking_queue.hpp — bounded blocking queue with close/poison semantics.
+//
+// The communication substrate of the pipe calculus (Section III.B): "a
+// blocking channel, or blocking queue, has put and take operations that
+// wait until the queue of results is not full or not empty". This is the
+// stand-in for Java's BlockingQueue. Closing the queue releases both
+// sides: put() returns false (so an abandoned pipe's producer can never
+// deadlock) and take() drains the remaining elements before failing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace congen {
+
+template <class T>
+class BlockingQueue {
+ public:
+  /// capacity = 0 means unbounded. A capacity of 1 makes the queue a
+  /// single-assignment mailbox — the future/M-var of Section III.B.
+  explicit BlockingQueue(std::size_t capacity = 0)
+      : capacity_(capacity == 0 ? std::numeric_limits<std::size_t>::max() : capacity) {}
+
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Blocking put; returns false if the queue is (or becomes) closed.
+  bool put(T v) {
+    std::unique_lock lock(m_);
+    notFull_.wait(lock, [&] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return false;
+    q_.push_back(std::move(v));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Blocking take; drains remaining elements after close, then fails.
+  std::optional<T> take() {
+    std::unique_lock lock(m_);
+    notEmpty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;  // closed and drained
+    T v = std::move(q_.front());
+    q_.pop_front();
+    notFull_.notify_one();
+    return v;
+  }
+
+  /// Non-blocking put; false when full or closed.
+  bool tryPut(T v) {
+    std::lock_guard lock(m_);
+    if (closed_ || q_.size() >= capacity_) return false;
+    q_.push_back(std::move(v));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking take; nullopt when empty.
+  std::optional<T> tryTake() {
+    std::lock_guard lock(m_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    notFull_.notify_one();
+    return v;
+  }
+
+  /// Close the channel: producers' put() fails immediately; consumers
+  /// drain what is buffered and then fail. Idempotent.
+  void close() {
+    std::lock_guard lock(m_);
+    closed_ = true;
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(m_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(m_);
+    return q_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable notFull_;
+  std::condition_variable notEmpty_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace congen

@@ -1,0 +1,65 @@
+#include "concur/pipe.hpp"
+
+namespace congen {
+
+Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool)
+    : CoExpression(std::move(factory)),
+      state_(std::make_shared<State>(capacity)),
+      capacity_(capacity),
+      pool_(&pool) {
+  // The body was built (and the shadowed environment copied) eagerly on
+  // this thread by the CoExpression base. The producer captures only the
+  // shared state and that body — never the Pipe itself — so
+  // consumer-side destruction cannot race it.
+  pool.submit([state = state_, body = takeBody()] {
+    try {
+      while (auto v = body->nextValue()) {
+        if (!state->queue->put(std::move(*v))) break;  // consumer abandoned us
+      }
+    } catch (...) {
+      std::lock_guard lock(state->errorMutex);
+      state->error = std::current_exception();
+    }
+    state->queue->close();  // end-of-stream
+  });
+}
+
+Pipe::~Pipe() { state_->queue->close(); }
+
+std::optional<Value> Pipe::activate() {
+  auto v = state_->queue->take();
+  if (v) {
+    ++produced_;
+    return v;
+  }
+  // Drained: surface a producer-side error on the consumer thread.
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(state_->errorMutex);
+    error = state_->error;
+    state_->error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+  return std::nullopt;
+}
+
+CoExprPtr Pipe::refreshed() const { return Pipe::create(factory(), capacity_, *pool_); }
+
+GenPtr makePipeCreateGen(GenFactory bodyFactory, std::size_t capacity, ThreadPool& pool) {
+  return CoExprCreateGen::create(std::move(bodyFactory), [capacity, &pool](GenFactory f) -> CoExprPtr {
+    return Pipe::create(std::move(f), capacity, pool);
+  });
+}
+
+FutureValue::FutureValue(GenFactory factory, ThreadPool& pool)
+    : pipe_(Pipe::create(std::move(factory), 1, pool)) {}
+
+std::optional<Value> FutureValue::get() {
+  if (!resolved_) {
+    cached_ = pipe_->activate();
+    resolved_ = true;
+  }
+  return cached_;
+}
+
+}  // namespace congen

@@ -1,0 +1,89 @@
+// pipe.hpp — the multithreaded generator proxy (`|> e`, Section III.B).
+//
+// A pipe is "a generator proxy for a co-expression that runs in a
+// separate thread and iterates until failure, and that uses a blocking
+// channel for the communication of results":
+//
+//   |>e → new Iterator() { next() { new Thread { run() {
+//      c=|<>e; while (!fail) { out.put(@c); }}}.start() }}
+//
+// The producer drives the co-expression on a pool thread, putting each
+// result into a bounded queue; activation (@) is queue take. Bounding the
+// queue capacity throttles the producer. Destroying a pipe closes the
+// queue, which makes the producer's put() fail so an abandoned pipe can
+// never deadlock a worker. A capacity-1 pipe over a singleton expression
+// is a future.
+#pragma once
+
+#include <exception>
+
+#include "concur/blocking_queue.hpp"
+#include "concur/thread_pool.hpp"
+#include "kernel/coexpression.hpp"
+
+namespace congen {
+
+class Pipe final : public CoExpression {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  /// Create and immediately start producing on a pool thread.
+  Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool);
+  ~Pipe() override;
+
+  static std::shared_ptr<Pipe> create(GenFactory factory,
+                                      std::size_t capacity = kDefaultCapacity,
+                                      ThreadPool& pool = ThreadPool::global()) {
+    return std::make_shared<Pipe>(std::move(factory), capacity, pool);
+  }
+
+  /// Activation = take from the output channel. A run-time error raised
+  /// inside the producer is re-thrown here, on the consumer's thread.
+  std::optional<Value> activate() override;
+
+  /// ^p: a fresh pipe over a fresh environment copy.
+  [[nodiscard]] CoExprPtr refreshed() const override;
+
+  /// The output channel, "exposed as a public field to permit further
+  /// manipulation" (Section III.B).
+  [[nodiscard]] const std::shared_ptr<BlockingQueue<Value>>& queue() const noexcept {
+    return state_->queue;
+  }
+
+ private:
+  /// State shared with the producer task; outlives the Pipe if the
+  /// consumer abandons it mid-stream.
+  struct State {
+    explicit State(std::size_t capacity) : queue(std::make_shared<BlockingQueue<Value>>(capacity)) {}
+    std::shared_ptr<BlockingQueue<Value>> queue;
+    std::exception_ptr error;       // producer-side run-time error
+    std::mutex errorMutex;
+  };
+
+  std::shared_ptr<State> state_;
+  std::size_t capacity_;
+  ThreadPool* pool_;
+  std::size_t produced_ = 0;
+};
+
+/// Kernel node for `|> e`: yields a started pipe once per cycle.
+GenPtr makePipeCreateGen(GenFactory bodyFactory, std::size_t capacity = Pipe::kDefaultCapacity,
+                         ThreadPool& pool = ThreadPool::global());
+
+/// A future: a capacity-1 pipe computing a single value in the
+/// background; get() blocks for the result (fails if the expression
+/// failed).
+class FutureValue {
+ public:
+  explicit FutureValue(GenFactory factory, ThreadPool& pool = ThreadPool::global());
+
+  /// Block until the value is available; nullopt if the expression failed.
+  std::optional<Value> get();
+
+ private:
+  std::shared_ptr<Pipe> pipe_;
+  std::optional<Value> cached_;
+  bool resolved_ = false;
+};
+
+}  // namespace congen

@@ -1,0 +1,70 @@
+#include "concur/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace congen {
+
+ThreadPool::ThreadPool(std::size_t maxThreads) : maxThreads_(maxThreads) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(m_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::submit(Task task) {
+  std::unique_lock lock(m_);
+  if (shutdown_) throw std::runtime_error("ThreadPool: submit after shutdown");
+  tasks_.push_back(std::move(task));
+  if (idle_ == 0) {
+    if (workers_.size() >= maxThreads_) {
+      throw std::runtime_error("ThreadPool: thread cap reached");
+    }
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+  lock.unlock();
+  cv_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock lock(m_);
+  while (true) {
+    ++idle_;
+    cv_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
+    --idle_;
+    if (shutdown_ && tasks_.empty()) return;
+    Task task = std::move(tasks_.front());
+    tasks_.pop_front();
+    lock.unlock();
+    task();  // exceptions from pipe bodies are caught in the pipe itself
+    lock.lock();
+    ++completed_;
+  }
+}
+
+std::size_t ThreadPool::threadsCreated() const {
+  std::lock_guard lock(m_);
+  return workers_.size();
+}
+
+std::size_t ThreadPool::tasksCompleted() const {
+  std::lock_guard lock(m_);
+  return completed_;
+}
+
+std::size_t ThreadPool::idleThreads() const {
+  std::lock_guard lock(m_);
+  return idle_;
+}
+
+}  // namespace congen

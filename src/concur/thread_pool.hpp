@@ -1,0 +1,57 @@
+// thread_pool.hpp — cached-growth thread pool.
+//
+// Pipe producers block on a bounded queue for most of their lifetime, so
+// a fixed-size pool would deadlock nested pipelines (a stage waiting for
+// a worker that is itself blocked producing for it). Like Java's cached
+// executor — which the paper's implementation leans on ("thread creation
+// and allocation leverage Java's facilities for thread pool management")
+// — this pool grows a worker whenever a task is submitted and no worker
+// is idle, and parks idle workers for reuse.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace congen {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// maxThreads is a runaway-safety cap, far above any sane pipeline depth.
+  explicit ThreadPool(std::size_t maxThreads = 4096);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool used by pipes unless one is passed explicitly.
+  static ThreadPool& global();
+
+  /// Enqueue a task; spawns a worker if none is idle. Throws
+  /// std::runtime_error after shutdown or at the thread cap.
+  void submit(Task task);
+
+  /// Statistics (for tests and the ablation benches).
+  [[nodiscard]] std::size_t threadsCreated() const;
+  [[nodiscard]] std::size_t tasksCompleted() const;
+  [[nodiscard]] std::size_t idleThreads() const;
+
+ private:
+  void workerLoop();
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<Task> tasks_;
+  std::vector<std::thread> workers_;
+  std::size_t maxThreads_;
+  std::size_t idle_ = 0;
+  std::size_t completed_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace congen

@@ -1,0 +1,91 @@
+#include "frontend/ast.hpp"
+
+#include <sstream>
+
+namespace congen::ast {
+
+namespace {
+
+const char* kindName(Kind k) {
+  switch (k) {
+    case Kind::IntLit: return "int";
+    case Kind::RealLit: return "real";
+    case Kind::StrLit: return "str";
+    case Kind::NullLit: return "null";
+    case Kind::FailLit: return "failexpr";
+    case Kind::Ident: return "id";
+    case Kind::KeywordVar: return "kw";
+    case Kind::ListLit: return "listlit";
+    case Kind::Binary: return "bin";
+    case Kind::Unary: return "un";
+    case Kind::Assign: return "assign";
+    case Kind::Swap: return "swap";
+    case Kind::ToBy: return "toby";
+    case Kind::Limit: return "limit";
+    case Kind::Index: return "index";
+    case Kind::Slice: return "slice";
+    case Kind::Field: return "field";
+    case Kind::Invoke: return "invoke";
+    case Kind::NativeInvoke: return "native";
+    case Kind::ExprSeq: return "seq";
+    case Kind::Not: return "not";
+    case Kind::BoundIter: return "in";
+    case Kind::TempRef: return "tmp";
+    case Kind::Block: return "block";
+    case Kind::ExprStmt: return "stmt";
+    case Kind::VarDecl: return "vardecl";
+    case Kind::DeclList: return "decls";
+    case Kind::EveryStmt: return "every";
+    case Kind::WhileStmt: return "while";
+    case Kind::UntilStmt: return "until";
+    case Kind::RepeatStmt: return "repeat";
+    case Kind::IfStmt: return "if";
+    case Kind::SuspendStmt: return "suspend";
+    case Kind::ReturnStmt: return "return";
+    case Kind::FailStmt: return "fail";
+    case Kind::BreakStmt: return "break";
+    case Kind::NextStmt: return "nextstmt";
+    case Kind::CaseStmt: return "case";
+    case Kind::CaseBranch: return "branch";
+    case Kind::Def: return "def";
+    case Kind::ParamList: return "params";
+    case Kind::RecordDecl: return "recdecl";
+    case Kind::GlobalDecl: return "globals";
+    case Kind::Program: return "program";
+  }
+  return "?";
+}
+
+void dumpTo(std::ostringstream& os, const NodePtr& node) {
+  if (!node) {
+    os << "()";
+    return;
+  }
+  os << '(' << kindName(node->kind);
+  if (!node->text.empty()) os << ' ' << node->text;
+  for (const auto& k : node->kids) {
+    os << ' ';
+    dumpTo(os, k);
+  }
+  os << ')';
+}
+
+}  // namespace
+
+std::string dump(const NodePtr& node) {
+  std::ostringstream os;
+  dumpTo(os, node);
+  return os.str();
+}
+
+NodePtr clone(const NodePtr& node) {
+  if (!node) return nullptr;
+  auto out = make(node->kind, node->text);
+  out->line = node->line;
+  out->col = node->col;
+  out->kids.reserve(node->kids.size());
+  for (const auto& k : node->kids) out->kids.push_back(clone(k));
+  return out;
+}
+
+}  // namespace congen::ast

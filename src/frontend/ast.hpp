@@ -1,0 +1,98 @@
+// ast.hpp — abstract syntax of the Junicon dialect.
+//
+// A deliberately uniform tree: one node type with a kind tag, a text
+// payload (names, operator spellings, literal text) and a children
+// vector. The uniformity is what makes the normalization pass (Section
+// V.A) a clean term-rewriting system: rules match on (kind, text) and
+// rebuild nodes structurally.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace congen::ast {
+
+enum class Kind {
+  // literals & names
+  IntLit,    // text = literal spelling (decimal or NrDIGITS radix form)
+  RealLit,   // text = literal spelling
+  StrLit,    // text = decoded string value
+  NullLit,   // &null
+  FailLit,   // &fail — an expression that always fails
+  Ident,     // text = name
+  KeywordVar,// &subject, &pos — text = keyword name without '&'
+  ListLit,   // kids = element expressions
+
+  // expressions
+  Binary,    // text = operator; kids = [lhs, rhs]
+  Unary,     // text = operator (! * - + ~ @ ^ <> |<> |> |); kids = [operand]
+  Assign,    // text = ":=" or augmented ("+:=" ...); kids = [lhs, rhs]
+  Swap,      // :=: ; kids = [lhs, rhs]
+  ToBy,      // kids = [from, to] or [from, to, by]
+  Limit,     // e \ n; kids = [expr, bound]
+  Index,     // kids = [collection, index]
+  Slice,     // kids = [collection, from, to] — x[i:j]
+  Field,     // text = field name; kids = [object]
+  Invoke,    // kids = [callee, arg...]
+  NativeInvoke, // text = method name; kids = [receiver, arg...] — the ::
+                // cut-through to host functions (Section IV)
+  ExprSeq,   // (e1; e2; e3) — kids are the terms; last delegates
+  Not,       // not e
+
+  // normalized IR (produced by the transform pass, never by the parser)
+  BoundIter, // (x in e): text = variable name; kids = [source]
+  TempRef,   // reference to a normalization temporary; text = name
+
+  // statements
+  Block,     // kids = statements
+  ExprStmt,  // kids = [expr]
+  VarDecl,   // one declaration; text = name; kids = [init?]
+  DeclList,  // kids = VarDecl...
+  EveryStmt, // kids = [control, body?]
+  WhileStmt, // kids = [cond, body?]
+  UntilStmt, // kids = [cond, body?]
+  RepeatStmt,// kids = [body]
+  IfStmt,    // kids = [cond, then, else?]  (also usable as an expression)
+  SuspendStmt, // kids = [expr?]; optional trailing `do` body unsupported
+  ReturnStmt,  // kids = [expr?]
+  FailStmt,
+  BreakStmt,
+  NextStmt,
+  CaseStmt,   // kids = [control, CaseBranch...]
+  CaseBranch, // kids = [body] for default, else [valueExpr, body]
+
+  // declarations
+  Def,        // text = name; kids = [ParamList, Block]
+  ParamList,  // kids = Ident...
+  RecordDecl, // text = type name; kids = Ident fields
+  GlobalDecl, // kids = Ident names
+  Program,    // kids = Def | statement ...
+};
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+struct Node {
+  Kind kind;
+  std::string text;
+  std::vector<NodePtr> kids;
+  int line = 0;
+  int col = 0;
+
+  Node(Kind k, std::string t = {}) : kind(k), text(std::move(t)) {}
+};
+
+inline NodePtr make(Kind k, std::string text = {}, std::vector<NodePtr> kids = {}) {
+  auto n = std::make_shared<Node>(k, std::move(text));
+  n->kids = std::move(kids);
+  return n;
+}
+
+/// Render a tree as an s-expression (tests, debugging, golden files).
+std::string dump(const NodePtr& node);
+
+/// Deep structural copy.
+NodePtr clone(const NodePtr& node);
+
+}  // namespace congen::ast

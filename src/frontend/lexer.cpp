@@ -1,0 +1,194 @@
+#include "frontend/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace congen::frontend {
+
+namespace {
+
+const std::unordered_set<std::string>& keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "def",    "procedure", "method", "end",   "local", "var",   "every", "while",
+      "until",  "repeat",    "if",     "then",  "else",  "suspend", "return", "fail", "record", "case", "of", "default", "global",
+      "break",  "next",      "do",     "to",    "by",    "not",   "create",
+  };
+  return kw;
+}
+
+// Multi-character operators, longest first (longest-match scanning).
+constexpr std::array<std::string_view, 29> kMultiOps = {
+    "|||", "|<>", "~===", ":=:", "||:=", "<:=", ">:=", "===", "~==", "<->", "<-",  "+:=",
+    "-:=", "*:=", "/:=",  "%:=", "^:=",  ":=",  "<=",  ">=",  "~=",  "==",  "!=",  "::",
+    "||",  "|>",  "<>",   "->",  "..",
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1, col = 1;
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < src.size() && src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    // whitespace & comments
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+    tok.col = col;
+
+    // numbers: digits [r alnum+] | digits . digits [exp] | digits exp
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      if (j < src.size() && (src[j] == 'r' || src[j] == 'R') && j + 1 < src.size() &&
+          std::isalnum(static_cast<unsigned char>(src[j + 1]))) {
+        ++j;  // radix literal: NrDIGITS
+        while (j < src.size() && std::isalnum(static_cast<unsigned char>(src[j]))) ++j;
+        tok.kind = TokKind::IntLit;
+      } else if (j < src.size() &&
+                 ((src[j] == '.' && j + 1 < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[j + 1]))) ||
+                  src[j] == 'e' || src[j] == 'E')) {
+        if (src[j] == '.') {
+          ++j;
+          while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+        }
+        if (j < src.size() && (src[j] == 'e' || src[j] == 'E')) {
+          ++j;
+          if (j < src.size() && (src[j] == '+' || src[j] == '-')) ++j;
+          while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+        }
+        tok.kind = TokKind::RealLit;
+      } else {
+        tok.kind = TokKind::IntLit;
+      }
+      tok.text = std::string(src.substr(i, j - i));
+      advance(j - i);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // identifiers & keywords
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[j])) || src[j] == '_')) {
+        ++j;
+      }
+      tok.text = std::string(src.substr(i, j - i));
+      tok.kind = keywords().contains(tok.text) ? TokKind::Keyword : TokKind::Ident;
+      advance(j - i);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // strings
+    if (c == '"') {
+      std::string value;
+      advance(1);
+      while (true) {
+        if (i >= src.size()) throw SyntaxError("unterminated string literal", tok.line, tok.col);
+        const char s = src[i];
+        if (s == '"') {
+          advance(1);
+          break;
+        }
+        if (s == '\\') {
+          advance(1);
+          if (i >= src.size()) throw SyntaxError("unterminated escape", line, col);
+          const char e = src[i];
+          switch (e) {
+            case 'n': value += '\n'; break;
+            case 't': value += '\t'; break;
+            case 'r': value += '\r'; break;
+            case '\\': value += '\\'; break;
+            case '"': value += '"'; break;
+            case '0': value += '\0'; break;
+            default: value += '\\'; value += e;  // keep unknown escapes (e.g. regex "\\s")
+          }
+          advance(1);
+          continue;
+        }
+        value += s;
+        advance(1);
+      }
+      tok.kind = TokKind::StrLit;
+      tok.text = std::move(value);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // &-keywords (&null, &fail) vs the & operator
+    if (c == '&' && std::isalpha(static_cast<unsigned char>(peek(1)))) {
+      std::size_t j = i + 1;
+      while (j < src.size() && std::isalpha(static_cast<unsigned char>(src[j]))) ++j;
+      tok.kind = TokKind::AmpKeyword;
+      tok.text = std::string(src.substr(i, j - i));
+      advance(j - i);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // multi-char operators, longest match first
+    bool matched = false;
+    for (const auto op : kMultiOps) {
+      if (src.substr(i, op.size()) == op) {
+        tok.kind = TokKind::Op;
+        tok.text = std::string(op);
+        advance(op.size());
+        out.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    // single-char operators/punctuation
+    static constexpr std::string_view kSingles = "+-*/%^<>=!~@&|?.,;:()[]{}\\";
+    if (kSingles.find(c) != std::string_view::npos) {
+      tok.kind = TokKind::Op;
+      tok.text = std::string(1, c);
+      advance(1);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    throw SyntaxError(std::string("unexpected character '") + c + "'", line, col);
+  }
+
+  Token end;
+  end.kind = TokKind::End;
+  end.line = line;
+  end.col = col;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace congen::frontend

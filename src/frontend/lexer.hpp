@@ -1,0 +1,32 @@
+// lexer.hpp — hand-written scanner for the Junicon dialect.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.hpp"
+
+namespace congen::frontend {
+
+/// Syntax errors carry source position.
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(const std::string& message, int line, int col)
+      : std::runtime_error("syntax error at " + std::to_string(line) + ":" + std::to_string(col) +
+                           ": " + message),
+        line_(line),
+        col_(col) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int col() const noexcept { return col_; }
+
+ private:
+  int line_, col_;
+};
+
+/// Tokenize a whole source buffer. Comments: `#` to end of line.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace congen::frontend

@@ -1,0 +1,42 @@
+// parser.hpp — recursive-descent parser for the Junicon dialect.
+//
+// Grammar summary (loosest to tightest precedence):
+//
+//   conjunction :=  assignment { '&' assignment }
+//   assignment  :=  toby [ (':=' | '=' | op':=' | ':=:') assignment ]
+//   toby        :=  alternation [ 'to' alternation [ 'by' alternation ] ]
+//   alternation :=  comparison { '|' comparison }
+//   comparison  :=  concat { ('<'|'<='|'>'|'>='|'~='|'=='|'~=='|'!='|'==='|'~===') concat }
+//   concat      :=  additive { '||' additive }
+//   additive    :=  multiplicative { ('+'|'-') multiplicative }
+//   multiplicative := power { ('*'|'/'|'%') power }
+//   power       :=  prefix [ '^' power ]
+//   prefix      :=  ('!'|'@'|'*'|'-'|'+'|'~'|'^'|'<>'|'|<>'|'|>'|'|'|'not'|'create') prefix
+//                |  postfix
+//   postfix     :=  primary { '(' args ')' | '[' expr ']' | '.' IDENT
+//                           | '::' IDENT '(' args ')' | '\' prefix }
+//   primary     :=  INT | REAL | STRING | '&null' | '&fail' | IDENT
+//                |  '(' expr { ';' expr } ')' | '[' args ']'
+//
+// Statements: def/procedure, local/var, every/while/until/repeat,
+// if-then-else, suspend/return/fail/break/next, blocks, expression
+// statements. Both `def f(a) { ... }` and `procedure f(a); ... end` forms
+// are accepted. `=` is assignment (the paper's Junicon follows Groovy
+// here); value equality is `==` — a documented divergence from Icon,
+// where `=` is numeric equality and `==` string equality.
+#pragma once
+
+#include <string_view>
+
+#include "frontend/ast.hpp"
+#include "frontend/lexer.hpp"
+
+namespace congen::frontend {
+
+/// Parse a whole program (defs + statements). Throws SyntaxError.
+ast::NodePtr parseProgram(std::string_view source);
+
+/// Parse a single expression; trailing tokens are an error.
+ast::NodePtr parseExpression(std::string_view source);
+
+}  // namespace congen::frontend

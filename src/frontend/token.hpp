@@ -1,0 +1,36 @@
+// token.hpp — lexical tokens of the embedded Junicon dialect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace congen::frontend {
+
+enum class TokKind : std::uint8_t {
+  End,
+  IntLit,     // 42, 16r1F, 36rHELLO
+  RealLit,    // 3.14, 1e9
+  StrLit,     // "..." (text holds the decoded value)
+  Ident,
+  Keyword,    // def procedure method local var every while until repeat if
+              // then else suspend return fail break next do to by not create
+  AmpKeyword, // &null, &fail
+  Op,         // operators and punctuation; text holds the spelling
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  int line = 1;
+  int col = 1;
+
+  [[nodiscard]] bool is(TokKind k) const noexcept { return kind == k; }
+  [[nodiscard]] bool isOp(std::string_view s) const noexcept {
+    return kind == TokKind::Op && text == s;
+  }
+  [[nodiscard]] bool isKeyword(std::string_view s) const noexcept {
+    return kind == TokKind::Keyword && text == s;
+  }
+};
+
+}  // namespace congen::frontend

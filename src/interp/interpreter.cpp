@@ -1,0 +1,407 @@
+#include "interp/interpreter.hpp"
+
+#include "builtins/builtins.hpp"
+#include "concur/pipe.hpp"
+#include "frontend/parser.hpp"
+#include "kernel/basic.hpp"
+#include "kernel/compose.hpp"
+#include "kernel/control.hpp"
+#include "kernel/coexpression.hpp"
+#include "kernel/ops.hpp"
+#include "kernel/scan.hpp"
+#include "runtime/collections.hpp"
+#include "runtime/error.hpp"
+#include "runtime/record.hpp"
+#include "transform/normalize.hpp"
+
+namespace congen::interp {
+
+using ast::Kind;
+using ast::NodePtr;
+
+namespace {
+
+Value parseIntLiteral(const std::string& text) {
+  const auto r = text.find_first_of("rR");
+  if (r != std::string::npos) {
+    const unsigned radix = static_cast<unsigned>(std::stoul(text.substr(0, r)));
+    return Value::integer(BigInt::fromString(text.substr(r + 1), radix));
+  }
+  return Value::integer(BigInt::fromString(text, 10));
+}
+
+}  // namespace
+
+/// Compiles AST nodes to kernel generator trees over a scope chain.
+class Compiler {
+ public:
+  Compiler(Interpreter& interp, ScopePtr scope)
+      : interp_(interp), scope_(std::move(scope)) {}
+
+  // -- expression compilation -----------------------------------------
+  GenPtr expr(const NodePtr& n) {
+    switch (n->kind) {
+      case Kind::IntLit: return ConstGen::create(parseIntLiteral(n->text));
+      case Kind::RealLit: return ConstGen::create(Value::real(std::stod(n->text)));
+      case Kind::StrLit: return ConstGen::create(Value::string(n->text));
+      case Kind::NullLit: return NullGen::create();
+      case Kind::FailLit: return FailGen::create();
+      case Kind::Ident:
+      case Kind::TempRef: return identifier(n->text);
+      case Kind::KeywordVar:
+        return n->text == "subject" ? makeSubjectVarGen() : makePosVarGen();
+      case Kind::ListLit: return listLiteral(n);
+      case Kind::Binary: return binary(n);
+      case Kind::Unary: return unary(n);
+      // NOTE: every multi-operand case compiles its children into named
+      // locals first — C++ leaves function-argument evaluation order
+      // unspecified, and compilation order matters because BoundIter
+      // declares the temporaries that later TempRefs resolve to.
+      case Kind::Assign: {
+        auto lhs = expr(n->kids[0]);
+        auto rhs = expr(n->kids[1]);
+        if (n->text == ":=") return makeAssignGen(std::move(lhs), std::move(rhs));
+        if (n->text == "<-") return makeRevAssignGen(std::move(lhs), std::move(rhs));
+        return makeAugAssignGen(std::string_view(n->text).substr(0, n->text.size() - 2),
+                                std::move(lhs), std::move(rhs));
+      }
+      case Kind::Swap: {
+        auto lhs = expr(n->kids[0]);
+        auto rhs = expr(n->kids[1]);
+        if (n->text == "<->") return makeRevSwapGen(std::move(lhs), std::move(rhs));
+        return makeSwapGen(std::move(lhs), std::move(rhs));
+      }
+      case Kind::ToBy: {
+        auto from = expr(n->kids[0]);
+        auto to = expr(n->kids[1]);
+        auto by = n->kids.size() > 2 ? expr(n->kids[2]) : nullptr;
+        return makeToByGen(std::move(from), std::move(to), std::move(by));
+      }
+      case Kind::Limit: {
+        auto e = expr(n->kids[0]);
+        auto bound = expr(n->kids[1]);
+        return LimitGen::create(std::move(e), std::move(bound));
+      }
+      case Kind::Index: {
+        auto coll = expr(n->kids[0]);
+        auto idx = expr(n->kids[1]);
+        return makeIndexGen(std::move(coll), std::move(idx));
+      }
+      case Kind::Slice: {
+        auto coll = expr(n->kids[0]);
+        auto from = expr(n->kids[1]);
+        auto to = expr(n->kids[2]);
+        return makeSliceGen(std::move(coll), std::move(from), std::move(to));
+      }
+      case Kind::Field: return makeFieldGen(expr(n->kids[0]), n->text);
+      case Kind::Invoke: return invoke(n);
+      case Kind::NativeInvoke: return nativeInvoke(n);
+      case Kind::ExprSeq: return sequence(n, SeqGen::Mode::Expression);
+      case Kind::Not: return NotGen::create(expr(n->kids[0]));
+      case Kind::BoundIter: {
+        auto var = scope_->declare(n->text);
+        return InGen::create(std::move(var), expr(n->kids[0]));
+      }
+      case Kind::IfStmt: {  // usable in expression position
+        auto cond = expr(n->kids[0]);
+        auto thenB = statement(n->kids[1]);
+        auto elseB = n->kids.size() > 2 ? statement(n->kids[2]) : nullptr;
+        return IfGen::create(std::move(cond), std::move(thenB), std::move(elseB));
+      }
+      case Kind::Block:
+      case Kind::EveryStmt:
+      case Kind::WhileStmt:
+      case Kind::UntilStmt:
+      case Kind::RepeatStmt:
+      case Kind::CaseStmt:
+      case Kind::SuspendStmt:
+        // Control constructs are expressions in Icon (e.g. as a scan
+        // body: s ? while ...).
+        return statement(n);
+      default:
+        throw IconError(600, "cannot evaluate node in expression position: " + ast::dump(n));
+    }
+  }
+
+  // -- statement compilation -------------------------------------------
+  GenPtr statement(const NodePtr& n) {
+    switch (n->kind) {
+      case Kind::Block: return sequence(n, SeqGen::Mode::Body);
+      case Kind::ExprStmt: return expr(n->kids[0]);
+      case Kind::DeclList: {
+        std::vector<GenPtr> inits;
+        for (const auto& decl : n->kids) {
+          auto var = scope_->declare(decl->text);
+          if (!decl->kids.empty()) {
+            inits.push_back(makeAssignGen(VarGen::create(var), expr(decl->kids[0])));
+          }
+        }
+        if (inits.empty()) return NullGen::create();
+        return SeqGen::create(std::move(inits), SeqGen::Mode::Body);
+      }
+      case Kind::EveryStmt: {
+        auto control = expr(n->kids[0]);
+        auto body = n->kids.size() > 1 ? statement(n->kids[1]) : nullptr;
+        return LoopGen::every(std::move(control), std::move(body));
+      }
+      case Kind::WhileStmt: {
+        auto cond = expr(n->kids[0]);
+        auto body = n->kids.size() > 1 ? statement(n->kids[1]) : nullptr;
+        return LoopGen::whileDo(std::move(cond), std::move(body));
+      }
+      case Kind::UntilStmt: {
+        auto cond = expr(n->kids[0]);
+        auto body = n->kids.size() > 1 ? statement(n->kids[1]) : nullptr;
+        return LoopGen::untilDo(std::move(cond), std::move(body));
+      }
+      case Kind::RepeatStmt: return LoopGen::repeat(statement(n->kids[0]));
+      case Kind::IfStmt: {
+        auto cond = expr(n->kids[0]);
+        auto thenB = statement(n->kids[1]);
+        auto elseB = n->kids.size() > 2 ? statement(n->kids[2]) : nullptr;
+        return IfGen::create(std::move(cond), std::move(thenB), std::move(elseB));
+      }
+      case Kind::SuspendStmt:
+        return SuspendGen::create(n->kids.empty() ? NullGen::create() : expr(n->kids[0]));
+      case Kind::ReturnStmt:
+        return ReturnGen::create(n->kids.empty() ? NullGen::create() : expr(n->kids[0]));
+      case Kind::FailStmt: return FailBodyGen::create();
+      case Kind::BreakStmt: return BreakGen::create();
+      case Kind::NextStmt: return NextGen::create();
+      case Kind::CaseStmt: {
+        auto control = expr(n->kids[0]);
+        std::vector<CaseGen::Branch> branches;
+        for (std::size_t i = 1; i < n->kids.size(); ++i) {
+          const NodePtr& b = n->kids[i];
+          CaseGen::Branch branch;
+          if (b->text == "default") {
+            branch.body = statement(b->kids[0]);
+          } else {
+            branch.value = expr(b->kids[0]);
+            branch.body = statement(b->kids[1]);
+          }
+          branches.push_back(std::move(branch));
+        }
+        return CaseGen::create(std::move(control), std::move(branches));
+      }
+      case Kind::RecordDecl: {
+        interp_.globals_->declare(n->text, Value::proc(makeRecordConstructor(n)));
+        return NullGen::create();
+      }
+      case Kind::GlobalDecl: {
+        for (const auto& name : n->kids) {
+          if (!interp_.globals_->lookup(name->text)) interp_.globals_->declare(name->text);
+        }
+        return NullGen::create();
+      }
+      case Kind::Def: {
+        interp_.globals_->declare(n->text, Value::proc(makeProc(n)));
+        return NullGen::create();
+      }
+      default: return expr(n);
+    }
+  }
+
+  /// `record name(f1, ..., fn)` declares a constructor procedure.
+  static ProcPtr makeRecordConstructor(const NodePtr& decl) {
+    std::vector<std::string> fields;
+    fields.reserve(decl->kids.size());
+    for (const auto& f : decl->kids) fields.push_back(f->text);
+    auto type = RecordType::create(decl->text, std::move(fields));
+    return ProcImpl::create(decl->text, [type](std::vector<Value> args) -> GenPtr {
+      return ConstGen::create(Value::record(RecordImpl::create(type, std::move(args))));
+    });
+  }
+
+  /// Build a procedure value whose every invocation compiles a fresh
+  /// body over a fresh scope (parameters are variadic: missing args are
+  /// &null, extras ignored — Unicon convention).
+  ProcPtr makeProc(const NodePtr& def) {
+    const NodePtr params = def->kids[0];
+    const NodePtr body = def->kids[1];
+    Interpreter* interp = &interp_;
+    ScopePtr defScope = interp_.globals_;  // procedures close over globals
+    return ProcImpl::create(def->text, [interp, defScope, params, body](std::vector<Value> args) {
+      auto callScope = defScope->child();
+      for (std::size_t i = 0; i < params->kids.size(); ++i) {
+        callScope->declare(params->kids[i]->text, i < args.size() ? args[i] : Value::null());
+      }
+      Compiler bodyCompiler(*interp, callScope);
+      return BodyRootGen::create(bodyCompiler.statement(body));
+    });
+  }
+
+ private:
+  GenPtr identifier(const std::string& name) {
+    if (auto var = scope_->lookup(name)) return VarGen::create(var);
+    if (auto builtin = builtins::lookup(name)) return ConstGen::create(Value::proc(builtin));
+    // Undeclared: implicitly local to the current scope (Unicon's loose
+    // default); first read yields &null.
+    return VarGen::create(scope_->declare(name));
+  }
+
+  GenPtr listLiteral(const NodePtr& n) {
+    std::vector<GenPtr> elems;
+    elems.reserve(n->kids.size());
+    for (const auto& k : n->kids) elems.push_back(expr(k));
+    return makeListLitGen(std::move(elems));
+  }
+
+  GenPtr sequence(const NodePtr& n, SeqGen::Mode mode) {
+    std::vector<GenPtr> terms;
+    terms.reserve(n->kids.size());
+    for (const auto& k : n->kids) terms.push_back(statement(k));
+    if (terms.empty()) return mode == SeqGen::Mode::Body ? FailGen::create() : NullGen::create();
+    return SeqGen::create(std::move(terms), mode);
+  }
+
+  GenPtr binary(const NodePtr& n) {
+    auto lhs = expr(n->kids[0]);  // compile order is load-bearing: see the
+    auto rhs = expr(n->kids[1]);  // NOTE on temporaries above
+    if (n->text == "&") return ProductGen::create(std::move(lhs), std::move(rhs));
+    if (n->text == "|") return AltGen::create(std::move(lhs), std::move(rhs));
+    if (n->text == "?") return ScanGen::create(std::move(lhs), std::move(rhs));
+    return makeBinaryOpGen(n->text, std::move(lhs), std::move(rhs));
+  }
+
+  GenPtr unary(const NodePtr& n) {
+    const std::string& op = n->text;
+    if (op == "!") return PromoteGen::create(expr(n->kids[0]));
+    if (op == "@") return ActivateGen::create(expr(n->kids[0]));
+    if (op == "^") return RefreshGen::create(expr(n->kids[0]));
+    if (op == "|") return RepeatAltGen::create(expr(n->kids[0]));
+    if (op == "<>") return CoExprCreateGen::create(coExprFactory(n->kids[0], /*shadow=*/false));
+    if (op == "|<>") return CoExprCreateGen::create(coExprFactory(n->kids[0], /*shadow=*/true));
+    if (op == "|>") {
+      return makePipeCreateGen(coExprFactory(n->kids[0], /*shadow=*/true),
+                               interp_.options_.pipeCapacity);
+    }
+    return makeUnaryOpGen(op, expr(n->kids[0]));
+  }
+
+  /// Body factory for <> / |<> / |>. With shadowing, the factory
+  /// snapshots every referenced *local* into a fresh cell each time it
+  /// runs (creation and every ^ refresh) — Section III.A.
+  GenFactory coExprFactory(const NodePtr& body, bool shadow) {
+    Interpreter* interp = &interp_;
+    ScopePtr enclosing = scope_;
+    NodePtr bodyAst = body;
+    if (!shadow) {
+      return [interp, enclosing, bodyAst]() -> GenPtr {
+        Compiler c(*interp, enclosing);
+        return c.expr(bodyAst);
+      };
+    }
+    auto referenced = transform::freeIdents(bodyAst);
+    return [interp, enclosing, bodyAst, referenced = std::move(referenced)]() -> GenPtr {
+      auto shadowScope = enclosing->child();
+      for (const auto& name : referenced) {
+        if (auto local = enclosing->lookupLocal(name)) {
+          shadowScope->declare(name, local->get());  // copy, don't alias
+        }
+      }
+      Compiler c(*interp, shadowScope);
+      return c.expr(bodyAst);
+    };
+  }
+
+  GenPtr invoke(const NodePtr& n) {
+    std::vector<GenPtr> args;
+    for (std::size_t i = 1; i < n->kids.size(); ++i) args.push_back(expr(n->kids[i]));
+    return makeInvokeGen(expr(n->kids[0]), std::move(args));
+  }
+
+  /// recv::name(args) — the native cut-through. `this::f(x)` calls f(x);
+  /// anything else calls f(recv, x...), so host helpers registered with
+  /// receiver-first conventions line up (Section IV's mixed-language
+  /// chains).
+  GenPtr nativeInvoke(const NodePtr& n) {
+    const NodePtr& recv = n->kids[0];
+    const bool isThis = recv->kind == Kind::Ident && recv->text == "this";
+    GenPtr callee = identifier(n->text);
+    std::vector<GenPtr> args;
+    if (!isThis) args.push_back(expr(recv));
+    for (std::size_t i = 1; i < n->kids.size(); ++i) args.push_back(expr(n->kids[i]));
+    return makeInvokeGen(std::move(callee), std::move(args));
+  }
+
+  Interpreter& interp_;
+  ScopePtr scope_;
+};
+
+// ---------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------
+
+Interpreter::Interpreter(Options options)
+    : options_(options), globals_(Scope::makeGlobal()) {}
+
+void Interpreter::load(const std::string& source) {
+  loadProgram(frontend::parseProgram(source));
+}
+
+void Interpreter::loadProgram(const ast::NodePtr& program) {
+  ast::NodePtr prog = options_.normalize ? transform::normalizeProgram(program) : program;
+  Compiler compiler(*this, globals_);
+  for (const auto& item : prog->kids) {
+    if (item->kind == Kind::Def) {
+      globals_->declare(item->text, Value::proc(compiler.makeProc(item)));
+    } else {
+      // Top-level statements run immediately, bounded, like Icon's
+      // outermost level of iteration.
+      Compiler stmtCompiler(*this, globals_);
+      stmtCompiler.statement(item)->next();
+    }
+  }
+}
+
+GenPtr Interpreter::eval(const std::string& source) {
+  ast::NodePtr tree = frontend::parseExpression(source);
+  if (options_.normalize) {
+    transform::TempNames names;
+    tree = transform::normalize(tree, names);
+  }
+  return compileExpr(tree, globals_);
+}
+
+std::vector<Value> Interpreter::evalAll(const std::string& source) {
+  return eval(source)->collect();
+}
+
+std::optional<Value> Interpreter::evalOne(const std::string& source) {
+  return eval(source)->nextValue();
+}
+
+GenPtr Interpreter::call(const std::string& name, std::vector<Value> args) {
+  auto var = globals_->lookup(name);
+  Value f = var ? var->get() : Value::null();
+  if (!f.isProc()) {
+    if (auto builtin = builtins::lookup(name)) {
+      f = Value::proc(builtin);
+    } else {
+      throw errCallableExpected(name);
+    }
+  }
+  return f.proc()->invoke(std::move(args));
+}
+
+void Interpreter::registerNative(const std::string& name, ProcPtr proc) {
+  globals_->declare(name, Value::proc(std::move(proc)));
+}
+
+void Interpreter::defineGlobal(const std::string& name, Value v) {
+  globals_->declare(name, std::move(v));
+}
+
+std::optional<Value> Interpreter::global(const std::string& name) const {
+  auto var = globals_->lookup(name);
+  if (!var) return std::nullopt;
+  return var->get();
+}
+
+GenPtr Interpreter::compileExpr(const ast::NodePtr& node, const ScopePtr& scope) {
+  Compiler c(*this, scope);
+  return c.expr(node);
+}
+
+}  // namespace congen::interp

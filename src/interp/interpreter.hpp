@@ -1,0 +1,74 @@
+// interpreter.hpp — tree-walking evaluation of the Junicon dialect.
+//
+// The interactive path of the paper's harness (Section VI): where the
+// Java backend *emits* source, the interpreter builds the same kernel
+// iterator trees directly from the (normalized) AST and runs them. Host
+// C++ functions are registered as natives and reached via the :: cut-
+// through, giving the mixed-language story without a compile step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "interp/scope.hpp"
+#include "kernel/gen.hpp"
+#include "runtime/proc.hpp"
+
+namespace congen {
+class ThreadPool;
+}
+
+namespace congen::interp {
+
+class Interpreter {
+ public:
+  /// Options mostly matter to benchmarks (pipe sizing / pool choice).
+  struct Options {
+    std::size_t pipeCapacity = 1024;
+    bool normalize = true;  // run the Section V.A flattening pass first
+  };
+
+  Interpreter() : Interpreter(Options{}) {}
+  explicit Interpreter(Options options);
+
+  /// Parse and load a program: procedure definitions become globals; any
+  /// top-level statements execute immediately (bounded).
+  void load(const std::string& source);
+
+  /// Load a pre-parsed program.
+  void loadProgram(const ast::NodePtr& program);
+
+  /// Parse an expression and return its generator over the global scope.
+  [[nodiscard]] GenPtr eval(const std::string& source);
+
+  /// Evaluate and collect every result value.
+  std::vector<Value> evalAll(const std::string& source);
+
+  /// First result of an expression (nullopt = failure).
+  std::optional<Value> evalOne(const std::string& source);
+
+  /// Call a loaded procedure by name.
+  [[nodiscard]] GenPtr call(const std::string& name, std::vector<Value> args);
+
+  /// Register a host-side function, reachable both as a plain name and
+  /// through the :: native cut-through.
+  void registerNative(const std::string& name, ProcPtr proc);
+  /// Bind a global value (e.g. the host's data for the embedded region).
+  void defineGlobal(const std::string& name, Value v);
+  [[nodiscard]] std::optional<Value> global(const std::string& name) const;
+
+  /// Compile an AST expression over a scope (exposed for the transform
+  /// equivalence tests).
+  [[nodiscard]] GenPtr compileExpr(const ast::NodePtr& node, const ScopePtr& scope);
+
+  [[nodiscard]] const ScopePtr& globalScope() const noexcept { return globals_; }
+
+ private:
+  friend class Compiler;
+
+  Options options_;
+  ScopePtr globals_;
+};
+
+}  // namespace congen::interp

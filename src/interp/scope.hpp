@@ -1,0 +1,65 @@
+// scope.hpp — lexical scopes mapping names to reified variables.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/var.hpp"
+
+namespace congen::interp {
+
+class Scope;
+using ScopePtr = std::shared_ptr<Scope>;
+
+/// A chain of name → Var bindings. The outermost scope is the global
+/// scope; procedure calls and co-expression environments push children.
+class Scope : public std::enable_shared_from_this<Scope> {
+ public:
+  static ScopePtr makeGlobal() { return std::make_shared<Scope>(Private{}, nullptr, true); }
+  [[nodiscard]] ScopePtr child() {
+    return std::make_shared<Scope>(Private{}, shared_from_this(), false);
+  }
+
+  /// Walk the chain; nullptr if unbound.
+  [[nodiscard]] VarPtr lookup(const std::string& name) const {
+    for (const Scope* s = this; s; s = s->parent_.get()) {
+      const auto it = s->vars_.find(name);
+      if (it != s->vars_.end()) return it->second;
+    }
+    return nullptr;
+  }
+
+  /// Like lookup, but stops before the global scope — used to decide
+  /// which names a co-expression must shadow (locals only).
+  [[nodiscard]] VarPtr lookupLocal(const std::string& name) const {
+    for (const Scope* s = this; s && !s->global_; s = s->parent_.get()) {
+      const auto it = s->vars_.find(name);
+      if (it != s->vars_.end()) return it->second;
+    }
+    return nullptr;
+  }
+
+  /// Bind a fresh cell in this scope (shadowing outer bindings).
+  VarPtr declare(const std::string& name, Value initial = Value::null()) {
+    auto var = CellVar::create(std::move(initial));
+    vars_[name] = var;
+    return var;
+  }
+
+  /// Bind an existing variable in this scope.
+  void bind(const std::string& name, VarPtr var) { vars_[name] = std::move(var); }
+
+  [[nodiscard]] bool isGlobal() const noexcept { return global_; }
+
+  // make_shared needs a public constructor; Private keeps it internal.
+  struct Private {};
+  Scope(Private, ScopePtr parent, bool global) : parent_(std::move(parent)), global_(global) {}
+
+ private:
+  std::unordered_map<std::string, VarPtr> vars_;
+  ScopePtr parent_;
+  bool global_;
+};
+
+}  // namespace congen::interp

@@ -1,0 +1,37 @@
+#include "kernel/basic.hpp"
+
+#include "runtime/error.hpp"
+
+namespace congen {
+
+RangeGen::RangeGen(Value from, Value limit, Value step)
+    : from_(std::move(from)), limit_(std::move(limit)), step_(std::move(step)) {
+  const auto stepNum = step_.toNumeric();
+  if (!stepNum) throw errNumericExpected("step of to-by");
+  if (stepNum->isInteger()) {
+    ascending_ = stepNum->isSmallInt() ? stepNum->smallInt() > 0 : stepNum->bigInt().signum() > 0;
+    const bool zero = stepNum->isSmallInt() ? stepNum->smallInt() == 0 : stepNum->bigInt().isZero();
+    if (zero) throw errInvalidValue("to-by with zero step");
+  } else {
+    if (stepNum->real() == 0.0) throw errInvalidValue("to-by with zero step");
+    ascending_ = stepNum->real() > 0.0;
+  }
+}
+
+std::optional<Result> RangeGen::doNext() {
+  if (!started_) {
+    const auto fromNum = from_.toNumeric();
+    if (!fromNum) throw errNumericExpected("from of to-by");
+    current_ = *fromNum;
+    started_ = true;
+  } else {
+    current_ = ops::add(current_, step_);
+  }
+  const auto inRange = ascending_ ? ops::numLE(current_, limit_) : ops::numGE(current_, limit_);
+  if (!inRange) return std::nullopt;
+  return Result{current_};
+}
+
+void RangeGen::doRestart() { started_ = false; }
+
+}  // namespace congen

@@ -1,0 +1,152 @@
+// basic.hpp — leaf generators: constants, variables, ranges, failure.
+#pragma once
+
+#include "kernel/gen.hpp"
+
+namespace congen {
+
+/// Singleton iterator over a constant value (the paper's `<>e` base case
+/// for literals): yields the value once per cycle, then fails.
+class ConstGen final : public Gen {
+ public:
+  explicit ConstGen(Value v) : value_(std::move(v)) {}
+
+  static GenPtr create(Value v) { return std::make_shared<ConstGen>(std::move(v)); }
+
+ protected:
+  std::optional<Result> doNext() override {
+    if (done_) return std::nullopt;
+    done_ = true;
+    return Result{value_};
+  }
+  void doRestart() override { done_ = false; }
+
+ private:
+  Value value_;
+  bool done_ = false;
+};
+
+/// Singleton iterator over a variable: yields the variable (value +
+/// assignable reference) once per cycle. This is lifting a variable into
+/// a property per Section V.A.
+class VarGen final : public Gen {
+ public:
+  explicit VarGen(VarPtr var) : var_(std::move(var)) {}
+
+  static GenPtr create(VarPtr var) { return std::make_shared<VarGen>(std::move(var)); }
+
+ protected:
+  std::optional<Result> doNext() override {
+    if (done_) return std::nullopt;
+    done_ = true;
+    return Result{var_->get(), var_};
+  }
+  void doRestart() override { done_ = false; }
+
+ private:
+  VarPtr var_;
+  bool done_ = false;
+};
+
+/// Yields &null once per cycle (the IconNullIterator of Fig. 5).
+class NullGen final : public Gen {
+ public:
+  static GenPtr create() { return std::make_shared<NullGen>(); }
+
+ protected:
+  std::optional<Result> doNext() override {
+    if (done_) return std::nullopt;
+    done_ = true;
+    return Result{Value::null()};
+  }
+  void doRestart() override { done_ = false; }
+
+ private:
+  bool done_ = false;
+};
+
+/// Always fails (the IconFail of Fig. 5).
+class FailGen final : public Gen {
+ public:
+  static GenPtr create() { return std::make_shared<FailGen>(); }
+
+ protected:
+  std::optional<Result> doNext() override { return std::nullopt; }
+  void doRestart() override {}
+};
+
+/// Arithmetic range: `from to limit by step` over already-fixed numeric
+/// bounds (operand generators are handled by ToByGen's delegation).
+/// Supports integer (incl. BigInt) and real sequences; step may be
+/// negative; zero step is a run-time error.
+class RangeGen final : public Gen {
+ public:
+  RangeGen(Value from, Value limit, Value step);
+
+  static GenPtr create(Value from, Value limit, Value step) {
+    return std::make_shared<RangeGen>(std::move(from), std::move(limit), std::move(step));
+  }
+
+ protected:
+  std::optional<Result> doNext() override;
+  void doRestart() override;
+
+ private:
+  Value from_, limit_, step_;
+  Value current_;
+  bool started_ = false;
+  bool ascending_ = true;
+};
+
+/// Generator over an explicit vector of values (used by builtins and
+/// tests; also the basis for promoting host containers).
+class ValuesGen final : public Gen {
+ public:
+  explicit ValuesGen(std::vector<Value> values) : values_(std::move(values)) {}
+
+  static GenPtr create(std::vector<Value> values) {
+    return std::make_shared<ValuesGen>(std::move(values));
+  }
+
+ protected:
+  std::optional<Result> doNext() override {
+    if (index_ >= values_.size()) return std::nullopt;
+    return Result{values_[index_++]};
+  }
+  void doRestart() override { index_ = 0; }
+
+ private:
+  std::vector<Value> values_;
+  std::size_t index_ = 0;
+};
+
+/// Generator backed by a host-side callback producing values until
+/// nullopt — the bridge for native C++ data sources ("seamless
+/// interoperability", Section IV). The callback is re-armed from the
+/// factory on restart.
+class CallbackGen final : public Gen {
+ public:
+  using Puller = std::function<std::optional<Value>()>;
+  using PullerFactory = std::function<Puller()>;
+
+  explicit CallbackGen(PullerFactory factory)
+      : factory_(std::move(factory)), puller_(factory_()) {}
+
+  static GenPtr create(PullerFactory factory) {
+    return std::make_shared<CallbackGen>(std::move(factory));
+  }
+
+ protected:
+  std::optional<Result> doNext() override {
+    auto v = puller_();
+    if (!v) return std::nullopt;
+    return Result{std::move(*v)};
+  }
+  void doRestart() override { puller_ = factory_(); }
+
+ private:
+  PullerFactory factory_;
+  Puller puller_;
+};
+
+}  // namespace congen

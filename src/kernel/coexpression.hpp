@@ -1,0 +1,144 @@
+// coexpression.hpp — the unified first-class generator model.
+//
+// The paper's IconCoExpression (Section V.D) provides "a unified model
+// for handling first-class generators as well as co-expressions and
+// multithreaded proxies". CoExpression is that class: it owns a factory
+// that can (re)build the underlying generator — for co-expressions the
+// factory also re-copies the shadowed local environment — plus the
+// activation (@) and refresh (^) operations of the calculus (Fig. 1).
+// The multithreaded pipe (|>) derives from it in concur/pipe.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "kernel/gen.hpp"
+
+namespace congen {
+
+/// A first-class generator / co-expression.
+class CoExpression : public std::enable_shared_from_this<CoExpression> {
+ public:
+  /// The factory re-creates the body generator from scratch; environment
+  /// shadowing is baked into it (it captures copies of the referenced
+  /// locals — Section III.A's `((x,y,z)-> <>e)((()->[x,y,z])())`).
+  /// The body is built EAGERLY, on the creating thread: Icon copies the
+  /// environment at co-expression creation, so the snapshot must be
+  /// taken here, before the enclosing code mutates its locals (and
+  /// before a pipe's producer races them from another thread).
+  explicit CoExpression(GenFactory factory)
+      : factory_(std::move(factory)), body_(factory_()) {}
+  virtual ~CoExpression() = default;
+  CoExpression(const CoExpression&) = delete;
+  CoExpression& operator=(const CoExpression&) = delete;
+
+  static CoExprPtr create(GenFactory factory) {
+    return std::make_shared<CoExpression>(std::move(factory));
+  }
+
+  /// Activation @c: step one iteration; nullopt is failure. Unlike a raw
+  /// kernel generator, an exhausted co-expression stays exhausted until
+  /// refreshed (Icon semantics).
+  virtual std::optional<Value> activate() {
+    if (exhausted_) return std::nullopt;
+    auto v = body_->nextValue();
+    if (!v) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+    ++results_;
+    return v;
+  }
+
+  /// Refresh ^c: a *new* co-expression re-built from the factory, with a
+  /// fresh copy of the shadowed environment.
+  [[nodiscard]] virtual CoExprPtr refreshed() const { return create(factory_); }
+
+  /// How many results this co-expression has produced so far.
+  [[nodiscard]] std::size_t resultCount() const noexcept { return results_; }
+  [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
+
+ protected:
+  [[nodiscard]] const GenFactory& factory() const noexcept { return factory_; }
+  /// Transfer the eagerly-built body out (pipes hand it to the producer
+  /// thread, which becomes its sole user).
+  [[nodiscard]] GenPtr takeBody() noexcept { return std::move(body_); }
+
+ private:
+  GenFactory factory_;
+  GenPtr body_;
+  std::size_t results_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Kernel node for `<>e` / `|<>e`: yields a freshly created co-expression
+/// value once per cycle. Environment shadowing is the factory's concern.
+class CoExprCreateGen final : public Gen {
+ public:
+  /// `make` wraps the raw body factory into the kind of co-expression
+  /// wanted (plain co-expression, or a pipe in concur/).
+  using Maker = std::function<CoExprPtr(GenFactory)>;
+
+  CoExprCreateGen(GenFactory bodyFactory, Maker make)
+      : bodyFactory_(std::move(bodyFactory)), make_(std::move(make)) {}
+
+  static GenPtr create(GenFactory bodyFactory) {
+    return std::make_shared<CoExprCreateGen>(std::move(bodyFactory),
+                                             [](GenFactory f) { return CoExpression::create(std::move(f)); });
+  }
+  static GenPtr create(GenFactory bodyFactory, Maker make) {
+    return std::make_shared<CoExprCreateGen>(std::move(bodyFactory), std::move(make));
+  }
+
+ protected:
+  std::optional<Result> doNext() override {
+    if (done_) return std::nullopt;
+    done_ = true;
+    return Result{Value::coexpr(make_(bodyFactory_))};
+  }
+  void doRestart() override { done_ = false; }
+
+ private:
+  GenFactory bodyFactory_;
+  Maker make_;
+  bool done_ = false;
+};
+
+/// Activation @c as a kernel node: for each co-expression produced by the
+/// operand, one activation step per operand result (the paper's explicit
+/// stepping).
+class ActivateGen final : public Gen {
+ public:
+  explicit ActivateGen(GenPtr operand) : operand_(std::move(operand)) {}
+
+  static GenPtr create(GenPtr operand) { return std::make_shared<ActivateGen>(std::move(operand)); }
+
+ protected:
+  std::optional<Result> doNext() override;
+  // The operand must be restarted explicitly: after a successful cycle it
+  // is consumed-but-not-failed, so the failure-driven auto-restart never
+  // fires. The activated co-expression itself keeps its position — only
+  // the operand expression is re-evaluated.
+  void doRestart() override { operand_->restart(); }
+
+ private:
+  GenPtr operand_;
+};
+
+/// Refresh ^c as a kernel node: yields a refreshed copy of each
+/// co-expression the operand produces.
+class RefreshGen final : public Gen {
+ public:
+  explicit RefreshGen(GenPtr operand) : operand_(std::move(operand)) {}
+
+  static GenPtr create(GenPtr operand) { return std::make_shared<RefreshGen>(std::move(operand)); }
+
+ protected:
+  std::optional<Result> doNext() override;
+  void doRestart() override { operand_->restart(); }
+
+ private:
+  GenPtr operand_;
+};
+
+}  // namespace congen

@@ -1,0 +1,306 @@
+#include "kernel/compose.hpp"
+
+#include "kernel/basic.hpp"
+#include "kernel/coexpression.hpp"
+#include "runtime/collections.hpp"
+#include "runtime/error.hpp"
+#include "runtime/record.hpp"
+
+namespace congen {
+
+// ---------------------------------------------------------------------
+// SeqGen
+// ---------------------------------------------------------------------
+
+std::optional<Result> SeqGen::doNext() {
+  if (terminated_) return std::nullopt;
+  while (index_ < children_.size()) {
+    const bool last = index_ + 1 == children_.size();
+    const bool delegating = mode_ == Mode::Expression && last;
+    auto r = children_[index_]->next();
+    if (!r) {
+      if (delegating) return std::nullopt;  // last term's failure is the sequence's
+      ++index_;                             // a bounded term failed: move on
+      continue;
+    }
+    if (r->flags & Result::kSuspend) return r;  // propagate, stay on this term
+    if (r->flags & (Result::kReturn | Result::kFailBody)) {
+      terminated_ = true;
+      return r;
+    }
+    if (delegating) return r;  // last term generates the sequence's results
+    ++index_;                  // bounded term produced its one result
+  }
+  return std::nullopt;  // body mode: fell off the end — fail
+}
+
+void SeqGen::doRestart() {
+  index_ = 0;
+  terminated_ = false;
+  for (auto& c : children_) c->restart();
+}
+
+// ---------------------------------------------------------------------
+// ProductGen
+// ---------------------------------------------------------------------
+
+std::optional<Result> ProductGen::doNext() {
+  while (true) {
+    if (!leftActive_) {
+      auto rl = left_->next();
+      if (!rl) return std::nullopt;
+      if (rl->isControl()) return rl;  // conservatively propagate
+      leftActive_ = true;
+      right_->restart();
+    }
+    auto rr = right_->next();
+    if (rr) return rr;
+    leftActive_ = false;  // right exhausted: backtrack into the left
+  }
+}
+
+void ProductGen::doRestart() {
+  leftActive_ = false;
+  left_->restart();
+  right_->restart();
+}
+
+// ---------------------------------------------------------------------
+// AltGen
+// ---------------------------------------------------------------------
+
+std::optional<Result> AltGen::doNext() {
+  while (index_ < children_.size()) {
+    auto r = children_[index_]->next();
+    if (r) return r;
+    ++index_;
+  }
+  return std::nullopt;
+}
+
+void AltGen::doRestart() {
+  index_ = 0;
+  for (auto& c : children_) c->restart();
+}
+
+// ---------------------------------------------------------------------
+// InGen
+// ---------------------------------------------------------------------
+
+std::optional<Result> InGen::doNext() {
+  auto r = source_->next();
+  if (!r) return std::nullopt;
+  if (r->isControl()) return r;
+  var_->set(r->value);
+  return Result{std::move(r->value), var_};
+}
+
+void InGen::doRestart() { source_->restart(); }
+
+// ---------------------------------------------------------------------
+// LimitGen
+// ---------------------------------------------------------------------
+
+GenPtr LimitGen::create(GenPtr expr, std::int64_t n) {
+  return create(std::move(expr), ConstGen::create(Value::integer(n)));
+}
+
+std::optional<Result> LimitGen::doNext() {
+  if (!boundTaken_) {
+    bound_->restart();
+    auto n = bound_->nextValue();
+    if (!n) return std::nullopt;  // the bound expression failed
+    remaining_ = n->requireInt64("limit bound");
+    boundTaken_ = true;
+  }
+  if (remaining_ <= 0) return std::nullopt;
+  auto r = expr_->next();
+  if (!r) return std::nullopt;
+  if (!r->isControl()) --remaining_;
+  return r;
+}
+
+void LimitGen::doRestart() {
+  boundTaken_ = false;
+  remaining_ = 0;
+  expr_->restart();
+}
+
+// ---------------------------------------------------------------------
+// NotGen
+// ---------------------------------------------------------------------
+
+std::optional<Result> NotGen::doNext() {
+  if (done_) return std::nullopt;
+  done_ = true;
+  expr_->restart();
+  if (expr_->next()) return std::nullopt;
+  return Result{Value::null()};
+}
+
+void NotGen::doRestart() { done_ = false; }
+
+// ---------------------------------------------------------------------
+// RepeatAltGen
+// ---------------------------------------------------------------------
+
+std::optional<Result> RepeatAltGen::doNext() {
+  while (true) {
+    auto r = expr_->next();  // auto-restarts after each pass's failure
+    if (r) {
+      producedThisPass_ = true;
+      return r;
+    }
+    if (!producedThisPass_) return std::nullopt;  // sterile pass: stop
+    producedThisPass_ = false;
+  }
+}
+
+void RepeatAltGen::doRestart() {
+  producedThisPass_ = false;
+  expr_->restart();
+}
+
+// ---------------------------------------------------------------------
+// PromoteGen
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// !L for a list: walks by index so concurrent growth is observed, and
+/// yields trapped variables (Icon: list elements are assignable).
+class ListElementsGen final : public Gen {
+ public:
+  explicit ListElementsGen(ListPtr list) : list_(std::move(list)) {}
+
+ protected:
+  std::optional<Result> doNext() override {
+    if (index_ >= list_->size()) return std::nullopt;
+    ++index_;
+    return Result{list_->at(index_).value_or(Value::null()), ListElemVar::create(list_, index_)};
+  }
+  void doRestart() override { index_ = 0; }
+
+ private:
+  ListPtr list_;
+  std::int64_t index_ = 0;  // Icon 1-based position of the last yielded element
+};
+
+/// !s for a string: one-character strings.
+class StringElementsGen final : public Gen {
+ public:
+  explicit StringElementsGen(std::string s) : s_(std::move(s)) {}
+
+ protected:
+  std::optional<Result> doNext() override {
+    if (index_ >= s_.size()) return std::nullopt;
+    return Result{Value::string(std::string(1, s_[index_++]))};
+  }
+  void doRestart() override { index_ = 0; }
+
+ private:
+  std::string s_;
+  std::size_t index_ = 0;
+};
+
+/// !t for a table: element values as trapped variables, in sorted key
+/// order for determinism.
+class TableElementsGen final : public Gen {
+ public:
+  explicit TableElementsGen(TablePtr table) : table_(std::move(table)), keys_(table_->sortedKeys()) {}
+
+ protected:
+  std::optional<Result> doNext() override {
+    if (index_ >= keys_.size()) return std::nullopt;
+    const Value& key = keys_[index_++];
+    return Result{table_->lookup(key), TableElemVar::create(table_, key)};
+  }
+  void doRestart() override {
+    keys_ = table_->sortedKeys();
+    index_ = 0;
+  }
+
+ private:
+  TablePtr table_;
+  std::vector<Value> keys_;
+  std::size_t index_ = 0;
+};
+
+/// !c for a co-expression or pipe: repeated activation until failure
+/// (Section III.B: "the ! operator lifts lists as well as co-expressions
+/// to iterators"). Restart does not refresh the co-expression; it simply
+/// continues, matching pipe consumption semantics.
+class CoActivationGen final : public Gen {
+ public:
+  explicit CoActivationGen(CoExprPtr c) : c_(std::move(c)) {}
+
+ protected:
+  std::optional<Result> doNext() override {
+    auto v = c_->activate();
+    if (!v) return std::nullopt;
+    return Result{std::move(*v)};
+  }
+  void doRestart() override {}
+
+ private:
+  CoExprPtr c_;
+};
+
+}  // namespace
+
+GenPtr PromoteGen::makeElementGen(const Value& v) {
+  switch (v.tag()) {
+    case TypeTag::List: return std::make_shared<ListElementsGen>(v.list());
+    case TypeTag::String: return std::make_shared<StringElementsGen>(v.str());
+    case TypeTag::Table: return std::make_shared<TableElementsGen>(v.table());
+    case TypeTag::Set: return ValuesGen::create(v.set()->sortedMembers());
+    case TypeTag::Record: return ValuesGen::create(v.record()->values());
+    case TypeTag::CoExpr: return std::make_shared<CoActivationGen>(v.coExpr());
+    default: throw errInvalidValue("!x applied to " + v.typeName());
+  }
+}
+
+std::optional<Result> PromoteGen::doNext() {
+  while (true) {
+    if (inner_) {
+      auto r = inner_->next();
+      if (r) return r;
+      inner_.reset();
+    }
+    auto r = operand_->next();
+    if (!r) return std::nullopt;
+    if (r->isControl()) return r;
+    inner_ = makeElementGen(r->value);
+  }
+}
+
+void PromoteGen::doRestart() {
+  inner_.reset();
+  operand_->restart();
+}
+
+// ---------------------------------------------------------------------
+// ActivateGen / RefreshGen (declared in coexpression.hpp)
+// ---------------------------------------------------------------------
+
+std::optional<Result> ActivateGen::doNext() {
+  while (true) {
+    auto r = operand_->next();
+    if (!r) return std::nullopt;
+    if (r->isControl()) return r;
+    if (!r->value.isCoExpr()) throw errCoExprExpected("operand of @: " + r->value.image());
+    auto v = r->value.coExpr()->activate();
+    if (v) return Result{std::move(*v)};
+    // This co-expression is exhausted: backtrack into the operand.
+  }
+}
+
+std::optional<Result> RefreshGen::doNext() {
+  auto r = operand_->next();
+  if (!r) return std::nullopt;
+  if (r->isControl()) return r;
+  if (!r->value.isCoExpr()) throw errCoExprExpected("operand of ^: " + r->value.image());
+  return Result{Value::coexpr(r->value.coExpr()->refreshed())};
+}
+
+}  // namespace congen

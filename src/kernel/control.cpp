@@ -1,0 +1,238 @@
+#include "kernel/control.hpp"
+
+#include "runtime/error.hpp"
+
+namespace congen {
+
+// ---------------------------------------------------------------------
+// IfGen
+// ---------------------------------------------------------------------
+
+std::optional<Result> IfGen::doNext() {
+  if (!decided_) {
+    cond_->restart();
+    const auto rc = cond_->next();
+    decided_ = true;
+    if (rc) {
+      branch_ = then_.get();
+      then_->restart();
+    } else {
+      branch_ = else_.get();
+      if (else_) else_->restart();
+    }
+  }
+  if (!branch_) return std::nullopt;  // condition failed, no else: fail
+  return branch_->next();
+}
+
+void IfGen::doRestart() {
+  decided_ = false;
+  branch_ = nullptr;
+  cond_->restart();
+  then_->restart();
+  if (else_) else_->restart();
+}
+
+// ---------------------------------------------------------------------
+// LoopGen
+// ---------------------------------------------------------------------
+
+bool LoopGen::stepControl(std::optional<Result>& propagate) {
+  propagate.reset();
+  switch (kind_) {
+    case Kind::Repeat:
+      return true;
+    case Kind::Every: {
+      auto rc = control_->next();
+      if (!rc) return false;
+      if (rc->isControl()) propagate = std::move(rc);
+      return true;
+    }
+    case Kind::While: {
+      control_->restart();
+      auto rc = control_->next();
+      if (!rc) return false;
+      if (rc->isControl()) propagate = std::move(rc);
+      return true;
+    }
+    case Kind::Until: {
+      control_->restart();
+      auto rc = control_->next();
+      if (rc) {
+        if (rc->isControl()) propagate = std::move(rc);
+        return false;  // condition succeeded: until terminates
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Result> LoopGen::doNext() {
+  if (done_) return std::nullopt;
+  while (true) {
+    if (inBody_) {
+      std::optional<Result> r;
+      try {
+        r = body_->next();
+      } catch (const BreakSignal&) {
+        done_ = true;
+        return std::nullopt;
+      } catch (const NextSignal&) {
+        inBody_ = false;
+        continue;
+      }
+      if (!r) {
+        inBody_ = false;  // the bounded body failed: next control iteration
+        continue;
+      }
+      if (r->flags & Result::kSuspend) return r;  // propagate; resume here later
+      if (r->flags & (Result::kReturn | Result::kFailBody)) {
+        done_ = true;
+        return r;
+      }
+      inBody_ = false;  // bounded body produced its one result
+      continue;
+    }
+    std::optional<Result> propagate;
+    bool more = false;
+    try {
+      more = stepControl(propagate);
+    } catch (const BreakSignal&) {
+      done_ = true;
+      return std::nullopt;
+    } catch (const NextSignal&) {
+      continue;
+    }
+    if (propagate) {
+      if (propagate->flags & (Result::kReturn | Result::kFailBody)) done_ = true;
+      return propagate;
+    }
+    if (!more) return std::nullopt;  // loops produce no values of their own
+    if (body_) {
+      body_->restart();
+      inBody_ = true;
+    }
+  }
+}
+
+void LoopGen::doRestart() {
+  inBody_ = false;
+  done_ = false;
+  if (control_) control_->restart();
+  if (body_) body_->restart();
+}
+
+// ---------------------------------------------------------------------
+// CaseGen
+// ---------------------------------------------------------------------
+
+std::optional<Result> CaseGen::doNext() {
+  if (!decided_) {
+    decided_ = true;
+    control_->restart();
+    const auto control = control_->next();
+    if (!control) return std::nullopt;  // control failed: case fails
+    for (auto& branch : branches_) {
+      if (!branch.value) {  // default
+        selected_ = branch.body.get();
+        break;
+      }
+      branch.value->restart();
+      bool matched = false;
+      while (auto v = branch.value->next()) {
+        if (v->value.equals(control->value)) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        selected_ = branch.body.get();
+        break;
+      }
+    }
+    if (selected_) selected_->restart();
+  }
+  if (!selected_) return std::nullopt;
+  return selected_->next();
+}
+
+void CaseGen::doRestart() {
+  decided_ = false;
+  selected_ = nullptr;
+  control_->restart();
+  for (auto& b : branches_) {
+    if (b.value) b.value->restart();
+    b.body->restart();
+  }
+}
+
+// ---------------------------------------------------------------------
+// SuspendGen / ReturnGen
+// ---------------------------------------------------------------------
+
+std::optional<Result> SuspendGen::doNext() {
+  auto r = expr_->next();
+  if (!r) return std::nullopt;  // exhausted: the suspend statement completes
+  if (r->isControl()) return r; // nested suspend/return already flagged
+  r->flags |= Result::kSuspend;
+  return r;
+}
+
+std::optional<Result> ReturnGen::doNext() {
+  auto r = expr_->next();
+  if (!r) return Result{Value::null(), nullptr, Result::kFailBody};  // return of a failed expr fails
+  if (r->isControl()) return r;
+  r->flags |= Result::kReturn;
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// BodyRootGen
+// ---------------------------------------------------------------------
+
+std::optional<Result> BodyRootGen::doNext() {
+  if (terminated_) return std::nullopt;
+  while (true) {
+    std::optional<Result> r;
+    try {
+      r = inner_->next();
+    } catch (const BreakSignal&) {
+      // Icon run-time error 506-ish: break outside of a loop.
+      terminated_ = true;
+      throw IconError(506, "break outside of a loop");
+    } catch (const NextSignal&) {
+      terminated_ = true;
+      throw IconError(506, "next outside of a loop");
+    }
+    if (!r) {
+      terminated_ = true;
+      if (cache_) cache_->putFree(key_, shared_from_this());
+      return std::nullopt;  // fell off the end of the body: fail
+    }
+    if (r->flags & Result::kSuspend) {
+      r->flags &= static_cast<std::uint8_t>(~Result::kSuspend);
+      return r;
+    }
+    if (r->flags & Result::kReturn) {
+      terminated_ = true;
+      if (cache_) cache_->putFree(key_, shared_from_this());
+      r->flags &= static_cast<std::uint8_t>(~Result::kReturn);
+      return r;
+    }
+    if (r->flags & Result::kFailBody) {
+      terminated_ = true;
+      if (cache_) cache_->putFree(key_, shared_from_this());
+      return std::nullopt;
+    }
+    // A plain result at body level is discarded (statement values are not
+    // procedure results).
+  }
+}
+
+void BodyRootGen::doRestart() {
+  terminated_ = false;
+  inner_->restart();
+}
+
+}  // namespace congen

@@ -1,0 +1,242 @@
+// control.hpp — control constructs: if, every, while, until, repeat, and
+// the procedure-body protocol (suspend / return / fail).
+//
+// Loops drive their body as a *bounded* expression once per control
+// iteration; only suspend/return results propagate out of them, which is
+// how `every x := !l do suspend f(x)` turns a loop into a generator.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/gen.hpp"
+
+namespace congen {
+
+/// if e1 then e2 [else e3] — the condition is bounded; the chosen branch
+/// delegates full iteration (if/then/else is itself a generator).
+class IfGen final : public Gen {
+ public:
+  IfGen(GenPtr cond, GenPtr thenBranch, GenPtr elseBranch)
+      : cond_(std::move(cond)), then_(std::move(thenBranch)), else_(std::move(elseBranch)) {}
+
+  static GenPtr create(GenPtr cond, GenPtr thenBranch, GenPtr elseBranch = nullptr) {
+    return std::make_shared<IfGen>(std::move(cond), std::move(thenBranch), std::move(elseBranch));
+  }
+
+ protected:
+  std::optional<Result> doNext() override;
+  void doRestart() override;
+
+ private:
+  GenPtr cond_, then_, else_;
+  Gen* branch_ = nullptr;
+  bool decided_ = false;
+};
+
+/// Shared machinery for every/while/until/repeat: drives a bounded body
+/// with suspend/return propagation and break/next handling.
+class LoopGen : public Gen {
+ public:
+  enum class Kind { Every, While, Until, Repeat };
+
+  LoopGen(Kind kind, GenPtr control, GenPtr body)
+      : kind_(kind), control_(std::move(control)), body_(std::move(body)) {}
+
+  static GenPtr every(GenPtr control, GenPtr body = nullptr) {
+    return std::make_shared<LoopGen>(Kind::Every, std::move(control), std::move(body));
+  }
+  static GenPtr whileDo(GenPtr cond, GenPtr body = nullptr) {
+    return std::make_shared<LoopGen>(Kind::While, std::move(cond), std::move(body));
+  }
+  static GenPtr untilDo(GenPtr cond, GenPtr body = nullptr) {
+    return std::make_shared<LoopGen>(Kind::Until, std::move(cond), std::move(body));
+  }
+  static GenPtr repeat(GenPtr body) {
+    return std::make_shared<LoopGen>(Kind::Repeat, nullptr, std::move(body));
+  }
+
+ protected:
+  std::optional<Result> doNext() override;
+  void doRestart() override;
+
+ private:
+  /// Advance the control expression once; returns false when the loop is
+  /// over. For `every` the control generator is resumed; for while/until
+  /// it is restarted and its (first) success/failure tested.
+  bool stepControl(std::optional<Result>& propagate);
+
+  Kind kind_;
+  GenPtr control_;
+  GenPtr body_;
+  bool inBody_ = false;
+  bool done_ = false;
+};
+
+/// case e of { v1: b1; v2 | v3: b2; default: bd } — the control
+/// expression is bounded; branch value expressions are generators (so
+/// `v2 | v3` matches either); the first branch whose value is
+/// equivalent (===) to the control value delegates full iteration, as
+/// with if-then-else. No match and no default: the case fails.
+class CaseGen final : public Gen {
+ public:
+  struct Branch {
+    GenPtr value;  // nullptr = default branch
+    GenPtr body;
+  };
+
+  CaseGen(GenPtr control, std::vector<Branch> branches)
+      : control_(std::move(control)), branches_(std::move(branches)) {}
+
+  static GenPtr create(GenPtr control, std::vector<Branch> branches) {
+    return std::make_shared<CaseGen>(std::move(control), std::move(branches));
+  }
+
+ protected:
+  std::optional<Result> doNext() override;
+  void doRestart() override;
+
+ private:
+  GenPtr control_;
+  std::vector<Branch> branches_;
+  Gen* selected_ = nullptr;
+  bool decided_ = false;
+};
+
+/// suspend e — every result of e propagates to the enclosing body root.
+class SuspendGen final : public Gen {
+ public:
+  explicit SuspendGen(GenPtr expr) : expr_(std::move(expr)) {}
+
+  static GenPtr create(GenPtr expr) { return std::make_shared<SuspendGen>(std::move(expr)); }
+
+ protected:
+  std::optional<Result> doNext() override;
+  void doRestart() override { expr_->restart(); }
+
+ private:
+  GenPtr expr_;
+};
+
+/// return e — the first result of e terminates the body; if e fails the
+/// procedure fails (Icon semantics).
+class ReturnGen final : public Gen {
+ public:
+  explicit ReturnGen(GenPtr expr) : expr_(std::move(expr)) {}
+
+  static GenPtr create(GenPtr expr) { return std::make_shared<ReturnGen>(std::move(expr)); }
+
+ protected:
+  std::optional<Result> doNext() override;
+  void doRestart() override { expr_->restart(); }
+
+ private:
+  GenPtr expr_;
+};
+
+/// fail — terminates the body with failure.
+class FailBodyGen final : public Gen {
+ public:
+  static GenPtr create() { return std::make_shared<FailBodyGen>(); }
+
+ protected:
+  std::optional<Result> doNext() override {
+    return Result{Value::null(), nullptr, Result::kFailBody};
+  }
+  void doRestart() override {}
+};
+
+/// break / next — loop-control signals (caught by the innermost LoopGen).
+class BreakGen final : public Gen {
+ public:
+  static GenPtr create() { return std::make_shared<BreakGen>(); }
+
+ protected:
+  [[noreturn]] std::optional<Result> doNext() override { throw BreakSignal{}; }
+  void doRestart() override {}
+};
+
+class NextGen final : public Gen {
+ public:
+  static GenPtr create() { return std::make_shared<NextGen>(); }
+
+ protected:
+  [[noreturn]] std::optional<Result> doNext() override { throw NextSignal{}; }
+  void doRestart() override {}
+};
+
+/// Free-list of procedure-body iterator trees keyed by method name — the
+/// MethodBodyCache of Fig. 5. Reusing a body avoids rebuilding the
+/// composed iterator tree on every call; recursion simply builds a fresh
+/// body when the free list is empty.
+class MethodBodyCache {
+ public:
+  /// Pop a cached body for `name`, or nullptr.
+  GenPtr getFree(const std::string& name) {
+    auto it = free_.find(name);
+    if (it == free_.end() || it->second.empty()) return nullptr;
+    GenPtr body = std::move(it->second.back());
+    it->second.pop_back();
+    return body;
+  }
+
+  /// Return a body to the free list.
+  void putFree(const std::string& name, GenPtr body) { free_[name].push_back(std::move(body)); }
+
+  [[nodiscard]] std::size_t size(const std::string& name) const {
+    const auto it = free_.find(name);
+    return it == free_.end() ? 0 : it->second.size();
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<GenPtr>> free_;
+};
+
+/// The root of a procedure body: strips suspend/return flags into plain
+/// results for the caller, terminates after return/fail, and optionally
+/// returns itself to a MethodBodyCache upon completion (the "cached in a
+/// stack upon method return" optimization of Section V.D).
+class BodyRootGen final : public Gen, public std::enable_shared_from_this<BodyRootGen> {
+ public:
+  using Unpack = std::function<void(const std::vector<Value>&)>;
+
+  explicit BodyRootGen(GenPtr inner) : inner_(std::move(inner)) {}
+
+  static std::shared_ptr<BodyRootGen> create(GenPtr inner) {
+    return std::make_shared<BodyRootGen>(std::move(inner));
+  }
+
+  /// Install the parameter-rebinding closure (Fig. 5's unpack lambda).
+  BodyRootGen& setUnpackClosure(Unpack unpack) {
+    unpack_ = std::move(unpack);
+    return *this;
+  }
+
+  /// Rebind arguments and reset — used on a fresh or cache-reused body.
+  BodyRootGen& unpackArgs(const std::vector<Value>& args) {
+    if (unpack_) unpack_(args);
+    restart();
+    return *this;
+  }
+
+  /// Attach to a cache; on completion the body parks itself there.
+  BodyRootGen& setCache(MethodBodyCache* cache, std::string key) {
+    cache_ = cache;
+    key_ = std::move(key);
+    return *this;
+  }
+
+ protected:
+  std::optional<Result> doNext() override;
+  void doRestart() override;
+
+ private:
+  GenPtr inner_;
+  Unpack unpack_;
+  MethodBodyCache* cache_ = nullptr;
+  std::string key_;
+  bool terminated_ = false;
+};
+
+}  // namespace congen

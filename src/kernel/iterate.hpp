@@ -1,0 +1,54 @@
+// iterate.hpp — range adapter exposing a generator to host C++ loops.
+//
+// The embedded-region contract of Section IV: "the embedded expression
+// returns a generator, exposed as a Java Iterator used in the for
+// statement". This is the C++ analogue: for (Value v : iterate(gen)).
+#pragma once
+
+#include "kernel/gen.hpp"
+
+namespace congen {
+
+class GenRange {
+ public:
+  explicit GenRange(GenPtr gen) : gen_(std::move(gen)) {}
+
+  class iterator {
+   public:
+    using value_type = Value;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;  // end
+    explicit iterator(Gen* gen) : gen_(gen) { advance(); }
+
+    const Value& operator*() const { return *current_; }
+    const Value* operator->() const { return &*current_; }
+    iterator& operator++() {
+      advance();
+      return *this;
+    }
+    void operator++(int) { advance(); }
+    bool operator==(const iterator& other) const {
+      return (!current_ && !other.current_) || (gen_ == other.gen_ && current_ && other.current_);
+    }
+
+   private:
+    void advance() {
+      current_ = gen_ ? gen_->nextValue() : std::nullopt;
+      if (!current_) gen_ = nullptr;
+    }
+    Gen* gen_ = nullptr;
+    std::optional<Value> current_;
+  };
+
+  [[nodiscard]] iterator begin() const { return iterator(gen_.get()); }
+  [[nodiscard]] iterator end() const { return {}; }
+
+ private:
+  GenPtr gen_;
+};
+
+/// for (const Value& v : iterate(gen)) { ... }
+inline GenRange iterate(GenPtr gen) { return GenRange(std::move(gen)); }
+
+}  // namespace congen

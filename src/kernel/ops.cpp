@@ -1,0 +1,439 @@
+#include "kernel/ops.hpp"
+
+#include <stdexcept>
+
+#include "kernel/basic.hpp"
+#include "runtime/collections.hpp"
+#include "runtime/error.hpp"
+#include "runtime/proc.hpp"
+#include "runtime/record.hpp"
+#include "runtime/var.hpp"
+
+namespace congen {
+
+// ---------------------------------------------------------------------
+// UnOpGen / BinOpGen
+// ---------------------------------------------------------------------
+
+std::optional<Result> UnOpGen::doNext() {
+  while (true) {
+    auto r = operand_->next();
+    if (!r) return std::nullopt;
+    if (r->isControl()) return r;
+    auto out = fn_(*r);
+    if (out) return out;  // else: filtered — continue the search
+  }
+}
+
+std::optional<Result> BinOpGen::doNext() {
+  while (true) {
+    if (!leftActive_) {
+      auto rl = left_->next();
+      if (!rl) return std::nullopt;
+      if (rl->isControl()) return rl;
+      leftResult_ = std::move(*rl);
+      leftActive_ = true;
+      right_->restart();
+    }
+    auto rr = right_->next();
+    if (!rr) {
+      leftActive_ = false;  // backtrack into the left operand
+      continue;
+    }
+    if (rr->isControl()) return rr;
+    auto out = fn_(leftResult_, *rr);
+    if (out) return out;
+  }
+}
+
+void BinOpGen::doRestart() {
+  leftActive_ = false;
+  left_->restart();
+  right_->restart();
+}
+
+// ---------------------------------------------------------------------
+// DelegateGen
+// ---------------------------------------------------------------------
+
+bool DelegateGen::advanceTuple() {
+  const std::size_t n = operands_.size();
+  if (n == 0) {
+    if (exhaustedNullary_) return false;
+    exhaustedNullary_ = true;
+    return true;
+  }
+  if (bound_ == n) bound_ = n - 1;  // inner exhausted: re-advance the deepest operand
+  while (true) {
+    auto r = operands_[bound_]->next();
+    if (r) {
+      current_[bound_] = std::move(*r);
+      ++bound_;
+      if (bound_ == n) return true;
+      operands_[bound_]->restart();
+    } else {
+      if (bound_ == 0) return false;
+      --bound_;
+    }
+  }
+}
+
+std::optional<Result> DelegateGen::doNext() {
+  while (true) {
+    if (inner_) {
+      auto r = inner_->next();
+      if (r) return r;
+      inner_.reset();
+    }
+    if (!advanceTuple()) return std::nullopt;
+    inner_ = factory_(current_);
+    if (!inner_) return std::nullopt;
+  }
+}
+
+void DelegateGen::doRestart() {
+  inner_.reset();
+  bound_ = 0;
+  exhaustedNullary_ = false;
+  for (auto& op : operands_) op->restart();
+}
+
+// ---------------------------------------------------------------------
+// Invocation / to-by / subscripts / fields
+// ---------------------------------------------------------------------
+
+GenPtr makeInvokeGen(GenPtr callee, std::vector<GenPtr> args) {
+  std::vector<GenPtr> operands;
+  operands.reserve(args.size() + 1);
+  operands.push_back(std::move(callee));
+  for (auto& a : args) operands.push_back(std::move(a));
+  return DelegateGen::create(std::move(operands), [](const std::vector<Result>& tuple) -> GenPtr {
+    const Value& f = tuple[0].value;
+    if (!f.isProc()) throw errCallableExpected(f.image());
+    std::vector<Value> argValues;
+    argValues.reserve(tuple.size() - 1);
+    for (std::size_t i = 1; i < tuple.size(); ++i) argValues.push_back(tuple[i].value);
+    return f.proc()->invoke(std::move(argValues));
+  });
+}
+
+GenPtr makeToByGen(GenPtr from, GenPtr to, GenPtr by) {
+  std::vector<GenPtr> operands;
+  operands.push_back(std::move(from));
+  operands.push_back(std::move(to));
+  operands.push_back(by ? std::move(by) : ConstGen::create(Value::integer(1)));
+  return DelegateGen::create(std::move(operands), [](const std::vector<Result>& tuple) {
+    return RangeGen::create(tuple[0].value, tuple[1].value, tuple[2].value);
+  });
+}
+
+GenPtr makeIndexGen(GenPtr collection, GenPtr index) {
+  return BinOpGen::create(std::move(collection), std::move(index),
+                          [](Result& c, Result& i) -> std::optional<Result> {
+    const Value& v = c.value;
+    if (v.isList()) {
+      const std::int64_t idx = i.value.requireInt64("list subscript");
+      auto elem = v.list()->at(idx);
+      if (!elem) return std::nullopt;  // out of range: fail, don't error
+      return Result{std::move(*elem), ListElemVar::create(v.list(), idx)};
+    }
+    if (v.isTable()) {
+      return Result{v.table()->lookup(i.value), TableElemVar::create(v.table(), i.value)};
+    }
+    if (v.isRecord()) {
+      const std::int64_t idx = i.value.requireInt64("record subscript");
+      auto elem = v.record()->at(idx);
+      if (!elem) return std::nullopt;
+      return Result{std::move(*elem), RecordElemVar::create(v.record(), idx)};
+    }
+    if (v.isString()) {
+      const std::int64_t idx = i.value.requireInt64("string subscript");
+      const auto& s = v.str();
+      const std::int64_t n = static_cast<std::int64_t>(s.size());
+      std::int64_t off = -1;
+      if (idx >= 1 && idx <= n) off = idx - 1;
+      else if (idx < 0 && -idx <= n) off = n + idx;
+      if (off < 0) return std::nullopt;
+      return Result{Value::string(std::string(1, s[static_cast<std::size_t>(off)]))};
+    }
+    throw errInvalidValue("subscript applied to " + v.typeName());
+  });
+}
+
+GenPtr makeFieldGen(GenPtr object, std::string name) {
+  return UnOpGen::create(std::move(object), [name = std::move(name)](Result& o) -> std::optional<Result> {
+    if (o.value.isRecord()) {
+      auto v = o.value.record()->field(name);
+      if (!v) throw IconError(207, "record " + o.value.typeName() + " has no field " + name);
+      return Result{std::move(*v), RecordFieldVar::create(o.value.record(), name)};
+    }
+    if (o.value.isTable()) {
+      const Value key = Value::string(name);
+      return Result{o.value.table()->lookup(key), TableElemVar::create(o.value.table(), key)};
+    }
+    throw errInvalidValue("field ." + name + " applied to " + o.value.typeName());
+  });
+}
+
+GenPtr makeSliceGen(GenPtr collection, GenPtr from, GenPtr to) {
+  std::vector<GenPtr> operands;
+  operands.push_back(std::move(collection));
+  operands.push_back(std::move(from));
+  operands.push_back(std::move(to));
+  return DelegateGen::create(std::move(operands), [](const std::vector<Result>& t) -> GenPtr {
+    const Value& v = t[0].value;
+    const std::int64_t n = v.isString() ? static_cast<std::int64_t>(v.str().size())
+                           : v.isList() ? v.list()->size()
+                                        : throw errInvalidValue("slice of " + v.typeName());
+    // Icon positions: 1..n+1 from the left, 0 and negatives from the right.
+    auto resolve = [n](std::int64_t p) -> std::optional<std::int64_t> {
+      if (p <= 0) p = n + 1 + p;
+      if (p < 1 || p > n + 1) return std::nullopt;
+      return p;
+    };
+    auto i = resolve(t[1].value.requireInt64("slice from"));
+    auto j = resolve(t[2].value.requireInt64("slice to"));
+    if (!i || !j) return FailGen::create();
+    if (*i > *j) std::swap(*i, *j);
+    if (v.isString()) {
+      return ConstGen::create(Value::string(
+          v.str().substr(static_cast<std::size_t>(*i - 1), static_cast<std::size_t>(*j - *i))));
+    }
+    auto out = ListImpl::create();
+    for (std::int64_t k = *i; k < *j; ++k) out->put(*v.list()->at(k));
+    return ConstGen::create(Value::list(std::move(out)));
+  });
+}
+
+GenPtr makeAssignGen(GenPtr lhs, GenPtr rhs) {
+  return BinOpGen::create(std::move(lhs), std::move(rhs),
+                          [](Result& l, Result& r) -> std::optional<Result> {
+    if (!l.ref) throw errInvalidValue("assignment to a non-variable");
+    l.ref->set(r.value);
+    return Result{r.value, l.ref};
+  });
+}
+
+GenPtr makeSwapGen(GenPtr lhs, GenPtr rhs) {
+  return BinOpGen::create(std::move(lhs), std::move(rhs),
+                          [](Result& l, Result& r) -> std::optional<Result> {
+    if (!l.ref || !r.ref) throw errInvalidValue("swap of a non-variable");
+    const Value lv = l.ref->get();
+    const Value rv = r.ref->get();
+    l.ref->set(rv);
+    r.ref->set(lv);
+    return Result{rv, l.ref};
+  });
+}
+
+GenPtr makeListLitGen(std::vector<GenPtr> elements) {
+  return DelegateGen::create(std::move(elements), [](const std::vector<Result>& tuple) {
+    auto list = ListImpl::create();
+    for (const auto& r : tuple) list->put(r.value);
+    return ConstGen::create(Value::list(std::move(list)));
+  });
+}
+
+namespace {
+
+/// lhs <- rhs. For each rhs alternative: save the old value, assign,
+/// yield; when resumed, restore and try the next alternative; when rhs
+/// is exhausted, leave the original value in place and backtrack into
+/// the lhs.
+class RevAssignGen final : public Gen {
+ public:
+  RevAssignGen(GenPtr lhs, GenPtr rhs) : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+ protected:
+  std::optional<Result> doNext() override {
+    while (true) {
+      if (!active_) {
+        auto rl = lhs_->next();
+        if (!rl) return std::nullopt;
+        if (rl->isControl()) return rl;
+        if (!rl->ref) throw errInvalidValue("reversible assignment to a non-variable");
+        target_ = rl->ref;
+        saved_ = target_->get();
+        active_ = true;
+        rhs_->restart();
+      }
+      if (assigned_) {  // resumed: undo the previous alternative
+        target_->set(saved_);
+        assigned_ = false;
+      }
+      auto rr = rhs_->next();
+      if (!rr) {
+        active_ = false;  // rhs exhausted (value already restored)
+        continue;
+      }
+      if (rr->isControl()) return rr;
+      target_->set(rr->value);
+      assigned_ = true;
+      return Result{rr->value, target_};
+    }
+  }
+  void doRestart() override {
+    if (assigned_) target_->set(saved_);
+    assigned_ = false;
+    active_ = false;
+    lhs_->restart();
+    rhs_->restart();
+  }
+
+ private:
+  GenPtr lhs_, rhs_;
+  VarPtr target_;
+  Value saved_;
+  bool active_ = false;
+  bool assigned_ = false;
+};
+
+/// lhs <-> rhs: exchange once per cycle, restore when resumed.
+class RevSwapGen final : public Gen {
+ public:
+  RevSwapGen(GenPtr lhs, GenPtr rhs) : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+ protected:
+  std::optional<Result> doNext() override {
+    if (swapped_) {  // resumed: undo and fail
+      left_->set(savedLeft_);
+      right_->set(savedRight_);
+      swapped_ = false;
+      return std::nullopt;
+    }
+    lhs_->restart();
+    rhs_->restart();
+    auto rl = lhs_->next();
+    if (!rl) return std::nullopt;
+    auto rr = rhs_->next();
+    if (!rr) return std::nullopt;
+    if (!rl->ref || !rr->ref) throw errInvalidValue("reversible swap of a non-variable");
+    left_ = rl->ref;
+    right_ = rr->ref;
+    savedLeft_ = left_->get();
+    savedRight_ = right_->get();
+    left_->set(savedRight_);
+    right_->set(savedLeft_);
+    swapped_ = true;
+    return Result{savedRight_, left_};
+  }
+  void doRestart() override {
+    if (swapped_) {
+      left_->set(savedLeft_);
+      right_->set(savedRight_);
+      swapped_ = false;
+    }
+    lhs_->restart();
+    rhs_->restart();
+  }
+
+ private:
+  GenPtr lhs_, rhs_;
+  VarPtr left_, right_;
+  Value savedLeft_, savedRight_;
+  bool swapped_ = false;
+};
+
+}  // namespace
+
+GenPtr makeRevAssignGen(GenPtr lhs, GenPtr rhs) {
+  return std::make_shared<RevAssignGen>(std::move(lhs), std::move(rhs));
+}
+
+GenPtr makeRevSwapGen(GenPtr lhs, GenPtr rhs) {
+  return std::make_shared<RevSwapGen>(std::move(lhs), std::move(rhs));
+}
+
+namespace {
+
+using ValueBinFn = std::function<std::optional<Value>(const Value&, const Value&)>;
+
+ValueBinFn lookupValueBinary(std::string_view op) {
+  auto total = [](Value (*f)(const Value&, const Value&)) -> ValueBinFn {
+    return [f](const Value& a, const Value& b) -> std::optional<Value> { return f(a, b); };
+  };
+  if (op == "+") return total(ops::add);
+  if (op == "-") return total(ops::sub);
+  if (op == "*") return total(ops::mul);
+  if (op == "/") return total(ops::div);
+  if (op == "%") return total(ops::mod);
+  if (op == "^") return total(ops::power);
+  if (op == "||") return total(ops::concat);
+  if (op == "|||") return total(ops::listConcat);
+  if (op == "<") return ops::numLT;
+  if (op == "<=") return ops::numLE;
+  if (op == ">") return ops::numGT;
+  if (op == ">=") return ops::numGE;
+  if (op == "=") return ops::numEQ;
+  if (op == "~=") return ops::numNE;
+  if (op == "==") return ops::valEQ;
+  if (op == "~==") return ops::valNE;
+  if (op == "!=") return ops::valNE;
+  if (op == "===") return ops::valEQ;
+  if (op == "~===") return ops::valNE;
+  throw std::invalid_argument("unknown binary operator: " + std::string(op));
+}
+
+}  // namespace
+
+GenPtr makeAugAssignGen(std::string_view op, GenPtr lhs, GenPtr rhs) {
+  ValueBinFn fn = lookupValueBinary(op);
+  return BinOpGen::create(std::move(lhs), std::move(rhs),
+                          [fn = std::move(fn)](Result& l, Result& r) -> std::optional<Result> {
+    if (!l.ref) throw errInvalidValue("augmented assignment to a non-variable");
+    auto v = fn(l.ref->get(), r.value);
+    if (!v) return std::nullopt;  // comparison-augmented ops can fail
+    l.ref->set(*v);
+    return Result{std::move(*v), l.ref};
+  });
+}
+
+GenPtr makeBinaryOpGen(std::string_view op, GenPtr left, GenPtr right) {
+  ValueBinFn fn = lookupValueBinary(op);
+  return BinOpGen::create(std::move(left), std::move(right),
+                          [fn = std::move(fn)](Result& l, Result& r) -> std::optional<Result> {
+    auto v = fn(l.value, r.value);
+    if (!v) return std::nullopt;
+    return Result{std::move(*v)};
+  });
+}
+
+GenPtr makeUnaryOpGen(std::string_view op, GenPtr operand) {
+  if (op == "-") {
+    return UnOpGen::create(std::move(operand), [](Result& r) -> std::optional<Result> {
+      return Result{ops::negate(r.value)};
+    });
+  }
+  if (op == "+") {
+    return UnOpGen::create(std::move(operand), [](Result& r) -> std::optional<Result> {
+      auto n = r.value.toNumeric();
+      if (!n) throw errNumericExpected("operand of unary +: " + r.value.image());
+      return Result{std::move(*n)};
+    });
+  }
+  if (op == "*") {
+    return UnOpGen::create(std::move(operand), [](Result& r) -> std::optional<Result> {
+      return Result{Value::integer(r.value.size())};
+    });
+  }
+  if (op == ".") {  // dereference: strip the variable reference
+    return UnOpGen::create(std::move(operand), [](Result& r) -> std::optional<Result> {
+      return Result{r.value};
+    });
+  }
+  if (op == "\\") {  // \x: succeeds with x (as a variable) iff non-null
+    return UnOpGen::create(std::move(operand), [](Result& r) -> std::optional<Result> {
+      if (r.value.isNull()) return std::nullopt;
+      return r;
+    });
+  }
+  if (op == "/") {  // /x: succeeds with x iff null
+    return UnOpGen::create(std::move(operand), [](Result& r) -> std::optional<Result> {
+      if (!r.value.isNull()) return std::nullopt;
+      return r;
+    });
+  }
+  throw std::invalid_argument("unknown unary operator: " + std::string(op));
+}
+
+}  // namespace congen

@@ -1,0 +1,62 @@
+// trace.hpp — program monitoring over the iterator protocol.
+//
+// The paper's closing future-work item: "program monitoring and
+// debugging within a transformational framework is an area to be further
+// explored" (Section IX). Because every construct is a kernel iterator,
+// one uniform instrumentation point — the next() protocol — observes the
+// whole computation: resumptions, produced results, failures, restarts.
+//
+// The hook is process-global and off by default; the disabled cost is a
+// single relaxed atomic load per next() (measured in
+// bench_kernel_overhead). Events carry the node, its demangled type
+// name, the per-thread resumption depth, and the produced value (for
+// Produce events).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "kernel/gen.hpp"
+
+namespace congen::trace {
+
+enum class EventKind {
+  Resume,   // next() entered
+  Produce,  // next() produced a result
+  Fail,     // next() failed
+};
+
+struct Event {
+  EventKind kind;
+  const Gen* node;
+  std::string nodeType;  // demangled class name, e.g. "congen::ProductGen"
+  int depth;             // nesting of active next() calls on this thread
+  const Value* value;    // non-null for Produce
+};
+
+using Hook = std::function<void(const Event&)>;
+
+/// Install a hook (replacing any previous one) and enable tracing.
+void install(Hook hook);
+/// Disable tracing and drop the hook.
+void remove();
+
+/// Built-in aggregate counters (valid while any hook runs — the
+/// counting hook below feeds them; custom hooks may ignore them).
+struct Counters {
+  std::uint64_t resumes = 0;
+  std::uint64_t produces = 0;
+  std::uint64_t failures = 0;
+};
+
+/// Install a hook that only counts events (cheap monitoring).
+void installCounting();
+/// Snapshot the counters accumulated by installCounting().
+Counters counters();
+
+/// A human-readable rendering for tracing REPL/CLI sessions:
+///   |  |  ProductGen -> 42
+std::string format(const Event& event);
+
+}  // namespace congen::trace

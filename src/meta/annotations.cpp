@@ -1,0 +1,236 @@
+#include "meta/annotations.hpp"
+
+#include <cctype>
+
+namespace congen::meta {
+
+namespace {
+
+bool isTagChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == ':';
+}
+
+/// Skip a host string/char literal or comment starting at pos; returns
+/// the new position, or pos unchanged if nothing host-skippable starts
+/// here. Keeping the metaparser honest about these is what lets it stay
+/// oblivious to the rest of the host grammar.
+std::size_t skipHostLexeme(std::string_view src, std::size_t pos) {
+  const char c = src[pos];
+  if (c == '"' || c == '\'') {
+    const char quote = c;
+    std::size_t i = pos + 1;
+    while (i < src.size()) {
+      if (src[i] == '\\') {
+        i += 2;
+        continue;
+      }
+      if (src[i] == quote) return i + 1;
+      ++i;
+    }
+    return i;  // unterminated host literal: tolerate, consume to EOF
+  }
+  if (c == '/' && pos + 1 < src.size()) {
+    if (src[pos + 1] == '/') {
+      std::size_t i = pos + 2;
+      while (i < src.size() && src[i] != '\n') ++i;
+      return i;
+    }
+    if (src[pos + 1] == '*') {
+      const auto end = src.find("*/", pos + 2);
+      return end == std::string_view::npos ? src.size() : end + 2;
+    }
+  }
+  return pos;
+}
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  std::vector<Region> scanAll() {
+    std::vector<Region> out;
+    pos_ = 0;
+    scanInto(out, /*closeTag=*/nullptr, /*closeFound=*/nullptr);
+    return out;
+  }
+
+ private:
+  /// Scan forward collecting regions. If closeTag is non-null, stop at
+  /// the matching '@</tag>' and report its span via *closeFound.
+  void scanInto(std::vector<Region>& out, const std::string* closeTag,
+                std::pair<std::size_t, std::size_t>* closeFound) {
+    while (pos_ < src_.size()) {
+      const std::size_t skipped = skipHostLexeme(src_, pos_);
+      if (skipped != pos_) {
+        pos_ = skipped;
+        continue;
+      }
+      if (src_[pos_] == '@' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '<') {
+        if (pos_ + 2 < src_.size() && src_[pos_ + 2] == '/') {
+          // a closing marker
+          const std::size_t markBegin = pos_;
+          std::string tag = parseCloseTag();
+          if (!closeTag) throw AnnotationError("unmatched @</" + tag + ">", markBegin);
+          if (tag != *closeTag) {
+            throw AnnotationError("mismatched close: expected @</" + *closeTag + ">, found @</" +
+                                      tag + ">",
+                                  markBegin);
+          }
+          *closeFound = {markBegin, pos_};
+          return;
+        }
+        out.push_back(parseRegion());
+        continue;
+      }
+      ++pos_;
+    }
+    if (closeTag) throw AnnotationError("unterminated region @<" + *closeTag + ">", src_.size());
+  }
+
+  Region parseRegion() {
+    Region r;
+    r.outerBegin = pos_;
+    pos_ += 2;  // consume '@<'
+    r.tag = parseTagName();
+
+    // attributes: either parenthesized or bare
+    skipSpaces();
+    if (pos_ < src_.size() && src_[pos_] == '(') {
+      ++pos_;
+      parseAttrs(r, /*parenthesized=*/true);
+      skipSpaces();
+    } else {
+      parseAttrs(r, /*parenthesized=*/false);
+    }
+
+    skipSpaces();
+    if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '>') {
+      pos_ += 2;
+      r.selfClosing = true;
+      r.outerEnd = pos_;
+      r.innerBegin = r.innerEnd = pos_;
+      return r;
+    }
+    if (pos_ >= src_.size() || src_[pos_] != '>') {
+      throw AnnotationError("expected '>' or '/>' after annotation head @<" + r.tag, pos_);
+    }
+    ++pos_;
+    r.innerBegin = pos_;
+
+    std::pair<std::size_t, std::size_t> close{};
+    scanInto(r.children, &r.tag, &close);
+    r.innerEnd = close.first;
+    r.outerEnd = close.second;
+    return r;
+  }
+
+  std::string parseTagName() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && isTagChar(src_[pos_])) ++pos_;
+    if (pos_ == start) throw AnnotationError("missing annotation tag name", start);
+    return std::string(src_.substr(start, pos_ - start));
+  }
+
+  std::string parseCloseTag() {
+    pos_ += 3;  // consume '@</'
+    std::string tag = parseTagName();
+    skipSpaces();
+    if (pos_ >= src_.size() || src_[pos_] != '>') {
+      throw AnnotationError("expected '>' in @</" + tag + ">", pos_);
+    }
+    ++pos_;
+    return tag;
+  }
+
+  void parseAttrs(Region& r, bool parenthesized) {
+    while (true) {
+      skipSpaces();
+      if (pos_ >= src_.size()) throw AnnotationError("unterminated annotation head", pos_);
+      const char c = src_[pos_];
+      if (parenthesized && c == ')') {
+        ++pos_;
+        return;
+      }
+      if (!parenthesized && (c == '>' || (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '>'))) {
+        return;
+      }
+      if (parenthesized && c == ',') {
+        ++pos_;
+        continue;
+      }
+      // name = value
+      const std::size_t nameStart = pos_;
+      while (pos_ < src_.size() && isTagChar(src_[pos_])) ++pos_;
+      if (pos_ == nameStart) throw AnnotationError("expected attribute name", pos_);
+      std::string name(src_.substr(nameStart, pos_ - nameStart));
+      skipSpaces();
+      if (pos_ >= src_.size() || src_[pos_] != '=') {
+        r.attrs[name] = "";  // valueless attribute
+        continue;
+      }
+      ++pos_;
+      skipSpaces();
+      std::string value;
+      if (pos_ < src_.size() && (src_[pos_] == '"' || src_[pos_] == '\'')) {
+        const char quote = src_[pos_++];
+        while (pos_ < src_.size() && src_[pos_] != quote) value += src_[pos_++];
+        if (pos_ >= src_.size()) throw AnnotationError("unterminated attribute value", pos_);
+        ++pos_;
+      } else {
+        while (pos_ < src_.size() && !std::isspace(static_cast<unsigned char>(src_[pos_])) &&
+               src_[pos_] != '>' && src_[pos_] != ')' && src_[pos_] != ',' &&
+               !(src_[pos_] == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '>')) {
+          value += src_[pos_++];
+        }
+      }
+      r.attrs[std::move(name)] = std::move(value);
+    }
+  }
+
+  void skipSpaces() {
+    while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[pos_]))) ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+std::string transformRegion(std::string_view src, const Region& region,
+                            const std::function<std::string(const Region&, const std::string&)>& fn);
+
+/// Rewrite [begin, end) of src, splicing transformed regions in place.
+std::string spliceSpan(std::string_view src, std::size_t begin, std::size_t end,
+                       const std::vector<Region>& regions,
+                       const std::function<std::string(const Region&, const std::string&)>& fn) {
+  std::string out;
+  std::size_t cursor = begin;
+  for (const auto& r : regions) {
+    out.append(src.substr(cursor, r.outerBegin - cursor));
+    out.append(transformRegion(src, r, fn));
+    cursor = r.outerEnd;
+  }
+  out.append(src.substr(cursor, end - cursor));
+  return out;
+}
+
+std::string transformRegion(std::string_view src, const Region& region,
+                            const std::function<std::string(const Region&, const std::string&)>& fn) {
+  const std::string inner =
+      spliceSpan(src, region.innerBegin, region.innerEnd, region.children, fn);
+  return fn(region, inner);
+}
+
+}  // namespace
+
+std::vector<Region> parseAnnotations(std::string_view source) {
+  return Scanner(source).scanAll();
+}
+
+std::string transformRegions(
+    std::string_view source,
+    const std::function<std::string(const Region&, const std::string& inner)>& fn) {
+  const auto regions = parseAnnotations(source);
+  return spliceSpan(source, 0, source.size(), regions, fn);
+}
+
+}  // namespace congen::meta

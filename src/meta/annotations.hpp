@@ -1,0 +1,72 @@
+// annotations.hpp — scoped annotations for mixed-language embedding.
+//
+// Section IV: scoped annotations "blend Java annotations and XML" and
+// delimit regions of embedded code at expression, method, or class level:
+//
+//   @<tag attr1=x1 ... attrn=xn> expression @</tag>
+//   @<tag attr1=x1 ... attrn=xn/>
+//   @<tag(attr1=x1, ..., attrn=xn)> expression @</tag>
+//   @<tag(attr1=x1, ..., attrn=xn)/>
+//
+// The metaparser that finds them is deliberately *oblivious to the host
+// grammar*: it only understands host string/char literals and comments
+// (so annotation-looking text inside them is ignored) and the annotation
+// markers themselves. Regions nest; tags may be namespace-qualified.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace congen::meta {
+
+/// One annotated region.
+struct Region {
+  std::string tag;                            // possibly qualified (a.b.tag)
+  std::map<std::string, std::string> attrs;   // attribute values, unquoted
+  bool selfClosing = false;
+
+  // Offsets into the original source:
+  std::size_t outerBegin = 0;  // at the '@' of '@<tag'
+  std::size_t outerEnd = 0;    // one past the closing '>' of '@</tag>' (or '/>')
+  std::size_t innerBegin = 0;  // content start (empty for self-closing)
+  std::size_t innerEnd = 0;    // content end
+
+  std::vector<Region> children;  // nested annotations, in order
+
+  [[nodiscard]] std::string attr(const std::string& name, std::string fallback = {}) const {
+    const auto it = attrs.find(name);
+    return it == attrs.end() ? std::move(fallback) : it->second;
+  }
+};
+
+/// Malformed annotation syntax (unterminated region, bad attribute, tag
+/// mismatch). Host-language syntax is never diagnosed here.
+class AnnotationError : public std::runtime_error {
+ public:
+  AnnotationError(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " (at offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Find all top-level annotated regions (children nested inside them).
+std::vector<Region> parseAnnotations(std::string_view source);
+
+/// Rewrite a source buffer: every region is replaced by
+/// fn(region, innerTransformed), where innerTransformed is the region's
+/// content with its own children already rewritten — the
+/// innermost-outwards transformation order of Section IV. Host text is
+/// passed through verbatim.
+std::string transformRegions(
+    std::string_view source,
+    const std::function<std::string(const Region&, const std::string& inner)>& fn);
+
+}  // namespace congen::meta

@@ -1,0 +1,42 @@
+#include "par/pipeline.hpp"
+
+#include "kernel/basic.hpp"
+#include "kernel/compose.hpp"
+#include "kernel/ops.hpp"
+
+namespace congen {
+
+namespace {
+
+/// f(! upstream): map a generator function over a co-expression's stream.
+GenPtr mapOverCoExpr(const ProcPtr& f, const Value& upstream) {
+  return makeInvokeGen(ConstGen::create(Value::proc(f)),
+                       {PromoteGen::create(ConstGen::create(upstream))});
+}
+
+}  // namespace
+
+GenPtr Pipeline::chain(GenFactory source, bool lastInline) const {
+  // Source stage: |> s
+  Value current = Value::coexpr(Pipe::create(std::move(source), capacity_, *pool_));
+
+  const std::size_t piped = lastInline && !stages_.empty() ? stages_.size() - 1 : stages_.size();
+  for (std::size_t i = 0; i < piped; ++i) {
+    // Stage i: |> f_i(! previous). The body factory captures the upstream
+    // pipe by value; no locals are shared, so no shadowing is needed.
+    GenFactory body = [f = stages_[i], current]() -> GenPtr { return mapOverCoExpr(f, current); };
+    current = Value::coexpr(Pipe::create(std::move(body), capacity_, *pool_));
+  }
+
+  if (lastInline && !stages_.empty()) {
+    return mapOverCoExpr(stages_.back(), current);
+  }
+  // ! last-pipe: drain the final stage on the caller's thread.
+  return PromoteGen::create(ConstGen::create(current));
+}
+
+GenPtr Pipeline::build(GenFactory source) const { return chain(std::move(source), false); }
+
+GenPtr Pipeline::buildLastInline(GenFactory source) const { return chain(std::move(source), true); }
+
+}  // namespace congen

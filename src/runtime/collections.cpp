@@ -1,0 +1,65 @@
+#include "runtime/collections.hpp"
+
+#include <algorithm>
+
+namespace congen {
+
+std::optional<std::size_t> ListImpl::resolveIndex(std::int64_t i) const noexcept {
+  const std::int64_t n = size();
+  // Icon: positions 1..n from the left; 0 and negatives count from the
+  // right (x[0] is the last element's right neighbour; for element access
+  // we accept -1..-n as the last..first element and reject 0).
+  if (i >= 1 && i <= n) return static_cast<std::size_t>(i - 1);
+  if (i < 0 && -i <= n) return static_cast<std::size_t>(n + i);
+  return std::nullopt;
+}
+
+std::optional<Value> ListImpl::at(std::int64_t i) const {
+  const auto idx = resolveIndex(i);
+  if (!idx) return std::nullopt;
+  return elems_[*idx];
+}
+
+bool ListImpl::assign(std::int64_t i, Value v) {
+  const auto idx = resolveIndex(i);
+  if (!idx) return false;
+  elems_[*idx] = std::move(v);
+  return true;
+}
+
+std::optional<Value> ListImpl::get() {
+  if (elems_.empty()) return std::nullopt;
+  Value v = std::move(elems_.front());
+  elems_.pop_front();
+  return v;
+}
+
+std::optional<Value> ListImpl::pull() {
+  if (elems_.empty()) return std::nullopt;
+  Value v = std::move(elems_.back());
+  elems_.pop_back();
+  return v;
+}
+
+Value TableImpl::lookup(const Value& key) const {
+  const auto it = map_.find(key);
+  return it == map_.end() ? default_ : it->second;
+}
+
+std::vector<Value> TableImpl::sortedKeys() const {
+  std::vector<Value> keys;
+  keys.reserve(map_.size());
+  for (const auto& [k, v] : map_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end(),
+            [](const Value& a, const Value& b) { return a.compare(b) < 0; });
+  return keys;
+}
+
+std::vector<Value> SetImpl::sortedMembers() const {
+  std::vector<Value> members(set_.begin(), set_.end());
+  std::sort(members.begin(), members.end(),
+            [](const Value& a, const Value& b) { return a.compare(b) < 0; });
+  return members;
+}
+
+}  // namespace congen

@@ -1,0 +1,114 @@
+// collections.hpp — Unicon structure types: list, table, set.
+//
+// Structures have reference semantics (copying a Value aliases the same
+// structure) and 1-based indexing with Icon's nonpositive-index convention
+// (index 0 or negative counts from the right end: x[-1] is the last
+// element). Lists are deques: put/get operate at opposite ends so a list
+// doubles as a queue, push/pull make it a stack.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/value.hpp"
+
+namespace congen {
+
+/// Unicon list: a mutable deque of values.
+class ListImpl {
+ public:
+  ListImpl() = default;
+  explicit ListImpl(std::deque<Value> elems) : elems_(std::move(elems)) {}
+
+  static ListPtr create() { return std::make_shared<ListImpl>(); }
+  static ListPtr create(std::deque<Value> elems) {
+    return std::make_shared<ListImpl>(std::move(elems));
+  }
+
+  [[nodiscard]] std::int64_t size() const noexcept { return static_cast<std::int64_t>(elems_.size()); }
+  [[nodiscard]] bool empty() const noexcept { return elems_.empty(); }
+
+  /// Translate an Icon index (1..n, or <=0 from the right) to a 0-based
+  /// offset; nullopt if out of range.
+  [[nodiscard]] std::optional<std::size_t> resolveIndex(std::int64_t i) const noexcept;
+
+  /// Element access by Icon index; nullopt (failure) if out of range.
+  [[nodiscard]] std::optional<Value> at(std::int64_t i) const;
+  /// Assign by Icon index; false (failure) if out of range.
+  bool assign(std::int64_t i, Value v);
+
+  /// put: append to the right end.
+  void put(Value v) { elems_.push_back(std::move(v)); }
+  /// push: prepend to the left end.
+  void push(Value v) { elems_.push_front(std::move(v)); }
+  /// get/pop: remove from the left end; fails (nullopt) when empty.
+  std::optional<Value> get();
+  /// pull: remove from the right end; fails when empty.
+  std::optional<Value> pull();
+
+  [[nodiscard]] const std::deque<Value>& elements() const noexcept { return elems_; }
+  std::deque<Value>& elements() noexcept { return elems_; }
+
+ private:
+  std::deque<Value> elems_;
+};
+
+/// Unicon table: a map with a default value for absent keys.
+class TableImpl {
+ public:
+  explicit TableImpl(Value defaultValue = Value::null()) : default_(std::move(defaultValue)) {}
+
+  static TablePtr create(Value defaultValue = Value::null()) {
+    return std::make_shared<TableImpl>(std::move(defaultValue));
+  }
+
+  [[nodiscard]] std::int64_t size() const noexcept { return static_cast<std::int64_t>(map_.size()); }
+  /// Lookup; returns the table's default value when absent (Icon t[k]).
+  [[nodiscard]] Value lookup(const Value& key) const;
+  /// Does the key have an explicit entry?
+  [[nodiscard]] bool member(const Value& key) const { return map_.contains(key); }
+  void insert(Value key, Value v) { map_[std::move(key)] = std::move(v); }
+  /// Remove; true if an entry existed.
+  bool erase(const Value& key) { return map_.erase(key) > 0; }
+  [[nodiscard]] Value defaultValue() const { return default_; }
+
+  /// Keys in sorted order (Icon key() generates keys; sort for determinism).
+  [[nodiscard]] std::vector<Value> sortedKeys() const;
+
+  [[nodiscard]] const std::unordered_map<Value, Value, ValueHash, ValueEq>& entries() const noexcept {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<Value, Value, ValueHash, ValueEq> map_;
+  Value default_;
+};
+
+/// Unicon set.
+class SetImpl {
+ public:
+  SetImpl() = default;
+
+  static SetPtr create() { return std::make_shared<SetImpl>(); }
+
+  [[nodiscard]] std::int64_t size() const noexcept { return static_cast<std::int64_t>(set_.size()); }
+  [[nodiscard]] bool member(const Value& v) const { return set_.contains(v); }
+  /// Insert; true if newly added.
+  bool insert(Value v) { return set_.insert(std::move(v)).second; }
+  bool erase(const Value& v) { return set_.erase(v) > 0; }
+
+  /// Members in sorted order.
+  [[nodiscard]] std::vector<Value> sortedMembers() const;
+
+  [[nodiscard]] const std::unordered_set<Value, ValueHash, ValueEq>& members() const noexcept {
+    return set_;
+  }
+
+ private:
+  std::unordered_set<Value, ValueHash, ValueEq> set_;
+};
+
+}  // namespace congen

@@ -1,0 +1,54 @@
+// error.hpp — run-time error signalling for goal-directed evaluation.
+//
+// Icon distinguishes *failure* (an expression produces no value; handled by
+// the iterator protocol, never by exceptions) from *run-time errors*
+// (type-coercion faults, division by zero, ...). The latter map onto C++
+// exceptions derived from IconError, mirroring Icon's numbered run-time
+// errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace congen {
+
+/// A Unicon run-time error (e.g. "101: integer expected").
+class IconError : public std::runtime_error {
+ public:
+  IconError(int number, const std::string& message)
+      : std::runtime_error(std::to_string(number) + ": " + message), number_(number) {}
+
+  [[nodiscard]] int number() const noexcept { return number_; }
+
+ private:
+  int number_;
+};
+
+/// 101: integer expected or out of range.
+inline IconError errIntegerExpected(const std::string& what) {
+  return {101, "integer expected: " + what};
+}
+/// 102: numeric expected.
+inline IconError errNumericExpected(const std::string& what) {
+  return {102, "numeric expected: " + what};
+}
+/// 103: string expected.
+inline IconError errStringExpected(const std::string& what) {
+  return {103, "string expected: " + what};
+}
+/// 106: procedure or callable expected.
+inline IconError errCallableExpected(const std::string& what) {
+  return {106, "procedure expected: " + what};
+}
+/// 108: list expected.
+inline IconError errListExpected(const std::string& what) { return {108, "list expected: " + what}; }
+/// 115: co-expression expected.
+inline IconError errCoExprExpected(const std::string& what) {
+  return {115, "co-expression expected: " + what};
+}
+/// 201: division by zero.
+inline IconError errDivisionByZero() { return {201, "division by zero"}; }
+/// 205: invalid value.
+inline IconError errInvalidValue(const std::string& what) { return {205, "invalid value: " + what}; }
+
+}  // namespace congen

@@ -1,0 +1,42 @@
+// proc.hpp — procedure values.
+//
+// Unicon procedures are first-class, variadic, and — crucially — are
+// *generator functions*: invocation returns a suspendable iterator over
+// the results the body suspends (Section V.C: methods translate to
+// "variadic lambda expressions that return an iterator"). ProcImpl is the
+// VariadicFunction of the paper.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/value.hpp"
+
+namespace congen {
+
+/// A first-class procedure: name + variadic body returning a generator.
+class ProcImpl {
+ public:
+  /// Body signature: args in, suspendable iterator out. Missing arguments
+  /// are &null per Unicon's variadic convention (the body pads).
+  using Body = std::function<GenPtr(std::vector<Value>)>;
+
+  ProcImpl(std::string name, Body body) : name_(std::move(name)), body_(std::move(body)) {}
+
+  static ProcPtr create(std::string name, Body body) {
+    return std::make_shared<ProcImpl>(std::move(name), std::move(body));
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Invoke: returns the generator over the call's results.
+  [[nodiscard]] GenPtr invoke(std::vector<Value> args) const { return body_(std::move(args)); }
+
+ private:
+  std::string name_;
+  Body body_;
+};
+
+}  // namespace congen

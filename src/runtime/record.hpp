@@ -1,0 +1,107 @@
+// record.hpp — Unicon record types.
+//
+// `record point(x, y)` declares a constructor; instances are fixed-shape
+// structures with named fields, reference semantics, and trapped-variable
+// field access (p.x is assignable). The paper's class-level embedding
+// maps host classes onto this shape.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/value.hpp"
+
+namespace congen {
+
+class RecordType;
+using RecordTypePtr = std::shared_ptr<const RecordType>;
+
+/// The declared shape: type name + ordered field names.
+class RecordType {
+ public:
+  RecordType(std::string name, std::vector<std::string> fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {}
+
+  static RecordTypePtr create(std::string name, std::vector<std::string> fields) {
+    return std::make_shared<const RecordType>(std::move(name), std::move(fields));
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<std::string>& fields() const noexcept { return fields_; }
+  [[nodiscard]] std::size_t arity() const noexcept { return fields_.size(); }
+
+  /// 0-based slot of a field name; nullopt if unknown.
+  [[nodiscard]] std::optional<std::size_t> fieldIndex(const std::string& field) const {
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i] == field) return i;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> fields_;
+};
+
+/// A record instance.
+class RecordImpl {
+ public:
+  RecordImpl(RecordTypePtr type, std::vector<Value> values)
+      : type_(std::move(type)), values_(std::move(values)) {
+    values_.resize(type_->arity());  // missing constructor args are &null
+  }
+
+  static RecordPtr create(RecordTypePtr type, std::vector<Value> values) {
+    return std::make_shared<RecordImpl>(std::move(type), std::move(values));
+  }
+
+  [[nodiscard]] const RecordTypePtr& type() const noexcept { return type_; }
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(values_.size());
+  }
+
+  /// Field access by name; nullopt for unknown fields (run-time error at
+  /// the caller, Icon error 207).
+  [[nodiscard]] std::optional<Value> field(const std::string& name) const {
+    const auto idx = type_->fieldIndex(name);
+    if (!idx) return std::nullopt;
+    return values_[*idx];
+  }
+  bool assignField(const std::string& name, Value v) {
+    const auto idx = type_->fieldIndex(name);
+    if (!idx) return false;
+    values_[*idx] = std::move(v);
+    return true;
+  }
+
+  /// Positional access, 1-based with Icon's negative convention
+  /// (records are also subscriptable by position in Icon).
+  [[nodiscard]] std::optional<Value> at(std::int64_t i) const {
+    const auto idx = resolve(i);
+    if (!idx) return std::nullopt;
+    return values_[*idx];
+  }
+  bool assign(std::int64_t i, Value v) {
+    const auto idx = resolve(i);
+    if (!idx) return false;
+    values_[*idx] = std::move(v);
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<Value>& values() const noexcept { return values_; }
+
+ private:
+  [[nodiscard]] std::optional<std::size_t> resolve(std::int64_t i) const {
+    const auto n = static_cast<std::int64_t>(values_.size());
+    if (i >= 1 && i <= n) return static_cast<std::size_t>(i - 1);
+    if (i < 0 && -i <= n) return static_cast<std::size_t>(n + i);
+    return std::nullopt;
+  }
+
+  RecordTypePtr type_;
+  std::vector<Value> values_;
+};
+
+}  // namespace congen

@@ -1,0 +1,208 @@
+// value.hpp — the dynamic value type of the embedded Unicon runtime.
+//
+// Icon/Unicon is dynamically typed; every runtime datum is one of a small
+// set of types. Value is a cheap-to-copy tagged union: immediate types
+// (null, small integer, real) are stored inline, everything else behind a
+// shared_ptr. Integers transparently overflow from a 64-bit fast path into
+// arbitrary-precision BigInt, mirroring Icon's implicit large integers
+// (which the paper's word-count benchmarks rely on).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "bignum/bigint.hpp"
+
+namespace congen {
+
+class Value;
+class ListImpl;
+class TableImpl;
+class SetImpl;
+class ProcImpl;
+class RecordImpl;
+class CoExpression;  // defined in coexpr/
+class Gen;           // defined in kernel/
+
+using ListPtr = std::shared_ptr<ListImpl>;
+using TablePtr = std::shared_ptr<TableImpl>;
+using SetPtr = std::shared_ptr<SetImpl>;
+using ProcPtr = std::shared_ptr<ProcImpl>;
+using RecordPtr = std::shared_ptr<RecordImpl>;
+using CoExprPtr = std::shared_ptr<CoExpression>;
+using GenPtr = std::shared_ptr<Gen>;
+
+/// Discriminator for Value. Order defines the cross-type sort order used
+/// by sort() and by table/set key ordering (Icon sorts values of different
+/// types by type name; we use a fixed rank).
+enum class TypeTag : std::uint8_t {
+  Null = 0,
+  Integer,   // int64 fast path or BigInt
+  Real,
+  String,
+  List,
+  Table,
+  Set,
+  Record,
+  Proc,
+  CoExpr,
+};
+
+/// Dynamically typed Unicon value.
+class Value {
+ public:
+  /// The null value (&null).
+  Value() noexcept : v_(std::monostate{}) {}
+
+  // -- constructors ---------------------------------------------------
+  static Value null() noexcept { return Value{}; }
+  static Value integer(std::int64_t v) noexcept { return Value{v}; }
+  static Value integer(BigInt v);
+  static Value real(double v) noexcept { return Value{v}; }
+  static Value string(std::string s) {
+    return Value{std::make_shared<const std::string>(std::move(s))};
+  }
+  static Value string(std::shared_ptr<const std::string> s) noexcept { return Value{std::move(s)}; }
+  static Value list(ListPtr l) noexcept { return Value{std::move(l)}; }
+  static Value table(TablePtr t) noexcept { return Value{std::move(t)}; }
+  static Value set(SetPtr s) noexcept { return Value{std::move(s)}; }
+  static Value record(RecordPtr r) noexcept { return Value{std::move(r)}; }
+  static Value proc(ProcPtr p) noexcept { return Value{std::move(p)}; }
+  static Value coexpr(CoExprPtr c) noexcept { return Value{std::move(c)}; }
+
+  // -- observers ------------------------------------------------------
+  [[nodiscard]] TypeTag tag() const noexcept;
+  [[nodiscard]] bool isNull() const noexcept { return std::holds_alternative<std::monostate>(v_); }
+  [[nodiscard]] bool isInteger() const noexcept {
+    return std::holds_alternative<std::int64_t>(v_) ||
+           std::holds_alternative<std::shared_ptr<const BigInt>>(v_);
+  }
+  [[nodiscard]] bool isSmallInt() const noexcept { return std::holds_alternative<std::int64_t>(v_); }
+  [[nodiscard]] bool isReal() const noexcept { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool isString() const noexcept {
+    return std::holds_alternative<std::shared_ptr<const std::string>>(v_);
+  }
+  [[nodiscard]] bool isList() const noexcept { return std::holds_alternative<ListPtr>(v_); }
+  [[nodiscard]] bool isTable() const noexcept { return std::holds_alternative<TablePtr>(v_); }
+  [[nodiscard]] bool isSet() const noexcept { return std::holds_alternative<SetPtr>(v_); }
+  [[nodiscard]] bool isRecord() const noexcept { return std::holds_alternative<RecordPtr>(v_); }
+  [[nodiscard]] bool isProc() const noexcept { return std::holds_alternative<ProcPtr>(v_); }
+  [[nodiscard]] bool isCoExpr() const noexcept { return std::holds_alternative<CoExprPtr>(v_); }
+
+  /// Unchecked accessors; call only after the corresponding is*() test.
+  [[nodiscard]] std::int64_t smallInt() const { return std::get<std::int64_t>(v_); }
+  [[nodiscard]] const BigInt& bigInt() const { return *std::get<std::shared_ptr<const BigInt>>(v_); }
+  [[nodiscard]] double real() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& str() const {
+    return *std::get<std::shared_ptr<const std::string>>(v_);
+  }
+  [[nodiscard]] const ListPtr& list() const { return std::get<ListPtr>(v_); }
+  [[nodiscard]] const TablePtr& table() const { return std::get<TablePtr>(v_); }
+  [[nodiscard]] const SetPtr& set() const { return std::get<SetPtr>(v_); }
+  [[nodiscard]] const RecordPtr& record() const { return std::get<RecordPtr>(v_); }
+  [[nodiscard]] const ProcPtr& proc() const { return std::get<ProcPtr>(v_); }
+  [[nodiscard]] const CoExprPtr& coExpr() const { return std::get<CoExprPtr>(v_); }
+
+  // -- coercion (Icon run-time errors 101/102/103 on failure) ---------
+  /// Coerce to integer (strings parsed, reals accepted if integral).
+  /// Returns nullopt if not coercible (caller raises or fails).
+  [[nodiscard]] std::optional<Value> toIntegerValue() const;
+  /// Coerce to int64; errors if out of range or not coercible.
+  [[nodiscard]] std::int64_t requireInt64(std::string_view what = "value") const;
+  /// Coerce to BigInt; errors if not coercible.
+  [[nodiscard]] BigInt requireBigInt(std::string_view what = "value") const;
+  /// Coerce to a numeric Value (integer or real), as Icon's numeric().
+  [[nodiscard]] std::optional<Value> toNumeric() const;
+  /// Coerce to double; errors if not numeric.
+  [[nodiscard]] double requireReal(std::string_view what = "value") const;
+  /// Coerce to string (numbers formatted, strings as-is); errors otherwise.
+  [[nodiscard]] std::string requireString(std::string_view what = "value") const;
+
+  // -- Icon semantics --------------------------------------------------
+  /// Icon type() name: "null", "integer", "real", "string", "list",
+  /// "table", "set", "procedure", "co-expression".
+  [[nodiscard]] std::string typeName() const;
+  /// Icon image(): a human-readable, type-revealing rendering.
+  [[nodiscard]] std::string image() const;
+  /// Value rendering for write(): strings unquoted, numbers formatted.
+  [[nodiscard]] std::string toDisplayString() const;
+
+  /// Icon === equivalence: numbers by value within the same type class,
+  /// strings by content, structures by identity.
+  [[nodiscard]] bool equals(const Value& other) const;
+  /// Total order across all values: type rank, then value (structures by
+  /// address). Basis for sort() and ordered containers.
+  [[nodiscard]] int compare(const Value& other) const;
+  /// Hash consistent with equals().
+  [[nodiscard]] std::size_t hash() const;
+
+  /// Icon *x size: string length, list/table/set size; errors otherwise.
+  [[nodiscard]] std::int64_t size() const;
+
+  Value(const Value&) = default;
+  Value(Value&&) noexcept = default;
+  Value& operator=(const Value&) = default;
+  Value& operator=(Value&&) noexcept = default;
+
+ private:
+  template <class T>
+    requires(!std::same_as<std::remove_cvref_t<T>, Value>)
+  explicit Value(T&& v) : v_(std::forward<T>(v)) {}
+
+  std::variant<std::monostate, std::int64_t, std::shared_ptr<const BigInt>, double,
+               std::shared_ptr<const std::string>, ListPtr, TablePtr, SetPtr, RecordPtr, ProcPtr,
+               CoExprPtr>
+      v_;
+};
+
+/// Hash/equality functors so Values can key unordered containers.
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.hash(); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const { return a.equals(b); }
+};
+
+// -- arithmetic & comparison (goal-directed flavours) ------------------
+//
+// Arithmetic raises IconError on non-numeric operands. Comparisons follow
+// Icon: they *fail* (nullopt) rather than produce false, and on success
+// yield the right operand.
+
+namespace ops {
+
+Value add(const Value& a, const Value& b);
+Value sub(const Value& a, const Value& b);
+Value mul(const Value& a, const Value& b);
+Value div(const Value& a, const Value& b);
+Value mod(const Value& a, const Value& b);
+Value power(const Value& a, const Value& b);
+Value negate(const Value& a);
+
+/// Numeric comparisons: x < y yields y, or fails.
+std::optional<Value> numLT(const Value& a, const Value& b);
+std::optional<Value> numLE(const Value& a, const Value& b);
+std::optional<Value> numGT(const Value& a, const Value& b);
+std::optional<Value> numGE(const Value& a, const Value& b);
+std::optional<Value> numEQ(const Value& a, const Value& b);
+std::optional<Value> numNE(const Value& a, const Value& b);
+
+/// Value equivalence (===): yields b or fails.
+std::optional<Value> valEQ(const Value& a, const Value& b);
+std::optional<Value> valNE(const Value& a, const Value& b);
+
+/// String concatenation (||).
+Value concat(const Value& a, const Value& b);
+/// List concatenation (|||): a new list with the elements of both.
+Value listConcat(const Value& a, const Value& b);
+
+}  // namespace ops
+
+}  // namespace congen

@@ -1,0 +1,161 @@
+// var.hpp — reified variables (Icon reference semantics).
+//
+// In Icon, expressions can yield *variables* that may subsequently be
+// assigned (x := 1 evaluates x to a variable, not a value). The paper's
+// transformation reifies every variable as a property with get and set
+// closures ("IconVar", Section V.C) so embedded code can pass updatable
+// references through flattened generator products. Var is that property.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "runtime/collections.hpp"
+#include "runtime/error.hpp"
+#include "runtime/record.hpp"
+#include "runtime/value.hpp"
+
+namespace congen {
+
+/// An assignable location: the IconVar of the paper.
+class Var {
+ public:
+  virtual ~Var() = default;
+  [[nodiscard]] virtual Value get() const = 0;
+  virtual void set(Value v) = 0;
+};
+
+using VarPtr = std::shared_ptr<Var>;
+
+/// A plain storage cell — locals, parameters, temporaries.
+class CellVar final : public Var {
+ public:
+  CellVar() = default;
+  explicit CellVar(Value v) : value_(std::move(v)) {}
+
+  [[nodiscard]] Value get() const override { return value_; }
+  void set(Value v) override { value_ = std::move(v); }
+
+  static VarPtr create(Value v = Value::null()) { return std::make_shared<CellVar>(std::move(v)); }
+
+ private:
+  Value value_;
+};
+
+/// A computed location defined by get/set closures — the exact analogue of
+/// `new IconVar(()->x, (rhs)->x=rhs)` from the paper (Section V.C). Used to
+/// expose host-language fields in reified form.
+class ComputedVar final : public Var {
+ public:
+  ComputedVar(std::function<Value()> getter, std::function<void(Value)> setter)
+      : getter_(std::move(getter)), setter_(std::move(setter)) {}
+
+  [[nodiscard]] Value get() const override { return getter_(); }
+  void set(Value v) override {
+    if (!setter_) throw errInvalidValue("assignment to read-only variable");
+    setter_(std::move(v));
+  }
+
+  static VarPtr create(std::function<Value()> getter, std::function<void(Value)> setter = nullptr) {
+    return std::make_shared<ComputedVar>(std::move(getter), std::move(setter));
+  }
+
+ private:
+  std::function<Value()> getter_;
+  std::function<void(Value)> setter_;
+};
+
+/// Trapped variable for a list element: l[i] as an assignable location.
+class ListElemVar final : public Var {
+ public:
+  ListElemVar(ListPtr list, std::int64_t index) : list_(std::move(list)), index_(index) {}
+
+  [[nodiscard]] Value get() const override {
+    auto v = list_->at(index_);
+    if (!v) throw errInvalidValue("list subscript out of range");
+    return *v;
+  }
+  void set(Value v) override {
+    if (!list_->assign(index_, std::move(v))) {
+      throw errInvalidValue("list subscript out of range");
+    }
+  }
+
+  static VarPtr create(ListPtr list, std::int64_t index) {
+    return std::make_shared<ListElemVar>(std::move(list), index);
+  }
+
+ private:
+  ListPtr list_;
+  std::int64_t index_;
+};
+
+/// Trapped variable for a record field: r.f (also r[i] by position).
+class RecordFieldVar final : public Var {
+ public:
+  RecordFieldVar(RecordPtr rec, std::string field) : rec_(std::move(rec)), field_(std::move(field)) {}
+
+  [[nodiscard]] Value get() const override {
+    auto v = rec_->field(field_);
+    if (!v) throw IconError(207, "no such field: " + field_);
+    return *v;
+  }
+  void set(Value v) override {
+    if (!rec_->assignField(field_, std::move(v))) {
+      throw IconError(207, "no such field: " + field_);
+    }
+  }
+
+  static VarPtr create(RecordPtr rec, std::string field) {
+    return std::make_shared<RecordFieldVar>(std::move(rec), std::move(field));
+  }
+
+ private:
+  RecordPtr rec_;
+  std::string field_;
+};
+
+/// Trapped variable for a record slot by position.
+class RecordElemVar final : public Var {
+ public:
+  RecordElemVar(RecordPtr rec, std::int64_t index) : rec_(std::move(rec)), index_(index) {}
+
+  [[nodiscard]] Value get() const override {
+    auto v = rec_->at(index_);
+    if (!v) throw errInvalidValue("record subscript out of range");
+    return *v;
+  }
+  void set(Value v) override {
+    if (!rec_->assign(index_, std::move(v))) {
+      throw errInvalidValue("record subscript out of range");
+    }
+  }
+
+  static VarPtr create(RecordPtr rec, std::int64_t index) {
+    return std::make_shared<RecordElemVar>(std::move(rec), index);
+  }
+
+ private:
+  RecordPtr rec_;
+  std::int64_t index_;
+};
+
+/// Trapped variable for a table element: t[k].
+class TableElemVar final : public Var {
+ public:
+  TableElemVar(TablePtr table, Value key) : table_(std::move(table)), key_(std::move(key)) {}
+
+  [[nodiscard]] Value get() const override { return table_->lookup(key_); }
+  void set(Value v) override { table_->insert(key_, std::move(v)); }
+
+  static VarPtr create(TablePtr table, Value key) {
+    return std::make_shared<TableElemVar>(std::move(table), std::move(key));
+  }
+
+ private:
+  TablePtr table_;
+  Value key_;
+};
+
+}  // namespace congen

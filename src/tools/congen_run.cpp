@@ -1,0 +1,116 @@
+// congen-run — script runner and REPL for the Junicon dialect.
+//
+// The interactive path of the paper's harness (Section VI): load .jn
+// scripts (definitions + top-level statements), call main() if defined,
+// or evaluate expressions interactively, printing each generated result.
+//
+// Usage:
+//   congen-run <script.jn> [args...]    run a script (calls main(args))
+//   congen-run -e "<expr>"              evaluate one expression
+//   congen-run -i                       interactive REPL
+//   congen-run --trace ...              print iterator-protocol events
+//                                       (the paper's future-work
+//                                       monitoring, Section IX)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "frontend/lexer.hpp"
+#include "interp/interpreter.hpp"
+#include "kernel/trace.hpp"
+#include "runtime/collections.hpp"
+#include "runtime/error.hpp"
+
+namespace {
+
+constexpr std::size_t kReplResultLimit = 64;  // guard against infinite generators
+
+void printResults(congen::GenPtr gen, std::size_t limit) {
+  std::size_t count = 0;
+  while (auto v = gen->nextValue()) {
+    std::cout << "  " << v->image() << "\n";
+    if (++count >= limit) {
+      std::cout << "  ... (stopped after " << limit << " results)\n";
+      return;
+    }
+  }
+  if (count == 0) std::cout << "  (failure)\n";
+}
+
+int repl(congen::interp::Interpreter& interp) {
+  std::cout << "congen REPL — goal-directed expressions; :quit to exit,\n"
+               ":load <file> to load definitions.\n";
+  std::string line;
+  while (std::cout << "]=> " && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q") break;
+    try {
+      if (line.rfind(":load ", 0) == 0) {
+        std::ifstream in(line.substr(6));
+        if (!in) {
+          std::cout << "cannot open " << line.substr(6) << "\n";
+          continue;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        interp.load(buffer.str());
+        std::cout << "  loaded.\n";
+        continue;
+      }
+      // Definitions vs expressions: try the expression grammar first.
+      try {
+        printResults(interp.eval(line), kReplResultLimit);
+      } catch (const congen::frontend::SyntaxError&) {
+        interp.load(line);
+        std::cout << "  defined.\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  congen::interp::Interpreter interp;
+  // --trace as the first argument enables iterator-protocol monitoring.
+  if (argc >= 2 && std::string(argv[1]) == "--trace") {
+    congen::trace::install([](const congen::trace::Event& e) {
+      if (e.kind != congen::trace::EventKind::Resume) {
+        std::cerr << congen::trace::format(e) << "\n";
+      }
+    });
+    --argc;
+    ++argv;
+  }
+  try {
+    if (argc >= 3 && std::string(argv[1]) == "-e") {
+      printResults(interp.eval(argv[2]), kReplResultLimit);
+      return 0;
+    }
+    if (argc >= 2 && std::string(argv[1]) == "-i") return repl(interp);
+    if (argc >= 2) {
+      std::ifstream in(argv[1]);
+      if (!in) {
+        std::cerr << "congen-run: cannot open " << argv[1] << "\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      interp.load(buffer.str());
+      if (interp.global("main") && interp.global("main")->isProc()) {
+        auto args = congen::ListImpl::create();
+        for (int i = 2; i < argc; ++i) args->put(congen::Value::string(argv[i]));
+        interp.call("main", {congen::Value::list(args)})->last();
+      }
+      return 0;
+    }
+    return repl(interp);
+  } catch (const std::exception& e) {
+    std::cerr << "congen-run: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,140 @@
+// congenc — the Junicon-to-C++ translator.
+//
+// The compiled path of the paper's harness (Section VI): reads a host
+// C++ source file containing scoped-annotation regions
+//
+//   @<script lang="junicon"> ... @</script>
+//
+// translates each embedded region (definitions become a module struct of
+// procedure factories; expression regions become expr_N() generator
+// methods, referenced in place), and writes a pure C++ translation unit.
+// Regions with lang="cpp" (or "java", honouring the paper's dual form)
+// are passed through verbatim with the markers stripped.
+//
+// Usage:
+//   congenc <input> [-o <output>] [--module <Name>] [--dump-module]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "emit/emitter.hpp"
+#include "frontend/parser.hpp"
+#include "meta/annotations.hpp"
+
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Insert the module definition after the last top-of-file #include in
+/// the host text (or at the very top when there is none).
+std::string spliceModule(const std::string& host, const std::string& moduleDecl) {
+  std::size_t insertAt = 0;
+  std::size_t searchPos = 0;
+  while (true) {
+    const auto inc = host.find("#include", searchPos);
+    if (inc == std::string::npos) break;
+    const auto eol = host.find('\n', inc);
+    insertAt = eol == std::string::npos ? host.size() : eol + 1;
+    searchPos = insertAt;
+  }
+  return host.substr(0, insertAt) + "\n" + moduleDecl + "\n" + host.substr(insertAt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, output, moduleName = "CongenModule";
+  bool dumpModule = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--module" && i + 1 < argc) {
+      moduleName = argv[++i];
+    } else if (arg == "--dump-module") {
+      dumpModule = true;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: congenc <input> [-o <output>] [--module <Name>] [--dump-module]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      input = arg;
+    } else {
+      std::cerr << "congenc: unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    std::cerr << "congenc: no input file\n";
+    return 2;
+  }
+
+  try {
+    const std::string source = readFile(input);
+
+    // Gather all junicon definitions (program regions) and expression
+    // regions across the file; rewrite the host text.
+    auto program = congen::ast::make(congen::ast::Kind::Program);
+    std::vector<congen::ast::NodePtr> exprRegions;
+
+    const std::string hostText = congen::meta::transformRegions(
+        source, [&](const congen::meta::Region& region, const std::string& inner) -> std::string {
+          if (region.tag != "script") return inner;  // unknown tags: strip markers
+          const std::string lang = region.attr("lang", "junicon");
+          if (lang == "cpp" || lang == "java" || lang == "native") {
+            return inner;  // native evaluation: exempt from transformation
+          }
+          if (lang != "junicon" && lang != "unicon") {
+            throw std::runtime_error("unsupported embedded language: " + lang);
+          }
+          // Expression region or definition region? Try the expression
+          // grammar first; fall back to a whole program.
+          try {
+            auto e = congen::frontend::parseExpression(inner);
+            const std::size_t index = exprRegions.size();
+            exprRegions.push_back(std::move(e));
+            return "__congen_module().expr_" + std::to_string(index) + "()";
+          } catch (const congen::frontend::SyntaxError&) {
+            auto prog = congen::frontend::parseProgram(inner);
+            for (auto& item : prog->kids) program->kids.push_back(item);
+            return "/* junicon definitions translated into " + moduleName + " */";
+          }
+        });
+
+    congen::emit::EmitOptions opts;
+    opts.moduleName = moduleName;
+    std::string moduleSrc = congen::emit::emitModuleWithExprs(program, exprRegions, opts);
+    // The module is spliced inline rather than included: drop the
+    // header-guard pragma the standalone emitter writes.
+    if (const auto pragma = moduleSrc.find("#pragma once\n"); pragma != std::string::npos) {
+      moduleSrc.erase(pragma, std::string("#pragma once\n").size());
+    }
+    moduleSrc += "\ninline " + moduleName + "& __congen_module() {\n  static " + moduleName +
+                 " m;\n  return m;\n}\n";
+
+    if (dumpModule) {
+      std::cout << moduleSrc;
+      return 0;
+    }
+
+    const std::string result = spliceModule(hostText, moduleSrc);
+    if (output.empty()) {
+      std::cout << result;
+    } else {
+      std::ofstream out(output, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot write " + output);
+      out << result;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "congenc: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,319 @@
+// bigint_test.cpp — unit and property tests for the BigInt substrate.
+#include "bignum/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+
+namespace congen {
+namespace {
+
+TEST(BigIntBasics, ZeroProperties) {
+  BigInt z;
+  EXPECT_TRUE(z.isZero());
+  EXPECT_EQ(z.signum(), 0);
+  EXPECT_EQ(z.toString(), "0");
+  EXPECT_EQ(z.bitLength(), 0u);
+  EXPECT_EQ(z.toInt64(), 0);
+  EXPECT_FALSE(z.isNegative());
+  EXPECT_TRUE((-z).isZero()) << "negating zero stays zero with positive sign";
+}
+
+TEST(BigIntBasics, Int64RoundTrip) {
+  for (const std::int64_t v : {INT64_C(0), INT64_C(1), INT64_C(-1), INT64_C(42), INT64_C(-7777),
+                               std::numeric_limits<std::int64_t>::max(),
+                               std::numeric_limits<std::int64_t>::min()}) {
+    const BigInt b{v};
+    ASSERT_TRUE(b.toInt64().has_value()) << v;
+    EXPECT_EQ(*b.toInt64(), v);
+    EXPECT_EQ(b.toString(), std::to_string(v));
+  }
+}
+
+TEST(BigIntBasics, Int64MinDoesNotOverflowOnConstruction) {
+  const BigInt b{std::numeric_limits<std::int64_t>::min()};
+  EXPECT_EQ(b.toString(), "-9223372036854775808");
+  EXPECT_EQ((-b).toString(), "9223372036854775808");
+  EXPECT_FALSE((-b).toInt64().has_value()) << "2^63 exceeds int64";
+}
+
+TEST(BigIntBasics, ParseRejectsMalformed) {
+  EXPECT_FALSE(BigInt::parse("").has_value());
+  EXPECT_FALSE(BigInt::parse("-").has_value());
+  EXPECT_FALSE(BigInt::parse("12x4").has_value());
+  EXPECT_FALSE(BigInt::parse("z", 35).has_value()) << "z is not a base-35 digit";
+  EXPECT_FALSE(BigInt::parse("10", 1).has_value()) << "radix below 2";
+  EXPECT_FALSE(BigInt::parse("10", 37).has_value()) << "radix above 36";
+  EXPECT_THROW(BigInt::fromString("bad"), std::invalid_argument);
+}
+
+TEST(BigIntBasics, ParseAcceptsSigns) {
+  EXPECT_EQ(BigInt::fromString("+123").toInt64(), 123);
+  EXPECT_EQ(BigInt::fromString("-123").toInt64(), -123);
+}
+
+TEST(BigIntBasics, Base36WordDecoding) {
+  // The wordToNumber of Fig. 3: new BigInteger(word, 36).
+  EXPECT_EQ(BigInt::fromString("hello", 36).toString(), "29234652");
+  EXPECT_EQ(BigInt::fromString("HELLO", 36).toString(), "29234652") << "case-insensitive digits";
+  EXPECT_EQ(BigInt::fromString("zz", 36).toInt64(), 35 * 36 + 35);
+}
+
+TEST(BigIntBasics, PowerOfTwoPrinting) {
+  EXPECT_EQ((BigInt{2}.pow(100)).toString(), "1267650600228229401496703205376");
+  EXPECT_EQ((BigInt{2}.pow(100)).toString(16), "10000000000000000000000000");
+  EXPECT_EQ((BigInt{10}.pow(30)).toString(), "1" + std::string(30, '0'));
+}
+
+TEST(BigIntArith, FactorialKnownValue) {
+  BigInt f{1};
+  for (int i = 2; i <= 30; ++i) f *= BigInt{i};
+  EXPECT_EQ(f.toString(), "265252859812191058636308480000000");
+}
+
+TEST(BigIntArith, AdditionCancellation) {
+  const BigInt a = BigInt::fromString("123456789012345678901234567890");
+  EXPECT_TRUE((a + (-a)).isZero());
+  EXPECT_EQ((a - a).signum(), 0);
+  EXPECT_EQ((a + a - a), a);
+}
+
+TEST(BigIntArith, DivisionBasics) {
+  const BigInt a{100}, b{7};
+  EXPECT_EQ((a / b).toInt64(), 14);
+  EXPECT_EQ((a % b).toInt64(), 2);
+  // C truncation semantics: remainder takes the dividend's sign.
+  EXPECT_EQ(((-a) / b).toInt64(), -14);
+  EXPECT_EQ(((-a) % b).toInt64(), -2);
+  EXPECT_EQ((a / (-b)).toInt64(), -14);
+  EXPECT_EQ((a % (-b)).toInt64(), 2);
+  EXPECT_THROW(a / BigInt{}, std::domain_error);
+  EXPECT_THROW(a % BigInt{}, std::domain_error);
+}
+
+TEST(BigIntArith, MultiLimbDivisionKnownValues) {
+  const BigInt n = BigInt::fromString("340282366920938463463374607431768211456");  // 2^128
+  EXPECT_EQ((n / BigInt::fromString("18446744073709551616")).toString(),
+            "18446744073709551616");  // 2^128 / 2^64 = 2^64
+  EXPECT_TRUE((n % BigInt::fromString("18446744073709551616")).isZero());
+  const BigInt q = n / BigInt{3};
+  EXPECT_EQ((q * BigInt{3} + n % BigInt{3}), n);
+}
+
+TEST(BigIntArith, KnuthAddBackCase) {
+  // A divisor/dividend pair engineered to hit the rare add-back branch:
+  // top limbs force qHat to be estimated one too large.
+  const BigInt u = (BigInt{1} << 96) - (BigInt{1} << 64);
+  const BigInt v = (BigInt{1} << 64) - BigInt{1};
+  BigInt q, r;
+  BigInt::divmod(u, v, q, r);
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_TRUE(r < v && r.signum() >= 0);
+}
+
+TEST(BigIntArith, ShiftsAreConsistentWithPow2) {
+  const BigInt a = BigInt::fromString("987654321987654321");
+  for (std::size_t s : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(a << s, a * BigInt{2}.pow(s)) << "shift " << s;
+    EXPECT_EQ((a << s) >> s, a) << "round-trip " << s;
+  }
+  EXPECT_TRUE((BigInt{1} >> 1).isZero());
+}
+
+TEST(BigIntArith, PowEdgeCases) {
+  EXPECT_EQ(BigInt{5}.pow(0).toInt64(), 1);
+  EXPECT_EQ(BigInt{0}.pow(0).toInt64(), 1) << "0^0 = 1 by convention";
+  EXPECT_EQ(BigInt{0}.pow(5).toInt64(), 0);
+  EXPECT_EQ(BigInt{-2}.pow(3).toInt64(), -8);
+  EXPECT_EQ(BigInt{-2}.pow(4).toInt64(), 16);
+}
+
+TEST(BigIntArith, PowMod) {
+  // Fermat: 2^(p-1) ≡ 1 (mod p) for prime p.
+  const BigInt p{1000003};
+  EXPECT_EQ(BigInt{2}.powMod(p - BigInt{1}, p).toInt64(), 1);
+  EXPECT_THROW(BigInt{2}.powMod(BigInt{3}, BigInt{}), std::domain_error);
+  EXPECT_THROW(BigInt{2}.powMod(BigInt{-3}, BigInt{7}), std::domain_error);
+}
+
+TEST(BigIntNumberTheory, IsqrtKnownAndEdges) {
+  EXPECT_EQ(BigInt{0}.isqrt().toInt64(), 0);
+  EXPECT_EQ(BigInt{1}.isqrt().toInt64(), 1);
+  EXPECT_EQ(BigInt{99}.isqrt().toInt64(), 9);
+  EXPECT_EQ(BigInt{100}.isqrt().toInt64(), 10);
+  EXPECT_EQ((BigInt{10}.pow(40)).isqrt(), BigInt{10}.pow(20));
+  EXPECT_THROW(BigInt{-4}.isqrt(), std::domain_error);
+}
+
+TEST(BigIntNumberTheory, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt{12}, BigInt{18}).toInt64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt{-12}, BigInt{18}).toInt64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt{}, BigInt{5}).toInt64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt{7}.pow(10), BigInt{7}.pow(6)), BigInt{7}.pow(6));
+}
+
+TEST(BigIntNumberTheory, SmallPrimes) {
+  const std::vector<int> primes = {2,  3,  5,  7,  11, 13, 17, 19, 23, 29, 31,
+                                   37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79};
+  std::size_t idx = 0;
+  for (int n = 2; n <= 79; ++n) {
+    const bool expected = idx < primes.size() && primes[idx] == n;
+    EXPECT_EQ(BigInt{n}.isProbablePrime(), expected) << n;
+    if (expected) ++idx;
+  }
+  EXPECT_FALSE(BigInt{0}.isProbablePrime());
+  EXPECT_FALSE(BigInt{1}.isProbablePrime());
+  EXPECT_FALSE(BigInt{-7}.isProbablePrime());
+}
+
+TEST(BigIntNumberTheory, CarmichaelNumbersAreComposite) {
+  // Fermat pseudoprimes that fool weak tests; Miller-Rabin must reject.
+  for (const std::int64_t c : {INT64_C(561), INT64_C(1105), INT64_C(1729), INT64_C(2465),
+                               INT64_C(2821), INT64_C(6601), INT64_C(8911)}) {
+    EXPECT_FALSE(BigInt{c}.isProbablePrime()) << c;
+  }
+}
+
+TEST(BigIntNumberTheory, LargeKnownPrime) {
+  // 2^89 - 1 is a Mersenne prime; 2^87 - 1 is composite.
+  EXPECT_TRUE(((BigInt{1} << 89) - BigInt{1}).isProbablePrime());
+  EXPECT_FALSE(((BigInt{1} << 87) - BigInt{1}).isProbablePrime());
+}
+
+TEST(BigIntNumberTheory, NextProbablePrime) {
+  EXPECT_EQ(BigInt{0}.nextProbablePrime().toInt64(), 2);
+  EXPECT_EQ(BigInt{2}.nextProbablePrime().toInt64(), 3);
+  EXPECT_EQ(BigInt{3}.nextProbablePrime().toInt64(), 5);
+  EXPECT_EQ(BigInt{89}.nextProbablePrime().toInt64(), 97);
+  EXPECT_EQ(BigInt{10000}.nextProbablePrime().toInt64(), 10007);
+}
+
+TEST(BigIntCompare, Ordering) {
+  EXPECT_LT(BigInt{-5}, BigInt{3});
+  EXPECT_LT(BigInt{-5}, BigInt{-3});
+  EXPECT_LT(BigInt{3}, BigInt{5});
+  EXPECT_LT(BigInt{5}, BigInt::fromString("18446744073709551616"));
+  EXPECT_LT(BigInt::fromString("-18446744073709551616"), BigInt{-5});
+  EXPECT_EQ(BigInt{7}, BigInt::fromString("7"));
+}
+
+TEST(BigIntCompare, HashConsistentWithEquality) {
+  const BigInt a = BigInt::fromString("123456789123456789123456789");
+  const BigInt b = BigInt::fromString("123456789123456789123456789");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), (-a).hash()) << "sign participates in the hash";
+}
+
+// ---------------------------------------------------------------------
+// Property sweeps (TEST_P): cross-check against __int128 arithmetic.
+// ---------------------------------------------------------------------
+
+class BigIntRandomProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntRandomProperty, MatchesInt128Arithmetic) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<std::int64_t> dist(-1'000'000'000'000LL, 1'000'000'000'000LL);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t x = dist(rng), y = dist(rng);
+    const BigInt bx{x}, by{y};
+    EXPECT_EQ((bx + by).toInt64(), x + y);
+    EXPECT_EQ((bx - by).toInt64(), x - y);
+    const __int128 prod = static_cast<__int128>(x) * y;
+    EXPECT_EQ((bx * by).toString(),
+              [&] {
+                // render the __int128 for comparison
+                if (prod == 0) return std::string("0");
+                __int128 p = prod < 0 ? -prod : prod;
+                std::string s;
+                while (p) {
+                  s += static_cast<char>('0' + static_cast<int>(p % 10));
+                  p /= 10;
+                }
+                if (prod < 0) s += '-';
+                return std::string(s.rbegin(), s.rend());
+              }());
+    if (y != 0) {
+      EXPECT_EQ((bx / by).toInt64(), x / y);
+      EXPECT_EQ((bx % by).toInt64(), x % y);
+    }
+  }
+}
+
+TEST_P(BigIntRandomProperty, DivModInvariantOnWideValues) {
+  std::mt19937_64 rng(GetParam() ^ 0xABCDEF);
+  for (int i = 0; i < 60; ++i) {
+    // Random magnitudes up to ~256 bits.
+    auto randomBig = [&rng](int limbs) {
+      BigInt v;
+      for (int k = 0; k < limbs; ++k) {
+        v = (v << 32) + BigInt{static_cast<std::int64_t>(rng() & 0xFFFFFFFF)};
+      }
+      return v;
+    };
+    const BigInt a = randomBig(8);
+    const BigInt b = randomBig(1 + static_cast<int>(rng() % 5)) + BigInt{1};
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r < b) << "remainder bounded by divisor";
+    EXPECT_TRUE(r.signum() >= 0);
+  }
+}
+
+TEST_P(BigIntRandomProperty, RadixRoundTrip) {
+  std::mt19937_64 rng(GetParam() ^ 0x5EED);
+  for (unsigned radix = 2; radix <= 36; ++radix) {
+    for (int i = 0; i < 8; ++i) {
+      BigInt v;
+      const int limbs = 1 + static_cast<int>(rng() % 6);
+      for (int k = 0; k < limbs; ++k) {
+        v = (v << 32) + BigInt{static_cast<std::int64_t>(rng() & 0xFFFFFFFF)};
+      }
+      if (rng() & 1) v = -v;
+      EXPECT_EQ(BigInt::fromString(v.toString(radix), radix), v)
+          << "radix " << radix << ": " << v.toString(radix);
+    }
+  }
+}
+
+TEST_P(BigIntRandomProperty, IsqrtBounds) {
+  std::mt19937_64 rng(GetParam() ^ 0x15057);
+  for (int i = 0; i < 60; ++i) {
+    BigInt v;
+    const int limbs = 1 + static_cast<int>(rng() % 8);
+    for (int k = 0; k < limbs; ++k) {
+      v = (v << 32) + BigInt{static_cast<std::int64_t>(rng() & 0xFFFFFFFF)};
+    }
+    const BigInt s = v.isqrt();
+    EXPECT_TRUE(s * s <= v) << v.toString();
+    EXPECT_TRUE((s + BigInt{1}) * (s + BigInt{1}) > v) << v.toString();
+  }
+}
+
+TEST_P(BigIntRandomProperty, KaratsubaAgreesWithSchoolbook) {
+  // Operands big enough to engage Karatsuba (threshold: 32 limbs); the
+  // identity (a+b)^2 - (a-b)^2 = 4ab stresses both paths.
+  std::mt19937_64 rng(GetParam() ^ 0xCAFE);
+  for (int i = 0; i < 10; ++i) {
+    auto randomBig = [&rng](int limbs) {
+      BigInt v;
+      for (int k = 0; k < limbs; ++k) {
+        v = (v << 32) + BigInt{static_cast<std::int64_t>(rng() & 0xFFFFFFFF)};
+      }
+      return v;
+    };
+    const BigInt a = randomBig(64), b = randomBig(48);
+    const BigInt lhs = (a + b) * (a + b) - (a - b) * (a - b);
+    const BigInt rhs = (a * b) << 2;
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntRandomProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u, 20260704u));
+
+}  // namespace
+}  // namespace congen

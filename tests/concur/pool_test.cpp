@@ -1,0 +1,90 @@
+// pool_test.cpp — the cached-growth thread pool.
+#include "concur/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "concur/blocking_queue.hpp"
+
+namespace congen {
+namespace {
+
+void waitFor(const std::function<bool()>& cond, int ms = 2000) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (!cond() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(PoolBasics, RunsTasks) {
+  ThreadPool pool;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&ran] { ++ran; });
+  waitFor([&] { return ran.load() == 10; });
+  EXPECT_EQ(ran.load(), 10);
+  EXPECT_EQ(pool.tasksCompleted(), 10u);
+}
+
+TEST(PoolBasics, WorkersAreReused) {
+  ThreadPool pool;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&ran] { ++ran; });
+    waitFor([&] { return ran.load() == i + 1; });
+  }
+  // Sequential submissions with idle workers available must not grow the
+  // pool by one thread per task.
+  EXPECT_LT(pool.threadsCreated(), 10u);
+}
+
+TEST(PoolGrowth, GrowsWhenAllWorkersBlocked) {
+  // This is the property that makes nested pipelines deadlock-free: a
+  // task blocked on a queue must not starve later submissions.
+  ThreadPool pool;
+  BlockingQueue<int> gate(1);
+  constexpr int kBlocked = 6;
+  std::atomic<int> started{0};
+  for (int i = 0; i < kBlocked; ++i) {
+    pool.submit([&] {
+      ++started;
+      gate.take();  // blocks until the gate is closed
+    });
+  }
+  waitFor([&] { return started.load() == kBlocked; });
+  EXPECT_EQ(started.load(), kBlocked) << "all blocked tasks started concurrently";
+  EXPECT_GE(pool.threadsCreated(), static_cast<std::size_t>(kBlocked));
+
+  std::atomic<bool> extraRan{false};
+  pool.submit([&] { extraRan = true; });
+  waitFor([&] { return extraRan.load(); });
+  EXPECT_TRUE(extraRan.load()) << "new work proceeds while others block";
+  gate.close();
+}
+
+TEST(PoolShutdown, SubmitAfterDestructionScopeIsSafe) {
+  auto pool = std::make_unique<ThreadPool>();
+  std::atomic<int> ran{0};
+  pool->submit([&ran] { ++ran; });
+  pool.reset();  // joins
+  EXPECT_EQ(ran.load(), 1) << "destructor drains accepted work";
+}
+
+TEST(PoolShutdown, ThreadCapIsEnforced) {
+  ThreadPool pool(/*maxThreads=*/2);
+  BlockingQueue<int> gate(1);
+  pool.submit([&] { gate.take(); });
+  pool.submit([&] { gate.take(); });
+  waitFor([&] { return pool.idleThreads() == 0; });
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  gate.close();
+}
+
+TEST(PoolGlobal, SingletonIsStable) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+}  // namespace
+}  // namespace congen

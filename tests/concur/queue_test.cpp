@@ -1,0 +1,141 @@
+// queue_test.cpp — the bounded blocking queue (Section III.B substrate).
+#include "concur/blocking_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace congen {
+namespace {
+
+TEST(QueueBasics, FifoOrder) {
+  BlockingQueue<int> q;
+  q.put(1);
+  q.put(2);
+  q.put(3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.take(), 1);
+  EXPECT_EQ(q.take(), 2);
+  EXPECT_EQ(q.take(), 3);
+}
+
+TEST(QueueBasics, TryOperations) {
+  BlockingQueue<int> q(2);
+  EXPECT_FALSE(q.tryTake().has_value()) << "empty tryTake fails without blocking";
+  EXPECT_TRUE(q.tryPut(1));
+  EXPECT_TRUE(q.tryPut(2));
+  EXPECT_FALSE(q.tryPut(3)) << "full tryPut fails without blocking";
+  EXPECT_EQ(q.tryTake(), 1);
+  EXPECT_TRUE(q.tryPut(3));
+}
+
+TEST(QueueClose, TakeDrainsThenFails) {
+  BlockingQueue<int> q;
+  q.put(1);
+  q.put(2);
+  q.close();
+  EXPECT_EQ(q.take(), 1) << "buffered elements survive close";
+  EXPECT_EQ(q.take(), 2);
+  EXPECT_FALSE(q.take().has_value()) << "drained + closed = failure";
+  EXPECT_FALSE(q.put(9)) << "put after close is refused";
+}
+
+TEST(QueueClose, ReleasesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::atomic<bool> released{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.take().has_value());
+    released = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(released.load());
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(QueueClose, ReleasesBlockedProducer) {
+  BlockingQueue<int> q(1);
+  q.put(0);  // now full
+  std::atomic<bool> released{false};
+  std::thread producer([&] {
+    EXPECT_FALSE(q.put(1)) << "blocked put returns false on close";
+    released = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(released.load());
+  q.close();
+  producer.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(QueueCapacity, BoundThrottlesProducer) {
+  BlockingQueue<int> q(4);
+  std::atomic<int> produced{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) {
+      if (!q.put(i)) return;
+      produced = i + 1;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_LE(produced.load(), 5) << "producer cannot run ahead of the bound";
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(q.take(), i);
+  producer.join();
+}
+
+TEST(QueueCapacity, ZeroMeansUnbounded) {
+  BlockingQueue<int> q(0);
+  for (int i = 0; i < 10000; ++i) ASSERT_TRUE(q.tryPut(i));
+  EXPECT_EQ(q.size(), 10000u);
+}
+
+class QueueConcurrencyProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QueueConcurrencyProperty, AllElementsDeliveredExactlyOnce) {
+  const auto [producers, capacity] = GetParam();
+  constexpr int kPerProducer = 500;
+  BlockingQueue<int> q(static_cast<std::size_t>(capacity));
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.put(p * kPerProducer + i);
+    });
+  }
+  std::vector<int> got;
+  std::thread consumer([&] {
+    for (int i = 0; i < producers * kPerProducer; ++i) got.push_back(*q.take());
+  });
+  for (auto& t : threads) t.join();
+  consumer.join();
+
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(producers * kPerProducer));
+  std::sort(got.begin(), got.end());
+  for (int i = 0; i < producers * kPerProducer; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)], i) << "element lost or duplicated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QueueConcurrencyProperty,
+                         ::testing::Values(std::make_pair(1, 1), std::make_pair(1, 16),
+                                           std::make_pair(4, 1), std::make_pair(4, 64),
+                                           std::make_pair(8, 8)));
+
+TEST(QueueSingleSlot, ActsAsMailbox) {
+  // Capacity 1 = the future / M-var of Section III.B.
+  BlockingQueue<int> mailbox(1);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    mailbox.put(42);
+  });
+  EXPECT_EQ(mailbox.take(), 42) << "take blocks until defined";
+  producer.join();
+}
+
+}  // namespace
+}  // namespace congen

@@ -1,0 +1,223 @@
+// emit_test.cpp — the C++ emitter (Fig. 5 analogue): structural golden
+// checks on the generated code, including the spawnMap example itself.
+#include "emit/emitter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+
+namespace congen::emit {
+namespace {
+
+std::string emitDefs(const std::string& src, EmitOptions opts = {}) {
+  return emitModule(frontend::parseProgram(src), opts);
+}
+
+void expectContains(const std::string& haystack, const std::string& needle) {
+  EXPECT_NE(haystack.find(needle), std::string::npos)
+      << "missing: " << needle << "\n--- generated ---\n"
+      << haystack;
+}
+
+TEST(EmitModule, BasicLayout) {
+  const std::string out = emitDefs("def f(a) { return a; }");
+  expectContains(out, "struct CongenModule {");
+  expectContains(out, "congen::MethodBodyCache methodCache;");
+  expectContains(out, "congen::ProcPtr make_f()");
+  expectContains(out, "globalVar(\"f\")->set(congen::Value::proc(make_f()));");
+  expectContains(out, "#include \"congen.hpp\"");
+}
+
+TEST(EmitModule, CustomModuleName) {
+  EmitOptions opts;
+  opts.moduleName = "WordCount";
+  const std::string out = emitDefs("def f() { }", opts);
+  expectContains(out, "struct WordCount {");
+  expectContains(out, "WordCount() {");
+}
+
+TEST(EmitFig5, SpawnMapReproducesThePaperShape) {
+  // The example of Section V.D / Fig. 5:
+  //   def spawnMap(f, chunk) { suspend ! (|> f(!chunk)); }
+  const std::string out = emitDefs("def spawnMap(f, chunk) { suspend ! (|> f(!chunk)); }");
+
+  // Method-body cache protocol ("Reuse method body").
+  expectContains(out, "methodCache.getFree(\"spawnMap_m\")");
+  expectContains(out, "body->setCache(&methodCache, \"spawnMap_m\");");
+
+  // Reified parameters.
+  expectContains(out, "auto f_r = congen::CellVar::create();");
+  expectContains(out, "auto chunk_r = congen::CellVar::create();");
+
+  // Unpack closure rebinding parameters positionally.
+  expectContains(out, "f_r->set(params.size() > 0 ? params[0] : congen::Value::null());");
+  expectContains(out, "chunk_r->set(params.size() > 1 ? params[1] : congen::Value::null());");
+
+  // Co-expression synthesis with a shadowed environment copy — the
+  // chunk_s_r / f_s_r of Fig. 5.
+  expectContains(out, "congen::makePipeCreateGen(");
+  expectContains(out, "chunk_s1_r = congen::CellVar::create(chunk_r->get());");
+  expectContains(out, "f_s1_r = congen::CellVar::create(f_r->get());");
+
+  // Composition shape: suspend over promote over the pipe.
+  expectContains(out, "congen::SuspendGen::create(");
+  expectContains(out, "congen::PromoteGen::create(");
+  expectContains(out, "congen::BodyRootGen::create(");
+  expectContains(out, "body->unpackArgs(args);");
+}
+
+TEST(EmitNormalization, TemporariesAreBoundIterators) {
+  // f(g(x)) flattens: the temp cell and the InGen wiring must appear.
+  const std::string out = emitDefs("def h(x) { return f(g(x)); }");
+  expectContains(out, "x_0_r");
+  expectContains(out, "congen::InGen::create(x_0_r,");
+}
+
+TEST(EmitIdentifiers, ResolutionOrder) {
+  const std::string out = emitDefs(R"(
+    def callee() { return 1; }
+    def caller(p) {
+      local l;
+      l := p + callee() + host + sqrt(4);
+      return l;
+    }
+  )");
+  expectContains(out, "congen::VarGen::create(l_r)");
+  expectContains(out, "congen::VarGen::create(p_r)");
+  expectContains(out, "congen::VarGen::create(globalVar(\"callee\"))");
+  // Read-only names resolve to module globals (host data).
+  expectContains(out, "congen::VarGen::create(globalVar(\"host\"))");
+  expectContains(out, "congen::builtins::lookup(\"sqrt\")");
+}
+
+TEST(EmitIdentifiers, AssignedUndeclaredBecomesLocal) {
+  const std::string out = emitDefs("def f() { acc := 1; return acc; }");
+  expectContains(out, "auto acc_r = congen::CellVar::create();");
+  expectContains(out, "acc_r->set(congen::Value::null());");
+}
+
+TEST(EmitExpressions, OperatorLowering) {
+  const std::string out = emitDefs(R"(
+    def ops(a, b) {
+      suspend a + b;
+      suspend a & b;
+      suspend a | b;
+      suspend a to b;
+      suspend a < b;
+      suspend [a, b];
+      suspend not a;
+    }
+  )");
+  expectContains(out, "congen::makeBinaryOpGen(\"+\",");
+  expectContains(out, "congen::ProductGen::create(");
+  expectContains(out, "congen::AltGen::create(");
+  expectContains(out, "congen::makeToByGen(");
+  expectContains(out, "congen::makeBinaryOpGen(\"<\",");
+  expectContains(out, "congen::makeListLitGen(");
+  expectContains(out, "congen::NotGen::create(");
+}
+
+TEST(EmitExpressions, ControlLowering) {
+  const std::string out = emitDefs(R"(
+    def ctl(n) {
+      local i;
+      every i := 1 to n do suspend i;
+      while n > 0 do n -:= 1;
+      if n == 0 then return 0; else fail;
+    }
+  )");
+  expectContains(out, "congen::LoopGen::every(");
+  expectContains(out, "congen::LoopGen::whileDo(");
+  expectContains(out, "congen::IfGen::create(");
+  expectContains(out, "congen::ReturnGen::create(");
+  expectContains(out, "congen::FailBodyGen::create()");
+  expectContains(out, "congen::makeAugAssignGen(\"-\",");
+}
+
+TEST(EmitExpressions, BigLiteralsUseBigInt) {
+  const std::string out = emitDefs("def f() { return 123456789012345678901234567890; }");
+  expectContains(out, "congen::BigInt::fromString(\"123456789012345678901234567890\", 10)");
+  const std::string small = emitDefs("def g() { return 42; }");
+  expectContains(small, "congen::Value::integer(INT64_C(42))");
+}
+
+TEST(EmitCoExpr, SharedVsShadowed) {
+  const std::string shared = emitDefs("def f(x) { return @ <> (x + 1); }");
+  EXPECT_EQ(shared.find("x_s1_r"), std::string::npos) << "<> shares, no shadow copy";
+  const std::string shadowed = emitDefs("def f(x) { return @ |<> (x + 1); }");
+  expectContains(shadowed, "x_s1_r = congen::CellVar::create(x_r->get());");
+}
+
+TEST(EmitExprRegions, NumberedMethods) {
+  std::vector<ast::NodePtr> exprs;
+  exprs.push_back(frontend::parseExpression("1 to 3"));
+  exprs.push_back(frontend::parseExpression("f(9)"));
+  const std::string out = emitModuleWithExprs(frontend::parseProgram("def f(x) { return x; }"),
+                                              exprs, EmitOptions{});
+  expectContains(out, "congen::GenPtr expr_0()");
+  expectContains(out, "congen::GenPtr expr_1()");
+  expectContains(out, "congen::makeToByGen(");
+}
+
+TEST(EmitTopLevel, StatementsRunInConstructor) {
+  const std::string out = emitDefs("x := 42;");
+  expectContains(out, ")->next();");
+  expectContains(out, "globalVar(\"x\")");
+}
+
+TEST(EmitErrors, NestedDefsRejected) {
+  // Rejected by the frontend (SyntaxError) or the emitter (EmitError) —
+  // either way, nested definitions never silently miscompile.
+  EXPECT_ANY_THROW(emitDefs("def outer() { def inner() { } }"));
+}
+
+TEST(EmitExtended, ScanningLowering) {
+  const std::string out = emitDefs(R"(
+    def fields(s) {
+      local w;
+      s ? while not pos(0) do { suspend tab(upto(",") | 0); move(1); };
+    }
+  )");
+  expectContains(out, "congen::ScanGen::create(");
+  expectContains(out, "congen::builtins::lookup(\"tab\")");
+  expectContains(out, "congen::builtins::lookup(\"upto\")");
+}
+
+TEST(EmitExtended, KeywordVariables) {
+  const std::string out = emitDefs("def f(s) { return s ? (&pos := 2 & &subject); }");
+  expectContains(out, "congen::makePosVarGen()");
+  expectContains(out, "congen::makeSubjectVarGen()");
+}
+
+TEST(EmitExtended, RecordsCaseAndReversibles) {
+  const std::string out = emitDefs(R"(
+    record point(x, y)
+    def f(p, a, b) {
+      a <- p.x;
+      a <-> b;
+      case p.y of { 1: return a; default: fail; }
+    }
+  )");
+  expectContains(out, "congen::RecordType::create(\"point\", {\"x\", \"y\"})");
+  expectContains(out, "congen::RecordImpl::create(type, std::move(args))");
+  expectContains(out, "congen::makeRevAssignGen(");
+  expectContains(out, "congen::makeRevSwapGen(");
+  expectContains(out, "congen::CaseGen::create(");
+  expectContains(out, "congen::CaseGen::Branch{nullptr,");
+  expectContains(out, "congen::makeFieldGen(");
+}
+
+TEST(EmitExtended, SliceAndNullTests) {
+  const std::string out = emitDefs("def f(s) { return \\s | /s | s[2:4]; }");
+  expectContains(out, "congen::makeUnaryOpGen(\"\\\\\",");
+  expectContains(out, "congen::makeUnaryOpGen(\"/\",");
+  expectContains(out, "congen::makeSliceGen(");
+}
+
+TEST(EmitDeterminism, SameInputSameOutput) {
+  const std::string src = "def f(a) { suspend ! (|> g(!a)); }";
+  EXPECT_EQ(emitDefs(src), emitDefs(src));
+}
+
+}  // namespace
+}  // namespace congen::emit

@@ -1,0 +1,105 @@
+// lexer_test.cpp — scanning the Junicon dialect.
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace congen::frontend {
+namespace {
+
+std::vector<std::string> opTexts(const std::string& src) {
+  std::vector<std::string> out;
+  for (const auto& t : tokenize(src)) {
+    if (t.kind == TokKind::Op) out.push_back(t.text);
+  }
+  return out;
+}
+
+TEST(LexNumbers, IntegerRealRadix) {
+  const auto toks = tokenize("42 3.14 1e9 2.5e-3 16r1F 36rhello");
+  ASSERT_GE(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, TokKind::IntLit);
+  EXPECT_EQ(toks[0].text, "42");
+  EXPECT_EQ(toks[1].kind, TokKind::RealLit);
+  EXPECT_EQ(toks[2].kind, TokKind::RealLit) << "exponent form without a dot";
+  EXPECT_EQ(toks[3].kind, TokKind::RealLit);
+  EXPECT_EQ(toks[4].kind, TokKind::IntLit);
+  EXPECT_EQ(toks[4].text, "16r1F");
+  EXPECT_EQ(toks[5].text, "36rhello");
+}
+
+TEST(LexNumbers, DotAfterIntIsNotReal) {
+  // `1 to 3` style ranges: `x.y` needs a digit after the dot to be real.
+  const auto toks = tokenize("v[1].f");
+  EXPECT_EQ(toks[0].kind, TokKind::Ident);
+  EXPECT_EQ(toks[2].kind, TokKind::IntLit);
+}
+
+TEST(LexStrings, EscapesDecoded) {
+  const auto toks = tokenize(R"("a\nb\t\"q\"" "regex \\s+")");
+  EXPECT_EQ(toks[0].kind, TokKind::StrLit);
+  EXPECT_EQ(toks[0].text, "a\nb\t\"q\"");
+  EXPECT_EQ(toks[1].text, "regex \\s+") << "double backslash collapses";
+}
+
+TEST(LexStrings, UnterminatedThrows) {
+  EXPECT_THROW(tokenize("\"open"), SyntaxError);
+  EXPECT_THROW(tokenize("\"trailing\\"), SyntaxError);
+}
+
+TEST(LexOps, LongestMatchForConcurrencyOperators) {
+  // |<> must not scan as | then <>; |> not as | then >.
+  EXPECT_EQ(opTexts("|<> |> || |"), (std::vector<std::string>{"|<>", "|>", "||", "|"}));
+  EXPECT_EQ(opTexts("<> <= <"), (std::vector<std::string>{"<>", "<=", "<"}));
+  EXPECT_EQ(opTexts(":= :=: ::"), (std::vector<std::string>{":=", ":=:", "::"}));
+  EXPECT_EQ(opTexts("~=== ~== ~="), (std::vector<std::string>{"~===", "~==", "~="}));
+  EXPECT_EQ(opTexts("=== =="), (std::vector<std::string>{"===", "=="}));
+  EXPECT_EQ(opTexts("+:= -:= *:= /:= %:= ^:= ||:="),
+            (std::vector<std::string>{"+:=", "-:=", "*:=", "/:=", "%:=", "^:=", "||:="}));
+}
+
+TEST(LexKeywords, RecognizedSet) {
+  for (const char* kw : {"def", "procedure", "every", "while", "until", "repeat", "if", "then",
+                         "else", "suspend", "return", "fail", "break", "next", "do", "to", "by",
+                         "not", "create", "local", "var", "end"}) {
+    const auto toks = tokenize(kw);
+    EXPECT_EQ(toks[0].kind, TokKind::Keyword) << kw;
+  }
+  EXPECT_EQ(tokenize("definition")[0].kind, TokKind::Ident) << "prefix of a keyword is an ident";
+}
+
+TEST(LexKeywords, AmpKeywords) {
+  const auto toks = tokenize("&null &fail x & y");
+  EXPECT_EQ(toks[0].kind, TokKind::AmpKeyword);
+  EXPECT_EQ(toks[0].text, "&null");
+  EXPECT_EQ(toks[1].text, "&fail");
+  EXPECT_EQ(toks[3].kind, TokKind::Op) << "bare & is the product operator";
+}
+
+TEST(LexComments, HashToEndOfLine) {
+  const auto toks = tokenize("x # comment with \"stuff\" := ;\ny");
+  ASSERT_EQ(toks.size(), 3u);  // x, y, End
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "y");
+}
+
+TEST(LexPositions, LineAndColumnTracking) {
+  const auto toks = tokenize("a\n  bb\n    c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].col, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].col, 3);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_EQ(toks[2].col, 5);
+}
+
+TEST(LexErrors, UnexpectedCharacter) {
+  EXPECT_THROW(tokenize("a $ b"), SyntaxError);
+}
+
+TEST(LexEnd, AlwaysTerminated) {
+  EXPECT_EQ(tokenize("").back().kind, TokKind::End);
+  EXPECT_EQ(tokenize("x").back().kind, TokKind::End);
+}
+
+}  // namespace
+}  // namespace congen::frontend

@@ -1,0 +1,70 @@
+// parser_extended_test.cpp — grammar for records, case, slices, null
+// tests, and global declarations.
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace congen::frontend {
+namespace {
+
+std::string expr(const std::string& src) { return ast::dump(parseExpression(src)); }
+std::string prog(const std::string& src) { return ast::dump(parseProgram(src)); }
+
+TEST(ParseRecord, Declaration) {
+  EXPECT_EQ(prog("record point(x, y)"), "(program (recdecl point (id x) (id y)))");
+  EXPECT_EQ(prog("record empty()"), "(program (recdecl empty))");
+  EXPECT_THROW(parseProgram("record (x)"), SyntaxError) << "missing type name";
+}
+
+TEST(ParseGlobal, Declaration) {
+  EXPECT_EQ(prog("global a, b"), "(program (globals (id a) (id b)))");
+}
+
+TEST(ParseCase, BranchesAndDefault) {
+  EXPECT_EQ(prog("case x of { 1: a; 2 | 3: b; default: c; }"),
+            "(program (case (id x) "
+            "(branch (int 1) (stmt (id a))) "
+            "(branch (bin | (int 2) (int 3)) (stmt (id b))) "
+            "(branch default (stmt (id c)))))");
+}
+
+TEST(ParseCase, RequiresOfAndBraces) {
+  EXPECT_THROW(parseProgram("case x { 1: a; }"), SyntaxError);
+  EXPECT_THROW(parseProgram("case x of 1: a;"), SyntaxError);
+}
+
+TEST(ParseSlice, PositionsForm) {
+  EXPECT_EQ(expr("s[2:4]"), "(slice (id s) (int 2) (int 4))");
+  EXPECT_EQ(expr("s[i:j][1]"), "(index (slice (id s) (id i) (id j)) (int 1))");
+  EXPECT_EQ(expr("s[2]"), "(index (id s) (int 2))") << "plain subscript unaffected";
+}
+
+TEST(ParseNullTests, PrefixBackslashAndSlash) {
+  EXPECT_EQ(expr("\\x"), "(un \\ (id x))");
+  EXPECT_EQ(expr("/x"), "(un / (id x))");
+  EXPECT_EQ(expr("/x := 1"), "(assign := (un / (id x)) (int 1))") << "the default idiom";
+  EXPECT_EQ(expr("a / b"), "(bin / (id a) (id b))") << "infix division unaffected";
+  EXPECT_EQ(expr("f() \\ 3"), "(limit (invoke (id f)) (int 3))") << "postfix limit unaffected";
+  EXPECT_EQ(expr("\\a & /b"), "(bin & (un \\ (id a)) (un / (id b)))");
+}
+
+TEST(ParseRegression, NQueensCore) {
+  EXPECT_NO_THROW(parseProgram(R"(
+    global n, rows, ups, downs, solution
+    def q(c) {
+      local r;
+      every r := 1 to n do {
+        if /rows[r] & /ups[n + r - c] & /downs[r + c - 1] then {
+          rows[r] := ups[n + r - c] := downs[r + c - 1] := 1;
+          solution[c] := r;
+          if c == n then suspend solution;
+          else suspend q(c + 1);
+          rows[r] := ups[n + r - c] := downs[r + c - 1] := &null;
+        }
+      }
+    }
+  )"));
+}
+
+}  // namespace
+}  // namespace congen::frontend

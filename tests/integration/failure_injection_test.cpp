@@ -1,0 +1,132 @@
+// failure_injection_test.cpp — robustness under errors: run-time errors
+// crossing constructs and threads, interpreter reusability after a
+// throw, deep recursion, and loop-control misuse.
+#include <gtest/gtest.h>
+
+#include "builtins/builtins.hpp"
+#include "congen.hpp"
+
+namespace congen {
+namespace {
+
+TEST(FailureInjection, InterpreterSurvivesErrors) {
+  interp::Interpreter interp;
+  EXPECT_THROW(interp.evalAll("1 / 0"), IconError);
+  // The interpreter must remain fully usable afterwards.
+  EXPECT_EQ(interp.evalOne("2 + 2")->smallInt(), 4);
+  EXPECT_THROW(interp.evalAll("!5"), IconError);
+  EXPECT_EQ(interp.evalOne("3 * 3")->smallInt(), 9);
+}
+
+TEST(FailureInjection, ErrorInsideLoopPropagates) {
+  interp::Interpreter interp;
+  interp.load(R"(
+    def boom(n) {
+      local i, total;
+      total := 0;
+      every i := 1 to n do total +:= 10 / (3 - i);   # i = 3 divides by zero
+      return total;
+    }
+  )");
+  EXPECT_THROW(interp.evalAll("boom(5)"), IconError);
+  EXPECT_EQ(interp.evalOne("boom(2)")->smallInt(), 15);
+}
+
+TEST(FailureInjection, ErrorInsidePipeSurfacesAtConsumer) {
+  interp::Interpreter interp;
+  interp.load("def bad(n) { local i; every i := 1 to n do suspend 10 / (2 - i); }");
+  auto gen = interp.eval("! |> bad(5)");
+  EXPECT_EQ(gen->nextValue()->smallInt(), 10) << "first element crosses before the error";
+  EXPECT_THROW(
+      {
+        while (gen->nextValue()) {
+        }
+      },
+      IconError)
+      << "the producer-side division by zero rethrows on this thread";
+}
+
+TEST(FailureInjection, ErrorInsideMapReduceTaskSurfaces) {
+  auto divByIndex = builtins::makeNative("div", [](std::vector<Value>& args) {
+    return ops::div(Value::integer(100), ops::sub(args.at(0), Value::integer(3)));
+  });
+  auto add = builtins::makeNative("add", [](std::vector<Value>& args) {
+    return ops::add(args.at(0), args.at(1));
+  });
+  DataParallel dp(2);
+  auto gen = dp.mapReduce(divByIndex, [] {
+    return RangeGen::create(Value::integer(1), Value::integer(6), Value::integer(1));
+  }, add, Value::integer(0));
+  EXPECT_THROW(
+      {
+        while (gen->nextValue()) {
+        }
+      },
+      IconError)
+      << "a chunk task hitting x=3 divides by zero; the error reaches the drain";
+}
+
+TEST(FailureInjection, BreakOutsideLoopIsRuntimeError) {
+  interp::Interpreter interp;
+  interp.load("def f() { break; }");
+  try {
+    interp.evalAll("f()");
+    FAIL() << "expected IconError";
+  } catch (const IconError& e) {
+    EXPECT_EQ(e.number(), 506);
+  }
+  interp.load("def g() { next; }");
+  EXPECT_THROW(interp.evalAll("g()"), IconError);
+}
+
+TEST(FailureInjection, DeepRecursionWorks) {
+  interp::Interpreter interp;
+  interp.load("def down(n) { if n <= 0 then return 0; return 1 + down(n - 1); }");
+  EXPECT_EQ(interp.evalOne("down(2000)")->smallInt(), 2000);
+}
+
+TEST(FailureInjection, DeepGeneratorNesting) {
+  // 200 nested alternations driven to exhaustion.
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " | 1)";
+  interp::Interpreter interp;
+  EXPECT_EQ(interp.evalAll(expr).size(), 201u);
+}
+
+TEST(FailureInjection, AbandonedGeneratorsAreSafe) {
+  // Take one value and drop the generator — nothing may leak or hang,
+  // including pipes with live producers (the close-on-destroy contract).
+  interp::Interpreter interp;
+  for (int i = 0; i < 50; ++i) {
+    auto gen = interp.eval("! |> (1 to 1000000)");
+    ASSERT_TRUE(gen->nextValue().has_value());
+  }
+  // The pool still serves new work afterwards.
+  EXPECT_EQ(interp.evalOne("! |> 42")->smallInt(), 42);
+}
+
+TEST(FailureInjection, ErrorDuringProductLeavesGeneratorRestartable) {
+  interp::Interpreter interp;
+  interp.evalOne("denom := 0");
+  auto gen = interp.eval("(1 to 3) & 10 / denom");
+  EXPECT_THROW(gen->nextValue(), IconError);
+  interp.evalOne("denom := 2");
+  gen->restart();
+  EXPECT_EQ(gen->nextValue()->smallInt(), 5) << "restart recovers after a mid-product error";
+}
+
+TEST(FailureInjection, StopBuiltinAborts) {
+  interp::Interpreter interp;
+  EXPECT_THROW(interp.evalAll("stop(\"fatal\")"), IconError);
+}
+
+TEST(FailureInjection, MalformedProgramsLeaveNoDefinitions) {
+  interp::Interpreter interp;
+  EXPECT_THROW(interp.load("def ok() { return 1; } def broken( {"), frontend::SyntaxError);
+  // Parsing is all-or-nothing: the earlier def in the same buffer must
+  // not have been silently registered.
+  EXPECT_THROW(interp.call("ok", {}), IconError);
+}
+
+}  // namespace
+}  // namespace congen

@@ -1,0 +1,144 @@
+// scripts_test.cpp — the shipped example scripts and the annotated
+// example file load and behave as documented (end-to-end integration of
+// parser, normalizer, interpreter, pipes, and the metaparser/emitter).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "emit/emitter.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interpreter.hpp"
+#include "meta/annotations.hpp"
+#include "runtime/collections.hpp"
+
+namespace congen {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+const std::string kRoot = CONGEN_SOURCE_DIR;
+
+TEST(ScriptMapReduce, Fig4ScriptProducesChunkSums) {
+  interp::Interpreter interp;
+  interp.load(readFile(kRoot + "/examples/scripts/mapreduce.jn"));
+  std::vector<std::int64_t> sums;
+  auto gen = interp.eval("mapReduce(square, source, add, 0)");
+  while (auto v = gen->nextValue()) sums.push_back(v->requireInt64("sum"));
+  EXPECT_EQ(sums, (std::vector<std::int64_t>{14, 77, 194, 100}));
+}
+
+TEST(ScriptWordCount, SequentialEqualsPipeline) {
+  interp::Interpreter interp;
+  interp.load(readFile(kRoot + "/examples/scripts/wordcount.jn"));
+  const double sequential = interp.evalOne("runSequential()")->requireReal("seq");
+  const double pipelined = interp.evalOne("runPipeline()")->requireReal("pipe");
+  EXPECT_DOUBLE_EQ(sequential, pipelined);
+  EXPECT_NEAR(sequential, 10529097107.3732, 1e-3) << "known corpus hash";
+}
+
+TEST(AnnotatedExample, RegionsParseAndTranslate) {
+  // The shipped .ccg file must contain exactly one definition region and
+  // one expression region, and translate without errors.
+  const std::string src = readFile(kRoot + "/examples/embedded/wordcount_embedded.ccg");
+  const auto regions = meta::parseAnnotations(src);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].attr("lang"), "junicon");
+  EXPECT_EQ(regions[1].attr("lang"), "junicon");
+
+  // Definition region: a program; expression region: an expression.
+  const std::string defs =
+      src.substr(regions[0].innerBegin, regions[0].innerEnd - regions[0].innerBegin);
+  const std::string expr =
+      src.substr(regions[1].innerBegin, regions[1].innerEnd - regions[1].innerBegin);
+  EXPECT_THROW(frontend::parseExpression(defs), frontend::SyntaxError);
+  EXPECT_NO_THROW(frontend::parseProgram(defs));
+  EXPECT_NO_THROW(frontend::parseExpression(expr));
+
+  std::vector<ast::NodePtr> exprs = {frontend::parseExpression(expr)};
+  const std::string module =
+      emit::emitModuleWithExprs(frontend::parseProgram(defs), exprs, emit::EmitOptions{});
+  EXPECT_NE(module.find("make_hashWords"), std::string::npos);
+  EXPECT_NE(module.find("expr_0"), std::string::npos);
+}
+
+TEST(AnnotatedExample, InterpreterRunsTheEmbeddedDefinitions) {
+  // Run the same embedded program through the interactive path and check
+  // the pipeline/sequential agreement the example asserts.
+  const std::string src = readFile(kRoot + "/examples/embedded/wordcount_embedded.ccg");
+  const auto regions = meta::parseAnnotations(src);
+  ASSERT_GE(regions.size(), 2u);
+
+  interp::Interpreter interp;
+  auto lines = ListImpl::create();
+  lines->put(Value::string("the quick brown fox"));
+  lines->put(Value::string("jumps over the lazy dog"));
+  interp.defineGlobal("lines", Value::list(lines));
+  interp.load(src.substr(regions[0].innerBegin, regions[0].innerEnd - regions[0].innerBegin));
+
+  const std::string pipelineExpr =
+      src.substr(regions[1].innerBegin, regions[1].innerEnd - regions[1].innerBegin);
+  double viaPipeline = 0;
+  for (auto gen = interp.eval(pipelineExpr); auto v = gen->nextValue();) {
+    viaPipeline += v->requireReal("hash");
+  }
+  double viaHashWords = 0;
+  for (auto gen = interp.eval("hashWords(readLines())"); auto v = gen->nextValue();) {
+    viaHashWords += v->requireReal("hash");
+  }
+  EXPECT_GT(viaPipeline, 0.0);
+  EXPECT_DOUBLE_EQ(viaPipeline, viaHashWords);
+}
+
+TEST(ScriptNQueens, BacktrackingThroughSuspension) {
+  interp::Interpreter interp;
+  interp.load(readFile(kRoot + "/examples/scripts/nqueens.jn"));
+  // Known solution counts: the undo-after-suspend protocol must hold for
+  // the search to be exhaustive and non-repeating.
+  EXPECT_EQ(interp.evalAll("queens(4)").size(), 2u);
+  EXPECT_EQ(interp.evalAll("queens(5)").size(), 10u);
+  EXPECT_EQ(interp.evalAll("queens(6)").size(), 4u);
+}
+
+TEST(ScriptNQueens, FirstSolutionIsValid) {
+  interp::Interpreter interp;
+  interp.load(readFile(kRoot + "/examples/scripts/nqueens.jn"));
+  auto s = interp.eval("queens(6)")->nextValue();
+  ASSERT_TRUE(s && s->isList());
+  const auto& cols = s->list()->elements();
+  ASSERT_EQ(cols.size(), 6u);
+  for (std::size_t a = 0; a < cols.size(); ++a) {
+    for (std::size_t b = a + 1; b < cols.size(); ++b) {
+      const auto ra = cols[a].smallInt(), rb = cols[b].smallInt();
+      EXPECT_NE(ra, rb) << "row clash";
+      EXPECT_NE(ra - static_cast<std::int64_t>(a), rb - static_cast<std::int64_t>(b)) << "diag";
+      EXPECT_NE(ra + static_cast<std::int64_t>(a), rb + static_cast<std::int64_t>(b)) << "diag";
+    }
+  }
+}
+
+TEST(ScriptWordFreq, ScanningCountsWords) {
+  interp::Interpreter interp;
+  interp.load(readFile(kRoot + "/examples/scripts/wordfreq.jn"));
+  interp.evalOne("letters := \"abcdefghijklmnopqrstuvwxyz\"");
+  auto counts = interp.evalOne(
+      "countWords([\"a b a\", \"B c-c a\"])");
+  ASSERT_TRUE(counts && counts->isTable());
+  EXPECT_EQ(counts->table()->lookup(Value::string("a")).smallInt(), 3);
+  EXPECT_EQ(counts->table()->lookup(Value::string("b")).smallInt(), 2) << "map() lowercases";
+  EXPECT_EQ(counts->table()->lookup(Value::string("c")).smallInt(), 2) << "punctuation splits";
+}
+
+TEST(ScriptErrors, BrokenScriptRaisesSyntaxError) {
+  interp::Interpreter interp;
+  EXPECT_THROW(interp.load("def broken( { }"), frontend::SyntaxError);
+}
+
+}  // namespace
+}  // namespace congen

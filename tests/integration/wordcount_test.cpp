@@ -1,0 +1,115 @@
+// wordcount_test.cpp — the Fig. 6 workload: all eight benchmark variants
+// (native × junicon, sequential/pipeline/data-parallel/map-reduce) must
+// compute the same hash, lightweight and heavyweight.
+#include "wordcount.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace congen::wc {
+namespace {
+
+bool nearlyEqual(double a, double b) {
+  return std::fabs(a - b) <= 1e-9 * std::max({std::fabs(a), std::fabs(b), 1.0});
+}
+
+TEST(Corpus, DeterministicAndShaped) {
+  const auto a = makeCorpus(10, 5, 7);
+  const auto b = makeCorpus(10, 5, 7);
+  EXPECT_EQ(a, b) << "same seed, same corpus";
+  EXPECT_NE(a, makeCorpus(10, 5, 8));
+  ASSERT_EQ(a.size(), 10u);
+  for (const auto& line : a) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ' '), 4) << "5 words per line";
+  }
+}
+
+TEST(ComputeNodes, WordToNumberIsBase36) {
+  EXPECT_EQ(wordToNumber("hello").toString(), "29234652");
+  EXPECT_EQ(wordToNumber("0"), BigInt{0});
+}
+
+TEST(ComputeNodes, HashesAreDeterministic) {
+  const BigInt n = wordToNumber("benchmark");
+  EXPECT_DOUBLE_EQ(hashLight(n), hashLight(n));
+  EXPECT_DOUBLE_EQ(hashHeavy(n), hashHeavy(n));
+  EXPECT_GT(hashLight(n), 0.0);
+}
+
+class VariantAgreement : public ::testing::TestWithParam<bool> {};
+
+TEST_P(VariantAgreement, AllEightVariantsAgree) {
+  Params p;
+  p.heavy = GetParam();
+  p.chunkSize = 4;
+  p.queueCapacity = 8;
+  // Small corpus keeps the heavyweight variant quick.
+  const auto lines = makeCorpus(p.heavy ? 6 : 40, 4);
+  const double reference = referenceHash(lines, p);
+  ASSERT_GT(reference, 0.0);
+
+  EXPECT_TRUE(nearlyEqual(nativeSequential(lines, p), reference));
+  EXPECT_TRUE(nearlyEqual(nativePipeline(lines, p), reference)) << "native pipeline";
+  EXPECT_TRUE(nearlyEqual(nativeDataParallel(lines, p), reference)) << "native data-parallel";
+  EXPECT_TRUE(nearlyEqual(nativeMapReduce(lines, p), reference)) << "native map-reduce";
+
+  EXPECT_TRUE(nearlyEqual(juniconSequential(lines, p), reference)) << "junicon sequential";
+  EXPECT_TRUE(nearlyEqual(juniconPipeline(lines, p), reference)) << "junicon pipeline";
+  EXPECT_TRUE(nearlyEqual(juniconDataParallel(lines, p), reference)) << "junicon data-parallel";
+  EXPECT_TRUE(nearlyEqual(juniconMapReduce(lines, p), reference)) << "junicon map-reduce";
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, VariantAgreement, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "heavyweight" : "lightweight";
+                         });
+
+class ChunkingInvariance : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChunkingInvariance, HashIndependentOfChunkSize) {
+  Params p;
+  p.chunkSize = GetParam();
+  const auto lines = makeCorpus(23, 3);
+  const double reference = referenceHash(lines, p);
+  EXPECT_TRUE(nearlyEqual(nativeMapReduce(lines, p), reference)) << "chunk " << GetParam();
+  EXPECT_TRUE(nearlyEqual(juniconMapReduce(lines, p), reference)) << "chunk " << GetParam();
+  EXPECT_TRUE(nearlyEqual(juniconDataParallel(lines, p), reference)) << "chunk " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChunkingInvariance, ::testing::Values(1u, 2u, 7u, 23u, 100u));
+
+TEST(QueueCapacityInvariance, PipelineHashIndependentOfBound) {
+  const auto lines = makeCorpus(20, 4);
+  Params p;
+  double reference = 0;
+  for (const std::size_t cap : {1u, 2u, 16u, 1024u}) {
+    p.queueCapacity = cap;
+    const double native = nativePipeline(lines, p);
+    const double junicon = juniconPipeline(lines, p);
+    if (reference == 0) reference = native;
+    EXPECT_TRUE(nearlyEqual(native, reference)) << cap;
+    EXPECT_TRUE(nearlyEqual(junicon, reference)) << cap;
+  }
+}
+
+TEST(HeavyHash, IsSubstantiallyHeavierThanLight) {
+  // The Section VII premise: the heavyweight nodes dominate coordination
+  // cost. Sanity-check the weight ratio is at least an order of
+  // magnitude (the paper's factor is ~80).
+  const auto lines = makeCorpus(8, 4);
+  Params light, heavy;
+  heavy.heavy = true;
+
+  const auto time = [&lines](const Params& p) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 3; ++i) nativeSequential(lines, p);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+  const double tLight = time(light);
+  const double tHeavy = time(heavy);
+  EXPECT_GT(tHeavy, 10 * tLight) << "heavy=" << tHeavy << "s light=" << tLight << "s";
+}
+
+}  // namespace
+}  // namespace congen::wc

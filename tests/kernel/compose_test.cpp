@@ -1,0 +1,205 @@
+// compose_test.cpp — structural composition: product backtracking,
+// alternation, sequences, bound iteration, limits, promotion.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "builtins/builtins.hpp"
+#include "kernel/coexpression.hpp"
+#include "runtime/error.hpp"
+#include "runtime/var.hpp"
+
+namespace congen {
+namespace {
+
+using test::ci;
+using test::ints;
+using test::range;
+using test::strs;
+using test::vals;
+
+TEST(ProductTest, ResultsAreRightOperands) {
+  // e & e' yields e' once per left result: 2 lefts x 3 rights = 6.
+  auto g = ProductGen::create(range(1, 2), range(10, 12));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{10, 11, 12, 10, 11, 12}));
+}
+
+TEST(ProductTest, FailingLeftShortCircuits) {
+  bool rightRan = false;
+  auto right = CallbackGen::create([&rightRan]() -> CallbackGen::Puller {
+    return [&rightRan]() -> std::optional<Value> {
+      rightRan = true;
+      return std::nullopt;
+    };
+  });
+  auto g = ProductGen::create(FailGen::create(), std::move(right));
+  EXPECT_FALSE(g->nextValue().has_value());
+  EXPECT_FALSE(rightRan) << "conditional evaluation: right never evaluated (Section II)";
+}
+
+TEST(ProductTest, BacktrackingRestartsRight) {
+  // The right operand must restart for each left result, and the bound
+  // iteration on the left is visible to the right (dependent product).
+  auto i = CellVar::create();
+  auto g = ProductGen::create(InGen::create(i, range(1, 3)),
+                              makeBinaryOpGen("*", VarGen::create(i), ci(10)));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{10, 20, 30}));
+}
+
+TEST(ProductTest, PaperSectionIIExample) {
+  // i=(1 to 2) & j=(4 to 7) & isprime(j) & i*j  produces 5 7 10 14.
+  auto i = CellVar::create();
+  auto j = CellVar::create();
+  auto isprime = builtins::lookup("isprime");
+  auto g = ProductGen::create(
+      InGen::create(i, range(1, 2)),
+      ProductGen::create(
+          InGen::create(j, range(4, 7)),
+          ProductGen::create(
+              makeInvokeGen(ConstGen::create(Value::proc(isprime)), {VarGen::create(j)}),
+              makeBinaryOpGen("*", VarGen::create(i), VarGen::create(j)))));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{5, 7, 10, 14}));
+}
+
+TEST(AltTest, ConcatenatesResultSequences) {
+  auto g = AltGen::create(range(1, 2), range(8, 9));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{1, 2, 8, 9}));
+}
+
+TEST(AltTest, EmptyBranchesSkipped) {
+  std::vector<GenPtr> children;
+  children.push_back(FailGen::create());
+  children.push_back(ci(5));
+  children.push_back(FailGen::create());
+  children.push_back(ci(6));
+  EXPECT_EQ(ints(AltGen::create(std::move(children))), (std::vector<std::int64_t>{5, 6}));
+}
+
+TEST(SeqTest, ExpressionModeBoundsAllButLast) {
+  // (a; b; c): a and b are bounded to one result, c delegates fully.
+  std::vector<GenPtr> terms;
+  terms.push_back(range(1, 5));   // bounded: contributes nothing
+  terms.push_back(range(10, 15)); // bounded
+  terms.push_back(range(100, 102));
+  auto g = SeqGen::create(std::move(terms), SeqGen::Mode::Expression);
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{100, 101, 102}));
+}
+
+TEST(SeqTest, BodyModeSwallowsPlainResults) {
+  std::vector<GenPtr> terms;
+  terms.push_back(ci(1));
+  terms.push_back(ci(2));
+  auto g = SeqGen::create(std::move(terms), SeqGen::Mode::Body);
+  EXPECT_FALSE(g->nextValue().has_value()) << "bodies produce only via suspend/return";
+}
+
+TEST(SeqTest, FailedBoundedTermDoesNotAbortSequence) {
+  std::vector<GenPtr> terms;
+  terms.push_back(FailGen::create());
+  terms.push_back(ci(9));
+  auto g = SeqGen::create(std::move(terms), SeqGen::Mode::Expression);
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{9}));
+}
+
+TEST(InGenTest, BindsAndYieldsVariable) {
+  auto x = CellVar::create();
+  auto g = InGen::create(x, range(5, 7));
+  auto r = g->next();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value.smallInt(), 5);
+  EXPECT_EQ(x->get().smallInt(), 5);
+  EXPECT_EQ(r->ref, x) << "(x in e) yields the variable itself";
+  g->next();
+  EXPECT_EQ(x->get().smallInt(), 6);
+}
+
+TEST(LimitTest, CapsResultsPerCycle) {
+  EXPECT_EQ(ints(LimitGen::create(range(1, 100), 3)), (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(ints(LimitGen::create(range(1, 2), 5)), (std::vector<std::int64_t>{1, 2}))
+      << "limit above length is harmless";
+  EXPECT_EQ(ints(LimitGen::create(range(1, 5), 0)), (std::vector<std::int64_t>{}));
+}
+
+TEST(LimitTest, BoundIsAnExpression) {
+  // e \ n re-evaluates n each cycle.
+  auto n = CellVar::create(Value::integer(2));
+  auto g = LimitGen::create(range(1, 10), VarGen::create(n));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{1, 2}));
+  n->set(Value::integer(4));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{1, 2, 3, 4}));
+}
+
+TEST(NotTest, InvertsSuccess) {
+  EXPECT_TRUE(NotGen::create(FailGen::create())->nextValue()->isNull());
+  EXPECT_FALSE(NotGen::create(ci(1))->nextValue().has_value());
+  // not e is bounded: one result max.
+  auto g = NotGen::create(FailGen::create());
+  EXPECT_TRUE(g->nextValue().has_value());
+  EXPECT_FALSE(g->nextValue().has_value());
+}
+
+TEST(RepeatAltTest, CyclesUntilSterile) {
+  auto g = RepeatAltGen::create(range(1, 2));
+  std::vector<std::int64_t> first6;
+  for (int i = 0; i < 6; ++i) first6.push_back(g->nextValue()->requireInt64());
+  EXPECT_EQ(first6, (std::vector<std::int64_t>{1, 2, 1, 2, 1, 2})) << "|e repeats its operand";
+}
+
+TEST(RepeatAltTest, SterilePassTerminates) {
+  EXPECT_FALSE(RepeatAltGen::create(FailGen::create())->nextValue().has_value())
+      << "|&fail must not loop forever";
+}
+
+TEST(PromoteTest, ListElementsAreAssignable) {
+  const Value l = test::listOf({1, 2, 3});
+  auto g = PromoteGen::create(ConstGen::create(l));
+  auto r = g->next();
+  ASSERT_TRUE(r.has_value());
+  ASSERT_NE(r->ref, nullptr);
+  r->ref->set(Value::integer(42));
+  EXPECT_EQ(l.list()->at(1)->smallInt(), 42) << "!L yields trapped variables";
+  EXPECT_EQ(g->nextValue()->smallInt(), 2);
+}
+
+TEST(PromoteTest, StringsTablesSets) {
+  EXPECT_EQ(strs(PromoteGen::create(ConstGen::create(Value::string("abc")))),
+            (std::vector<std::string>{"a", "b", "c"}));
+
+  auto t = TableImpl::create();
+  t->insert(Value::string("x"), Value::integer(1));
+  t->insert(Value::string("y"), Value::integer(2));
+  EXPECT_EQ(ints(PromoteGen::create(ConstGen::create(Value::table(t)))),
+            (std::vector<std::int64_t>{1, 2})) << "table values in sorted key order";
+
+  auto s = SetImpl::create();
+  s->insert(Value::integer(3));
+  s->insert(Value::integer(1));
+  EXPECT_EQ(ints(PromoteGen::create(ConstGen::create(Value::set(s)))),
+            (std::vector<std::int64_t>{1, 3})) << "set members sorted";
+}
+
+TEST(PromoteTest, GrowingListObserved) {
+  // !L walks by index, so elements appended during iteration are seen —
+  // needed for chunk() (Fig. 4), which fills its list while another
+  // expression drains it.
+  auto l = ListImpl::create({Value::integer(1)});
+  auto g = PromoteGen::create(ConstGen::create(Value::list(l)));
+  EXPECT_EQ(g->nextValue()->smallInt(), 1);
+  l->put(Value::integer(2));
+  EXPECT_EQ(g->nextValue()->smallInt(), 2);
+}
+
+TEST(PromoteTest, ErrorsOnNonPromotable) {
+  auto g = PromoteGen::create(ci(5));
+  EXPECT_THROW(g->nextValue(), IconError);
+  EXPECT_THROW(PromoteGen::create(NullGen::create())->nextValue(), IconError);
+}
+
+TEST(PromoteTest, FlattensOperandSequence) {
+  // ! over an operand generating two lists concatenates their elements.
+  std::vector<Value> lists = {test::listOf({1, 2}), test::listOf({3})};
+  auto g = PromoteGen::create(ValuesGen::create(lists));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace congen

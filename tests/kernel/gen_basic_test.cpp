@@ -1,0 +1,121 @@
+// gen_basic_test.cpp — leaf generators and the restart-after-failure
+// protocol that the whole kernel builds on.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "runtime/error.hpp"
+#include "runtime/var.hpp"
+
+namespace congen {
+namespace {
+
+using test::ci;
+using test::ints;
+
+TEST(ConstGenTest, SingletonPerCycle) {
+  auto g = ci(42);
+  EXPECT_EQ(g->nextValue()->smallInt(), 42);
+  EXPECT_FALSE(g->nextValue().has_value()) << "exhausted after one result";
+  // The paper: "after failure, the iterator is then restarted on the
+  // following next()".
+  EXPECT_EQ(g->nextValue()->smallInt(), 42) << "auto-restart after failure";
+}
+
+TEST(ConstGenTest, ExplicitRestartMidCycle) {
+  auto g = ci(7);
+  ASSERT_TRUE(g->nextValue().has_value());
+  g->restart();
+  EXPECT_EQ(g->nextValue()->smallInt(), 7);
+}
+
+TEST(VarGenTest, YieldsAssignableReference) {
+  auto cell = CellVar::create(Value::integer(10));
+  auto g = VarGen::create(cell);
+  auto r = g->next();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value.smallInt(), 10);
+  ASSERT_NE(r->ref, nullptr) << "variables carry their location";
+  r->ref->set(Value::integer(99));
+  EXPECT_EQ(cell->get().smallInt(), 99);
+}
+
+TEST(VarGenTest, ReadsFreshValueEachCycle) {
+  auto cell = CellVar::create(Value::integer(1));
+  auto g = VarGen::create(cell);
+  EXPECT_EQ(g->nextValue()->smallInt(), 1);
+  EXPECT_FALSE(g->nextValue().has_value());
+  cell->set(Value::integer(2));
+  EXPECT_EQ(g->nextValue()->smallInt(), 2) << "restarted read sees the new value";
+}
+
+TEST(NullFailGen, Protocol) {
+  auto n = NullGen::create();
+  EXPECT_TRUE(n->nextValue()->isNull());
+  EXPECT_FALSE(n->nextValue().has_value());
+  auto f = FailGen::create();
+  EXPECT_FALSE(f->nextValue().has_value());
+  EXPECT_FALSE(f->nextValue().has_value());
+}
+
+TEST(RangeGenTest, AscendingDescending) {
+  EXPECT_EQ(ints(RangeGen::create(Value::integer(1), Value::integer(5), Value::integer(1))),
+            (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(ints(RangeGen::create(Value::integer(10), Value::integer(1), Value::integer(-3))),
+            (std::vector<std::int64_t>{10, 7, 4, 1}));
+  EXPECT_EQ(ints(RangeGen::create(Value::integer(3), Value::integer(1), Value::integer(1))),
+            (std::vector<std::int64_t>{})) << "empty ascending range";
+}
+
+TEST(RangeGenTest, ZeroStepIsError) {
+  EXPECT_THROW(RangeGen::create(Value::integer(1), Value::integer(5), Value::integer(0)),
+               IconError);
+}
+
+TEST(RangeGenTest, RealAndBigRanges) {
+  auto g = RangeGen::create(Value::real(0.5), Value::real(2.0), Value::real(0.5));
+  std::vector<double> out;
+  while (auto v = g->nextValue()) out.push_back(v->real());
+  EXPECT_EQ(out, (std::vector<double>{0.5, 1.0, 1.5, 2.0}));
+
+  const BigInt big = BigInt{2}.pow(80);
+  auto bg = RangeGen::create(Value::integer(big), Value::integer(big + BigInt{2}),
+                             Value::integer(1));
+  EXPECT_EQ(bg->collect().size(), 3u) << "BigInt bounds iterate";
+}
+
+TEST(RangeGenTest, RestartsAfterExhaustion) {
+  auto g = RangeGen::create(Value::integer(1), Value::integer(2), Value::integer(1));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{1, 2})) << "second full cycle";
+}
+
+TEST(ValuesGenTest, IterationAndRestart) {
+  auto g = test::vals({3, 1, 4});
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{3, 1, 4}));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{3, 1, 4}));
+}
+
+TEST(CallbackGenTest, BridgesHostPullers) {
+  int created = 0;
+  auto g = CallbackGen::create([&created]() -> CallbackGen::Puller {
+    ++created;
+    int n = 0;
+    return [n]() mutable -> std::optional<Value> {
+      if (n >= 3) return std::nullopt;
+      return Value::integer(++n);
+    };
+  });
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(created, 1);
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{1, 2, 3})) << "restart re-arms the puller";
+  EXPECT_EQ(created, 2);
+}
+
+TEST(GenHelpers, LastAndCollect) {
+  EXPECT_EQ(test::range(1, 4)->last()->smallInt(), 4);
+  EXPECT_FALSE(FailGen::create()->last().has_value());
+  EXPECT_EQ(test::range(1, 3)->collect().size(), 3u);
+}
+
+}  // namespace
+}  // namespace congen

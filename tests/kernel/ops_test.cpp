@@ -1,0 +1,233 @@
+// ops_test.cpp — operations over generator operands: goal-directed
+// filtering, invocation flattening, assignment, subscripts.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "builtins/builtins.hpp"
+#include "runtime/error.hpp"
+#include "runtime/proc.hpp"
+#include "runtime/var.hpp"
+
+namespace congen {
+namespace {
+
+using test::ci;
+using test::ints;
+using test::range;
+
+TEST(BinOpTest, CrossProductOfOperands) {
+  // (1|2) + (10|20) = 11 21 12 22.
+  auto g = makeBinaryOpGen("+", AltGen::create(ci(1), ci(2)), AltGen::create(ci(10), ci(20)));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{11, 21, 12, 22}));
+}
+
+TEST(BinOpTest, ComparisonFiltersSearch) {
+  // (1 to 10) > 5 — wait: Icon's x > y yields y; search over the left
+  // operand keeps going after failures. 6>5..10>5 succeed, each yielding 5.
+  auto g = makeBinaryOpGen(">", range(1, 10), ci(5));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{5, 5, 5, 5, 5}));
+}
+
+TEST(BinOpTest, FirstSolutionShortCircuit) {
+  // Bounded use: find the first pair (i,j) of ranges with i*j = 12.
+  auto i = CellVar::create();
+  auto j = CellVar::create();
+  auto g = LimitGen::create(
+      ProductGen::create(
+          InGen::create(i, range(1, 6)),
+          ProductGen::create(InGen::create(j, range(1, 6)),
+                             makeBinaryOpGen("=", ci(12),
+                                             makeBinaryOpGen("*", VarGen::create(i),
+                                                             VarGen::create(j))))),
+      1);
+  ASSERT_TRUE(g->nextValue().has_value());
+  EXPECT_EQ(i->get().smallInt(), 2);
+  EXPECT_EQ(j->get().smallInt(), 6);
+}
+
+TEST(UnOpTest, NegateAndSize) {
+  EXPECT_EQ(ints(makeUnaryOpGen("-", range(1, 3))), (std::vector<std::int64_t>{-1, -2, -3}));
+  EXPECT_EQ(makeUnaryOpGen("*", ConstGen::create(Value::string("word")))->nextValue()->smallInt(),
+            4);
+}
+
+TEST(InvokeTest, DelegatesToReturnedGenerator) {
+  // A generator function invoked once delegates its whole sequence.
+  auto gen3 = ProcImpl::create("gen3", [](std::vector<Value>) -> GenPtr {
+    return test::vals({7, 8, 9});
+  });
+  auto g = makeInvokeGen(ConstGen::create(Value::proc(gen3)), {});
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{7, 8, 9}));
+}
+
+TEST(InvokeTest, ArgumentsFlattenedOverProduct) {
+  // f(1|2, 10|20) invokes f four times (Section II: operations map over
+  // the cross-product of their argument sequences).
+  std::vector<std::vector<Value>> calls;
+  auto record = ProcImpl::create("record", [&calls](std::vector<Value> args) -> GenPtr {
+    calls.push_back(args);
+    return ConstGen::create(Value::integer(0));
+  });
+  auto g = makeInvokeGen(ConstGen::create(Value::proc(record)),
+                         {AltGen::create(ci(1), ci(2)), AltGen::create(ci(10), ci(20))});
+  EXPECT_EQ(ints(g).size(), 4u);
+  ASSERT_EQ(calls.size(), 4u);
+  EXPECT_EQ(calls[0][0].smallInt(), 1);
+  EXPECT_EQ(calls[0][1].smallInt(), 10);
+  EXPECT_EQ(calls[1][1].smallInt(), 20) << "rightmost operand varies fastest";
+  EXPECT_EQ(calls[2][0].smallInt(), 2);
+}
+
+TEST(InvokeTest, FailingArgumentPreventsCall) {
+  bool called = false;
+  auto f = ProcImpl::create("f", [&called](std::vector<Value>) -> GenPtr {
+    called = true;
+    return NullGen::create();
+  });
+  auto g = makeInvokeGen(ConstGen::create(Value::proc(f)), {FailGen::create()});
+  EXPECT_FALSE(g->nextValue().has_value());
+  EXPECT_FALSE(called) << "f(x) does not call f when x fails (Section II)";
+}
+
+TEST(InvokeTest, GeneratorCallee) {
+  // (f | g)(x) iterates first through f(x) then g(x) — function names
+  // can be generator expressions (Section II).
+  auto doubler = builtins::makeNative("d", [](std::vector<Value>& a) {
+    return ops::mul(a.at(0), Value::integer(2));
+  });
+  auto tripler = builtins::makeNative("t", [](std::vector<Value>& a) {
+    return ops::mul(a.at(0), Value::integer(3));
+  });
+  auto g = makeInvokeGen(
+      AltGen::create(ConstGen::create(Value::proc(doubler)), ConstGen::create(Value::proc(tripler))),
+      {ci(5)});
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{10, 15}));
+}
+
+TEST(InvokeTest, NonProcCalleeErrors) {
+  auto g = makeInvokeGen(ci(42), {});
+  EXPECT_THROW(g->nextValue(), IconError);
+}
+
+TEST(ToByTest, OperandsAreGenerators) {
+  // (1|2) to 3 — two ranges back to back.
+  auto g = makeToByGen(AltGen::create(ci(1), ci(2)), ci(3), nullptr);
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{1, 2, 3, 2, 3}));
+}
+
+TEST(AssignTest, YieldsVariableAndStores) {
+  auto x = CellVar::create();
+  auto g = makeAssignGen(VarGen::create(x), ci(5));
+  auto r = g->next();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->value.smallInt(), 5);
+  EXPECT_EQ(r->ref, x);
+  EXPECT_EQ(x->get().smallInt(), 5);
+}
+
+TEST(AssignTest, BacktracksOverRhs) {
+  // x := (1|2|3) assigns each alternative on backtracking.
+  auto x = CellVar::create();
+  auto g = makeAssignGen(VarGen::create(x), test::vals({1, 2, 3}));
+  EXPECT_EQ(ints(g), (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(x->get().smallInt(), 3);
+}
+
+TEST(AssignTest, NonVariableLhsErrors) {
+  auto g = makeAssignGen(ci(1), ci(2));
+  EXPECT_THROW(g->nextValue(), IconError);
+}
+
+TEST(AugAssignTest, AppliesOperator) {
+  auto x = CellVar::create(Value::integer(10));
+  EXPECT_EQ(makeAugAssignGen("+", VarGen::create(x), ci(5))->nextValue()->smallInt(), 15);
+  EXPECT_EQ(x->get().smallInt(), 15);
+  EXPECT_EQ(makeAugAssignGen("*", VarGen::create(x), ci(2))->nextValue()->smallInt(), 30);
+}
+
+TEST(AugAssignTest, ComparisonAugmentedCanFail) {
+  auto x = CellVar::create(Value::integer(10));
+  EXPECT_FALSE(makeAugAssignGen("<", VarGen::create(x), ci(5))->nextValue().has_value());
+  EXPECT_EQ(x->get().smallInt(), 10) << "failed <:= does not assign";
+  EXPECT_TRUE(makeAugAssignGen("<", VarGen::create(x), ci(99))->nextValue().has_value());
+  EXPECT_EQ(x->get().smallInt(), 99) << "successful <:= assigns the right operand";
+}
+
+TEST(SwapTest, ExchangesValues) {
+  auto x = CellVar::create(Value::integer(1));
+  auto y = CellVar::create(Value::integer(2));
+  ASSERT_TRUE(makeSwapGen(VarGen::create(x), VarGen::create(y))->nextValue().has_value());
+  EXPECT_EQ(x->get().smallInt(), 2);
+  EXPECT_EQ(y->get().smallInt(), 1);
+}
+
+TEST(IndexTest, ListSubscriptFailsOutOfRange) {
+  const Value l = test::listOf({10, 20});
+  EXPECT_EQ(makeIndexGen(ConstGen::create(l), ci(1))->nextValue()->smallInt(), 10);
+  EXPECT_EQ(makeIndexGen(ConstGen::create(l), ci(-1))->nextValue()->smallInt(), 20);
+  EXPECT_FALSE(makeIndexGen(ConstGen::create(l), ci(3))->nextValue().has_value())
+      << "out-of-range subscript fails, it does not error";
+}
+
+TEST(IndexTest, SubscriptAssignment) {
+  const Value l = test::listOf({10, 20});
+  auto r = makeIndexGen(ConstGen::create(l), ci(2))->next();
+  ASSERT_TRUE(r && r->ref);
+  r->ref->set(Value::integer(99));
+  EXPECT_EQ(l.list()->at(2)->smallInt(), 99);
+}
+
+TEST(IndexTest, TableAndStringSubscript) {
+  auto t = TableImpl::create(Value::integer(0));
+  t->insert(Value::string("k"), Value::integer(7));
+  EXPECT_EQ(makeIndexGen(ConstGen::create(Value::table(t)),
+                         ConstGen::create(Value::string("k")))->nextValue()->smallInt(),
+            7);
+  EXPECT_EQ(makeIndexGen(ConstGen::create(Value::string("hello")), ci(2))
+                ->nextValue()->str(),
+            "e");
+  EXPECT_FALSE(makeIndexGen(ConstGen::create(Value::string("hi")), ci(9))->nextValue());
+  EXPECT_THROW(makeIndexGen(ci(1), ci(1))->nextValue(), IconError);
+}
+
+TEST(FieldTest, TableFieldSugar) {
+  auto t = TableImpl::create();
+  t->insert(Value::string("name"), Value::string("icon"));
+  auto g = makeFieldGen(ConstGen::create(Value::table(t)), "name");
+  auto r = g->next();
+  ASSERT_TRUE(r && r->ref);
+  EXPECT_EQ(r->value.str(), "icon");
+  r->ref->set(Value::string("unicon"));
+  EXPECT_EQ(t->lookup(Value::string("name")).str(), "unicon");
+}
+
+TEST(ListLitTest, CrossProductSemantics) {
+  // [1|2, 5] generates two lists.
+  std::vector<GenPtr> elems;
+  elems.push_back(AltGen::create(ci(1), ci(2)));
+  elems.push_back(ci(5));
+  auto g = makeListLitGen(std::move(elems));
+  auto first = g->nextValue();
+  ASSERT_TRUE(first && first->isList());
+  EXPECT_EQ(first->list()->at(1)->smallInt(), 1);
+  auto second = g->nextValue();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->list()->at(1)->smallInt(), 2);
+  EXPECT_FALSE(g->nextValue().has_value());
+}
+
+TEST(ListLitTest, EmptyLiteral) {
+  auto g = makeListLitGen({});
+  auto v = g->nextValue();
+  ASSERT_TRUE(v && v->isList());
+  EXPECT_EQ(v->list()->size(), 0);
+  EXPECT_FALSE(g->nextValue().has_value());
+}
+
+TEST(OpsRegistry, UnknownOperatorThrows) {
+  EXPECT_THROW(makeBinaryOpGen("@@", ci(1), ci(2)), std::invalid_argument);
+  EXPECT_THROW(makeUnaryOpGen("#", ci(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace congen

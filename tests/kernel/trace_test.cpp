@@ -1,0 +1,123 @@
+// trace_test.cpp — the monitoring facility (the paper's Section IX
+// future-work item): events over the uniform next() protocol.
+#include "kernel/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "interp/interpreter.hpp"
+
+namespace congen {
+namespace {
+
+using test::ci;
+using test::range;
+
+class TraceGuard {
+ public:
+  ~TraceGuard() { trace::remove(); }
+};
+
+TEST(TraceTest, DisabledByDefault) {
+  EXPECT_FALSE(trace::enabled());
+  // Iteration without a hook must behave normally.
+  EXPECT_EQ(test::ints(range(1, 3)).size(), 3u);
+}
+
+TEST(TraceTest, EventsCoverResumeProduceFail) {
+  TraceGuard guard;
+  std::vector<trace::EventKind> kinds;
+  trace::install([&kinds](const trace::Event& e) { kinds.push_back(e.kind); });
+  EXPECT_TRUE(trace::enabled());
+
+  auto g = ci(7);
+  g->nextValue();   // produce
+  g->nextValue();   // fail
+  ASSERT_EQ(kinds.size(), 4u);
+  EXPECT_EQ(kinds[0], trace::EventKind::Resume);
+  EXPECT_EQ(kinds[1], trace::EventKind::Produce);
+  EXPECT_EQ(kinds[2], trace::EventKind::Resume);
+  EXPECT_EQ(kinds[3], trace::EventKind::Fail);
+}
+
+TEST(TraceTest, ProduceCarriesValueAndType) {
+  TraceGuard guard;
+  std::vector<std::pair<std::string, std::string>> produces;  // (type, value image)
+  trace::install([&produces](const trace::Event& e) {
+    if (e.kind == trace::EventKind::Produce) {
+      produces.emplace_back(e.nodeType, e.value ? e.value->image() : "?");
+    }
+  });
+  RangeGen::create(Value::integer(5), Value::integer(6), Value::integer(1))->collect();
+  ASSERT_EQ(produces.size(), 2u);
+  EXPECT_NE(produces[0].first.find("RangeGen"), std::string::npos) << "demangled type name";
+  EXPECT_EQ(produces[0].second, "5");
+  EXPECT_EQ(produces[1].second, "6");
+}
+
+TEST(TraceTest, DepthTracksNesting) {
+  TraceGuard guard;
+  int maxDepth = 0;
+  trace::install([&maxDepth](const trace::Event& e) { maxDepth = std::max(maxDepth, e.depth); });
+  // A product over a range nests: Product -> Range.
+  ProductGen::create(range(1, 2), ci(9))->collect();
+  EXPECT_GE(maxDepth, 1);
+}
+
+TEST(TraceTest, CountersMatchManualCounts) {
+  TraceGuard guard;
+  trace::installCounting();
+  auto g = RangeGen::create(Value::integer(1), Value::integer(10), Value::integer(1));
+  g->collect();  // 10 produces + 1 fail at the root
+  const auto c = trace::counters();
+  EXPECT_EQ(c.produces, 10u);
+  EXPECT_EQ(c.failures, 1u);
+  EXPECT_EQ(c.resumes, c.produces + c.failures) << "every resume resolves";
+}
+
+TEST(TraceTest, WholeProgramMonitoring) {
+  // Monitoring an interpreter run end to end: the counts expose the
+  // amount of kernel work a program performs.
+  TraceGuard guard;
+  interp::Interpreter interp;
+  interp.load("def f(n) { local i; every i := 1 to n do suspend i * i; }");
+  auto warm = interp.eval("f(10)");  // compile outside the measured region
+
+  trace::installCounting();
+  warm->collect();
+  const auto c = trace::counters();
+  EXPECT_GT(c.resumes, 30u) << "a real program touches many nodes";
+  EXPECT_GT(c.produces, 10u);
+  trace::remove();
+
+  // After removal the counters stop moving.
+  const auto frozen = trace::counters();
+  interp.evalAll("f(5)");
+  EXPECT_EQ(trace::counters().resumes, frozen.resumes);
+}
+
+TEST(TraceTest, FormatIsReadable) {
+  trace::Event e;
+  e.kind = trace::EventKind::Produce;
+  e.node = nullptr;
+  e.nodeType = "congen::ProductGen";
+  e.depth = 2;
+  const Value v = Value::integer(42);
+  e.value = &v;
+  EXPECT_EQ(trace::format(e), "| | ProductGen -> 42");
+  e.kind = trace::EventKind::Fail;
+  e.value = nullptr;
+  e.depth = 0;
+  EXPECT_EQ(trace::format(e), "ProductGen =| fail");
+}
+
+TEST(TraceTest, RemoveRestoresFastPath) {
+  {
+    TraceGuard guard;
+    trace::install([](const trace::Event&) {});
+  }
+  EXPECT_FALSE(trace::enabled());
+}
+
+}  // namespace
+}  // namespace congen

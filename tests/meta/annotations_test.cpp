@@ -1,0 +1,150 @@
+// annotations_test.cpp — the scoped-annotation metaparser (Section IV).
+#include "meta/annotations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace congen::meta {
+namespace {
+
+TEST(AnnotationForms, BareAttributeForm) {
+  const auto regions = parseAnnotations(R"(before @<script lang="junicon"> x := 1 @</script> after)");
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].tag, "script");
+  EXPECT_EQ(regions[0].attr("lang"), "junicon");
+  EXPECT_FALSE(regions[0].selfClosing);
+}
+
+TEST(AnnotationForms, ParenthesizedForm) {
+  const auto regions = parseAnnotations(R"(@<script(lang="junicon", mode=strict)> e @</script>)");
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].attr("lang"), "junicon");
+  EXPECT_EQ(regions[0].attr("mode"), "strict") << "bare attribute values accepted";
+}
+
+TEST(AnnotationForms, SelfClosingForms) {
+  const auto r1 = parseAnnotations(R"(@<marker kind=probe/>)");
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_TRUE(r1[0].selfClosing);
+  EXPECT_EQ(r1[0].attr("kind"), "probe");
+  EXPECT_EQ(r1[0].innerBegin, r1[0].innerEnd);
+
+  const auto r2 = parseAnnotations(R"(@<marker(kind=probe)/>)");
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_TRUE(r2[0].selfClosing);
+}
+
+TEST(AnnotationForms, QualifiedTagNames) {
+  const auto regions =
+      parseAnnotations("@<edu.uidaho.junicon:script lang=x> e @</edu.uidaho.junicon:script>");
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].tag, "edu.uidaho.junicon:script");
+}
+
+TEST(AnnotationForms, ValuelessAttribute) {
+  const auto regions = parseAnnotations("@<script interactive lang=junicon> e @</script>");
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_TRUE(regions[0].attrs.contains("interactive"));
+  EXPECT_EQ(regions[0].attr("interactive"), "");
+}
+
+TEST(AnnotationContent, InnerSpanIsExact) {
+  const std::string src = "A@<t>INNER@</t>B";
+  const auto regions = parseAnnotations(src);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(src.substr(regions[0].innerBegin, regions[0].innerEnd - regions[0].innerBegin),
+            "INNER");
+  EXPECT_EQ(src.substr(regions[0].outerBegin, regions[0].outerEnd - regions[0].outerBegin),
+            "@<t>INNER@</t>");
+}
+
+TEST(AnnotationNesting, RegionsNest) {
+  // "Like XML, such annotations ... can also be nested."
+  const auto regions = parseAnnotations("@<outer>a @<inner lang=java> j @</inner> b@</outer>");
+  ASSERT_EQ(regions.size(), 1u);
+  ASSERT_EQ(regions[0].children.size(), 1u);
+  EXPECT_EQ(regions[0].children[0].tag, "inner");
+  EXPECT_EQ(regions[0].children[0].attr("lang"), "java");
+}
+
+TEST(AnnotationNesting, SiblingsAtTopLevel) {
+  const auto regions = parseAnnotations("@<a>1@</a> gap @<b>2@</b>");
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0].tag, "a");
+  EXPECT_EQ(regions[1].tag, "b");
+}
+
+TEST(HostObliviousness, AnnotationsInsideHostStringsIgnored) {
+  // The metaparser only understands host literals and comments — an
+  // annotation-shaped substring inside them must not open a region.
+  EXPECT_TRUE(parseAnnotations(R"(const char* s = "@<script>not a region@</script>";)").empty());
+  EXPECT_TRUE(parseAnnotations("// @<script> comment @</script>\nint x;").empty());
+  EXPECT_TRUE(parseAnnotations("/* @<script> block comment @</script> */").empty());
+  EXPECT_TRUE(parseAnnotations("char c = '@';").empty());
+}
+
+TEST(HostObliviousness, EscapedQuotesInHostStrings) {
+  EXPECT_TRUE(parseAnnotations(R"(const char* s = "quote \" then @<t>x@</t>";)").empty());
+}
+
+TEST(HostObliviousness, HostCodeNeedsNoValidSyntax) {
+  // "We do not need parsers for Java or Groovy" — arbitrary host text
+  // around regions is fine.
+  const auto regions = parseAnnotations("%%%! if ( { ] @<t>e@</t> ???");
+  ASSERT_EQ(regions.size(), 1u);
+}
+
+TEST(AnnotationErrors, UnterminatedRegion) {
+  EXPECT_THROW(parseAnnotations("@<t> never closed"), AnnotationError);
+}
+
+TEST(AnnotationErrors, MismatchedCloseTag) {
+  EXPECT_THROW(parseAnnotations("@<a> x @</b>"), AnnotationError);
+}
+
+TEST(AnnotationErrors, StrayClose) {
+  EXPECT_THROW(parseAnnotations("text @</a>"), AnnotationError);
+}
+
+TEST(TransformRegions, ReplacesRegionKeepsHost) {
+  const std::string out = transformRegions(
+      "keep1 @<x>BODY@</x> keep2",
+      [](const Region& r, const std::string& inner) { return "[" + r.tag + ":" + inner + "]"; });
+  EXPECT_EQ(out, "keep1 [x:BODY] keep2");
+}
+
+TEST(TransformRegions, InnermostOutwardsOrder) {
+  // "Each embedded region is transformed and injected into the
+  // surrounding context, from the innermost outwards."
+  std::vector<std::string> order;
+  const std::string out =
+      transformRegions("@<outer>A@<inner>B@</inner>C@</outer>",
+                       [&order](const Region& r, const std::string& inner) {
+                         order.push_back(r.tag);
+                         return "(" + inner + ")";
+                       });
+  EXPECT_EQ(order, (std::vector<std::string>{"inner", "outer"}));
+  EXPECT_EQ(out, "(A(B)C)");
+}
+
+TEST(TransformRegions, SelfClosingGetsEmptyInner) {
+  const std::string out =
+      transformRegions("x @<probe/> y", [](const Region&, const std::string& inner) {
+        EXPECT_TRUE(inner.empty());
+        return "P";
+      });
+  EXPECT_EQ(out, "x P y");
+}
+
+TEST(TransformRegions, NoRegionsIsIdentity) {
+  const std::string src = "int main() { return 0; } // plain host code";
+  EXPECT_EQ(transformRegions(src, [](const Region&, const std::string& i) { return i; }), src);
+}
+
+TEST(AnnotationContent, JuniconDivisionNotMistakenForComment) {
+  // a / b inside an embedded region must not start a host comment scan.
+  const auto regions = parseAnnotations("@<t> a / b @</t>");
+  ASSERT_EQ(regions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace congen::meta

@@ -1,0 +1,195 @@
+// value_test.cpp — the dynamic Value type: tags, coercions, arithmetic
+// promotion, goal-directed comparisons, equality/ordering/hash.
+#include "runtime/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/collections.hpp"
+#include "runtime/error.hpp"
+#include "runtime/proc.hpp"
+
+namespace congen {
+namespace {
+
+TEST(ValueTags, Basics) {
+  EXPECT_EQ(Value::null().tag(), TypeTag::Null);
+  EXPECT_EQ(Value::integer(1).tag(), TypeTag::Integer);
+  EXPECT_EQ(Value::integer(BigInt{2}.pow(100)).tag(), TypeTag::Integer);
+  EXPECT_EQ(Value::real(1.5).tag(), TypeTag::Real);
+  EXPECT_EQ(Value::string("x").tag(), TypeTag::String);
+  EXPECT_EQ(Value::list(ListImpl::create()).tag(), TypeTag::List);
+  EXPECT_EQ(Value::table(TableImpl::create()).tag(), TypeTag::Table);
+  EXPECT_EQ(Value::set(SetImpl::create()).tag(), TypeTag::Set);
+}
+
+TEST(ValueTags, SmallIntCanonicalization) {
+  // A BigInt that fits 64 bits is demoted to the fast path, so equal
+  // integers always share a representation.
+  const Value big = Value::integer(BigInt{42});
+  EXPECT_TRUE(big.isSmallInt());
+  EXPECT_EQ(big.smallInt(), 42);
+  const Value wide = Value::integer(BigInt{2}.pow(100));
+  EXPECT_TRUE(wide.isInteger());
+  EXPECT_FALSE(wide.isSmallInt());
+}
+
+TEST(ValueCoercion, NumericFromStrings) {
+  EXPECT_EQ(Value::string("42").toNumeric()->smallInt(), 42);
+  EXPECT_EQ(Value::string("-17").toNumeric()->smallInt(), -17);
+  EXPECT_EQ(Value::string(" 42 ").toNumeric()->smallInt(), 42) << "blanks tolerated";
+  EXPECT_DOUBLE_EQ(Value::string("2.5").toNumeric()->real(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::string("1e3").toNumeric()->real(), 1000.0);
+  EXPECT_EQ(Value::string("16r1f").toNumeric()->smallInt(), 31) << "Icon radix literal";
+  EXPECT_EQ(Value::string("2r101").toNumeric()->smallInt(), 5);
+  EXPECT_FALSE(Value::string("fish").toNumeric().has_value());
+  EXPECT_FALSE(Value::null().toNumeric().has_value());
+  EXPECT_FALSE(Value::string("").toNumeric().has_value());
+}
+
+TEST(ValueCoercion, IntegerFromReal) {
+  EXPECT_EQ(Value::real(3.0).toIntegerValue()->smallInt(), 3);
+  EXPECT_FALSE(Value::real(3.5).toIntegerValue().has_value());
+  EXPECT_FALSE(Value::real(1.0 / 0.0).toIntegerValue().has_value());
+}
+
+TEST(ValueCoercion, RequireHelpers) {
+  EXPECT_EQ(Value::string("7").requireInt64(), 7);
+  EXPECT_THROW(Value::string("x").requireInt64(), IconError);
+  EXPECT_DOUBLE_EQ(Value::integer(3).requireReal(), 3.0);
+  EXPECT_EQ(Value::integer(42).requireString(), "42") << "numbers convert to strings";
+  EXPECT_EQ(Value::null().requireString(), "") << "null converts to empty string";
+  EXPECT_THROW(Value::list(ListImpl::create()).requireString(), IconError);
+  EXPECT_EQ(Value::integer(BigInt{2}.pow(80)).requireBigInt(), BigInt{2}.pow(80));
+}
+
+TEST(ValueArith, IntegerFastPath) {
+  EXPECT_EQ(ops::add(Value::integer(2), Value::integer(3)).smallInt(), 5);
+  EXPECT_EQ(ops::sub(Value::integer(2), Value::integer(3)).smallInt(), -1);
+  EXPECT_EQ(ops::mul(Value::integer(6), Value::integer(7)).smallInt(), 42);
+  EXPECT_EQ(ops::div(Value::integer(7), Value::integer(2)).smallInt(), 3);
+  EXPECT_EQ(ops::mod(Value::integer(7), Value::integer(2)).smallInt(), 1);
+}
+
+TEST(ValueArith, OverflowPromotesToBigInt) {
+  const Value maxv = Value::integer(std::numeric_limits<std::int64_t>::max());
+  const Value sum = ops::add(maxv, Value::integer(1));
+  EXPECT_TRUE(sum.isInteger());
+  EXPECT_FALSE(sum.isSmallInt());
+  EXPECT_EQ(sum.bigInt().toString(), "9223372036854775808");
+  const Value prod = ops::mul(maxv, maxv);
+  EXPECT_EQ(prod.bigInt(), BigInt{std::numeric_limits<std::int64_t>::max()} *
+                               BigInt{std::numeric_limits<std::int64_t>::max()});
+  // INT64_MIN / -1 overflows in hardware; must promote, not trap.
+  const Value minv = Value::integer(std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(ops::div(minv, Value::integer(-1)).bigInt().toString(), "9223372036854775808");
+  EXPECT_EQ(ops::negate(minv).bigInt().toString(), "9223372036854775808");
+}
+
+TEST(ValueArith, MixedRealPromotion) {
+  EXPECT_DOUBLE_EQ(ops::add(Value::integer(1), Value::real(0.5)).real(), 1.5);
+  EXPECT_DOUBLE_EQ(ops::mul(Value::real(2.0), Value::integer(3)).real(), 6.0);
+  EXPECT_DOUBLE_EQ(ops::div(Value::integer(1), Value::real(4.0)).real(), 0.25);
+}
+
+TEST(ValueArith, StringsCoerceInArithmetic) {
+  EXPECT_EQ(ops::add(Value::string("2"), Value::string("3")).smallInt(), 5);
+  EXPECT_THROW(ops::add(Value::string("two"), Value::integer(1)), IconError);
+}
+
+TEST(ValueArith, DivisionByZero) {
+  EXPECT_THROW(ops::div(Value::integer(1), Value::integer(0)), IconError);
+  EXPECT_THROW(ops::mod(Value::integer(1), Value::integer(0)), IconError);
+  EXPECT_THROW(ops::div(Value::real(1), Value::real(0)), IconError);
+}
+
+TEST(ValueArith, Power) {
+  EXPECT_EQ(ops::power(Value::integer(2), Value::integer(10)).smallInt(), 1024);
+  EXPECT_EQ(ops::power(Value::integer(2), Value::integer(100)).bigInt(), BigInt{2}.pow(100));
+  EXPECT_DOUBLE_EQ(ops::power(Value::integer(2), Value::integer(-1)).real(), 0.5);
+  EXPECT_DOUBLE_EQ(ops::power(Value::real(9.0), Value::real(0.5)).real(), 3.0);
+}
+
+TEST(ValueCompare, ComparisonsFailRatherThanReturnFalse) {
+  // x < y yields y on success, nullopt (failure) otherwise — the
+  // goal-directed contract that drives backtracking search.
+  const auto lt = ops::numLT(Value::integer(3), Value::integer(5));
+  ASSERT_TRUE(lt.has_value());
+  EXPECT_EQ(lt->smallInt(), 5) << "comparison yields its right operand";
+  EXPECT_FALSE(ops::numLT(Value::integer(5), Value::integer(3)).has_value());
+  EXPECT_TRUE(ops::numLE(Value::integer(5), Value::integer(5)).has_value());
+  EXPECT_FALSE(ops::numGT(Value::integer(5), Value::integer(5)).has_value());
+  EXPECT_TRUE(ops::numEQ(Value::string("4"), Value::real(4.0)).has_value())
+      << "numeric comparison coerces";
+}
+
+TEST(ValueCompare, MixedWidthNumericComparison) {
+  EXPECT_TRUE(ops::numLT(Value::integer(1), Value::integer(BigInt{2}.pow(70))).has_value());
+  EXPECT_TRUE(
+      ops::numGT(Value::integer(BigInt{2}.pow(70)), Value::integer(BigInt{2}.pow(69))).has_value());
+}
+
+TEST(ValueCompare, ValueEquivalence) {
+  EXPECT_TRUE(ops::valEQ(Value::string("abc"), Value::string("abc")).has_value());
+  EXPECT_FALSE(ops::valEQ(Value::integer(1), Value::real(1.0)).has_value())
+      << "=== distinguishes integer from real";
+  auto l1 = ListImpl::create();
+  auto l2 = ListImpl::create();
+  EXPECT_FALSE(Value::list(l1).equals(Value::list(l2))) << "structures compare by identity";
+  EXPECT_TRUE(Value::list(l1).equals(Value::list(l1)));
+}
+
+TEST(ValueCompare, CrossTypeOrderingIsTotal) {
+  const std::vector<Value> ordered = {
+      Value::null(), Value::integer(1), Value::real(1.0), Value::string("a"),
+      Value::list(ListImpl::create())};
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    for (std::size_t j = 0; j < ordered.size(); ++j) {
+      const int c = ordered[i].compare(ordered[j]);
+      if (i < j) EXPECT_LT(c, 0) << i << " vs " << j;
+      if (i == j) EXPECT_EQ(c, 0);
+      if (i > j) EXPECT_GT(c, 0);
+    }
+  }
+}
+
+TEST(ValueCompare, HashAgreesWithEquals) {
+  EXPECT_EQ(Value::string("xyz").hash(), Value::string("xyz").hash());
+  EXPECT_EQ(Value::integer(7).hash(), Value::integer(BigInt{7}).hash())
+      << "canonicalized small ints hash alike";
+  EXPECT_NE(Value::integer(1).hash(), Value::real(1.0).hash());
+}
+
+TEST(ValueImage, TypeRevealingRendering) {
+  EXPECT_EQ(Value::null().image(), "&null");
+  EXPECT_EQ(Value::integer(42).image(), "42");
+  EXPECT_EQ(Value::real(2.0).image(), "2.0") << "reals always show a decimal point";
+  EXPECT_EQ(Value::string("hi\n").image(), "\"hi\\n\"");
+  auto l = ListImpl::create();
+  l->put(Value::integer(1));
+  l->put(Value::string("a"));
+  EXPECT_EQ(Value::list(l).image(), "[1,\"a\"]");
+  EXPECT_EQ(Value::integer(7).typeName(), "integer");
+  EXPECT_EQ(Value::proc(ProcImpl::create("f", nullptr)).image(), "procedure f");
+}
+
+TEST(ValueImage, DisplayStringUnquotesStrings) {
+  EXPECT_EQ(Value::string("hi").toDisplayString(), "hi");
+  EXPECT_EQ(Value::integer(42).toDisplayString(), "42");
+}
+
+TEST(ValueSize, StarOperator) {
+  EXPECT_EQ(Value::string("hello").size(), 5);
+  auto l = ListImpl::create();
+  l->put(Value::integer(1));
+  EXPECT_EQ(Value::list(l).size(), 1);
+  EXPECT_THROW(Value::integer(5).size(), IconError);
+  EXPECT_THROW(Value::null().size(), IconError);
+}
+
+TEST(ValueConcat, StringConcatenation) {
+  EXPECT_EQ(ops::concat(Value::string("ab"), Value::string("cd")).str(), "abcd");
+  EXPECT_EQ(ops::concat(Value::string("n="), Value::integer(4)).str(), "n=4");
+}
+
+}  // namespace
+}  // namespace congen

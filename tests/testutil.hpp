@@ -1,0 +1,53 @@
+// testutil.hpp — shared helpers for the kernel/interp test suites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/basic.hpp"
+#include "kernel/compose.hpp"
+#include "kernel/control.hpp"
+#include "kernel/gen.hpp"
+#include "kernel/ops.hpp"
+#include "runtime/collections.hpp"
+
+namespace congen::test {
+
+/// Drain a generator into int64 values (errors on non-integers).
+inline std::vector<std::int64_t> ints(const GenPtr& g) {
+  std::vector<std::int64_t> out;
+  while (auto v = g->nextValue()) out.push_back(v->requireInt64("test value"));
+  return out;
+}
+
+/// Drain into display strings.
+inline std::vector<std::string> strs(const GenPtr& g) {
+  std::vector<std::string> out;
+  while (auto v = g->nextValue()) out.push_back(v->toDisplayString());
+  return out;
+}
+
+/// Constant singleton generator over an int.
+inline GenPtr ci(std::int64_t v) { return ConstGen::create(Value::integer(v)); }
+
+/// i to j range generator.
+inline GenPtr range(std::int64_t from, std::int64_t to) {
+  return makeToByGen(ci(from), ci(to), nullptr);
+}
+
+/// Values generator from ints.
+inline GenPtr vals(std::vector<std::int64_t> xs) {
+  std::vector<Value> out;
+  out.reserve(xs.size());
+  for (const auto x : xs) out.push_back(Value::integer(x));
+  return ValuesGen::create(std::move(out));
+}
+
+/// Icon list value from ints.
+inline Value listOf(std::vector<std::int64_t> xs) {
+  auto l = ListImpl::create();
+  for (const auto x : xs) l->put(Value::integer(x));
+  return Value::list(std::move(l));
+}
+
+}  // namespace congen::test
