@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bignum.dir/bench_bignum.cpp.o"
+  "CMakeFiles/bench_bignum.dir/bench_bignum.cpp.o.d"
+  "bench_bignum"
+  "bench_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

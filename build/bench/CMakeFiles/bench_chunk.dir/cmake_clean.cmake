@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chunk.dir/bench_chunk.cpp.o"
+  "CMakeFiles/bench_chunk.dir/bench_chunk.cpp.o.d"
+  "bench_chunk"
+  "bench_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coexpr.dir/bench_coexpr.cpp.o"
+  "CMakeFiles/bench_coexpr.dir/bench_coexpr.cpp.o.d"
+  "bench_coexpr"
+  "bench_coexpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

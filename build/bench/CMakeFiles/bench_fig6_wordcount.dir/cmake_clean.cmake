@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_wordcount.dir/bench_fig6_wordcount.cpp.o"
+  "CMakeFiles/bench_fig6_wordcount.dir/bench_fig6_wordcount.cpp.o.d"
+  "bench_fig6_wordcount"
+  "bench_fig6_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

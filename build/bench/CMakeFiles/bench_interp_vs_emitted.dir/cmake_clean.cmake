@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interp_vs_emitted.dir/bench_interp_vs_emitted.cpp.o"
+  "CMakeFiles/bench_interp_vs_emitted.dir/bench_interp_vs_emitted.cpp.o.d"
+  "bench_interp_vs_emitted"
+  "bench_interp_vs_emitted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interp_vs_emitted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

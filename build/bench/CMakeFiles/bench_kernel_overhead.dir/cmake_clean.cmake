@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_overhead.dir/bench_kernel_overhead.cpp.o"
+  "CMakeFiles/bench_kernel_overhead.dir/bench_kernel_overhead.cpp.o.d"
+  "bench_kernel_overhead"
+  "bench_kernel_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

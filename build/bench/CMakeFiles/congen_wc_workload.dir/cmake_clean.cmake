@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen_wc_workload.dir/workload/wordcount.cpp.o"
+  "CMakeFiles/congen_wc_workload.dir/workload/wordcount.cpp.o.d"
+  "libcongen_wc_workload.a"
+  "libcongen_wc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen_wc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

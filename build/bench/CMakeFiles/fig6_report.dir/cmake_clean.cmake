@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_report.dir/fig6_report.cpp.o"
+  "CMakeFiles/fig6_report.dir/fig6_report.cpp.o.d"
+  "fig6_report"
+  "fig6_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

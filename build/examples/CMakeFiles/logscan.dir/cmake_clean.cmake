@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logscan.dir/logscan.cpp.o"
+  "CMakeFiles/logscan.dir/logscan.cpp.o.d"
+  "logscan"
+  "logscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

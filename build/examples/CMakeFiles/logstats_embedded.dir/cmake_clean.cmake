@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logstats_embedded.dir/logstats_embedded.gen.cpp.o"
+  "CMakeFiles/logstats_embedded.dir/logstats_embedded.gen.cpp.o.d"
+  "logstats_embedded"
+  "logstats_embedded.gen.cpp"
+  "logstats_embedded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logstats_embedded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

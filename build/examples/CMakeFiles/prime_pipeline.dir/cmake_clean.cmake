@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_pipeline.dir/prime_pipeline.cpp.o"
+  "CMakeFiles/prime_pipeline.dir/prime_pipeline.cpp.o.d"
+  "prime_pipeline"
+  "prime_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_embedded.dir/wordcount_embedded.gen.cpp.o"
+  "CMakeFiles/wordcount_embedded.dir/wordcount_embedded.gen.cpp.o.d"
+  "wordcount_embedded"
+  "wordcount_embedded.gen.cpp"
+  "wordcount_embedded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_embedded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

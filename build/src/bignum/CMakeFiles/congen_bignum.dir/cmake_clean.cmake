@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen_bignum.dir/bigint.cpp.o"
+  "CMakeFiles/congen_bignum.dir/bigint.cpp.o.d"
+  "libcongen_bignum.a"
+  "libcongen_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

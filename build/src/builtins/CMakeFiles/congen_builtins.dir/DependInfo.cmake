@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/builtins/builtins.cpp" "src/builtins/CMakeFiles/congen_builtins.dir/builtins.cpp.o" "gcc" "src/builtins/CMakeFiles/congen_builtins.dir/builtins.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/congen_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/congen_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/congen_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen_builtins.dir/builtins.cpp.o"
+  "CMakeFiles/congen_builtins.dir/builtins.cpp.o.d"
+  "libcongen_builtins.a"
+  "libcongen_builtins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen_builtins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

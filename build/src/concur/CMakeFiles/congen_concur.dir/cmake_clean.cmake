@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen_concur.dir/pipe.cpp.o"
+  "CMakeFiles/congen_concur.dir/pipe.cpp.o.d"
+  "CMakeFiles/congen_concur.dir/thread_pool.cpp.o"
+  "CMakeFiles/congen_concur.dir/thread_pool.cpp.o.d"
+  "libcongen_concur.a"
+  "libcongen_concur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen_concur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for congen_concur.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen_emit.dir/emitter.cpp.o"
+  "CMakeFiles/congen_emit.dir/emitter.cpp.o.d"
+  "libcongen_emit.a"
+  "libcongen_emit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen_emit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen_frontend.dir/ast.cpp.o"
+  "CMakeFiles/congen_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/congen_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/congen_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/congen_frontend.dir/parser.cpp.o"
+  "CMakeFiles/congen_frontend.dir/parser.cpp.o.d"
+  "libcongen_frontend.a"
+  "libcongen_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/congen_interp.dir/interpreter.cpp.o.d"
+  "libcongen_interp.a"
+  "libcongen_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/basic.cpp" "src/kernel/CMakeFiles/congen_kernel.dir/basic.cpp.o" "gcc" "src/kernel/CMakeFiles/congen_kernel.dir/basic.cpp.o.d"
+  "/root/repo/src/kernel/compose.cpp" "src/kernel/CMakeFiles/congen_kernel.dir/compose.cpp.o" "gcc" "src/kernel/CMakeFiles/congen_kernel.dir/compose.cpp.o.d"
+  "/root/repo/src/kernel/control.cpp" "src/kernel/CMakeFiles/congen_kernel.dir/control.cpp.o" "gcc" "src/kernel/CMakeFiles/congen_kernel.dir/control.cpp.o.d"
+  "/root/repo/src/kernel/ops.cpp" "src/kernel/CMakeFiles/congen_kernel.dir/ops.cpp.o" "gcc" "src/kernel/CMakeFiles/congen_kernel.dir/ops.cpp.o.d"
+  "/root/repo/src/kernel/scan.cpp" "src/kernel/CMakeFiles/congen_kernel.dir/scan.cpp.o" "gcc" "src/kernel/CMakeFiles/congen_kernel.dir/scan.cpp.o.d"
+  "/root/repo/src/kernel/trace.cpp" "src/kernel/CMakeFiles/congen_kernel.dir/trace.cpp.o" "gcc" "src/kernel/CMakeFiles/congen_kernel.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/congen_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/congen_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

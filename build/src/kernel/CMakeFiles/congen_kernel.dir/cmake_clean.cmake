@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen_kernel.dir/basic.cpp.o"
+  "CMakeFiles/congen_kernel.dir/basic.cpp.o.d"
+  "CMakeFiles/congen_kernel.dir/compose.cpp.o"
+  "CMakeFiles/congen_kernel.dir/compose.cpp.o.d"
+  "CMakeFiles/congen_kernel.dir/control.cpp.o"
+  "CMakeFiles/congen_kernel.dir/control.cpp.o.d"
+  "CMakeFiles/congen_kernel.dir/ops.cpp.o"
+  "CMakeFiles/congen_kernel.dir/ops.cpp.o.d"
+  "CMakeFiles/congen_kernel.dir/scan.cpp.o"
+  "CMakeFiles/congen_kernel.dir/scan.cpp.o.d"
+  "CMakeFiles/congen_kernel.dir/trace.cpp.o"
+  "CMakeFiles/congen_kernel.dir/trace.cpp.o.d"
+  "libcongen_kernel.a"
+  "libcongen_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

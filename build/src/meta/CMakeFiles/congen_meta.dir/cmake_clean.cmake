@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen_meta.dir/annotations.cpp.o"
+  "CMakeFiles/congen_meta.dir/annotations.cpp.o.d"
+  "libcongen_meta.a"
+  "libcongen_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

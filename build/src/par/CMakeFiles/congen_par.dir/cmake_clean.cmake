@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen_par.dir/data_parallel.cpp.o"
+  "CMakeFiles/congen_par.dir/data_parallel.cpp.o.d"
+  "CMakeFiles/congen_par.dir/pipeline.cpp.o"
+  "CMakeFiles/congen_par.dir/pipeline.cpp.o.d"
+  "libcongen_par.a"
+  "libcongen_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

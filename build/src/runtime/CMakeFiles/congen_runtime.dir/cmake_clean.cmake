@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen_runtime.dir/collections.cpp.o"
+  "CMakeFiles/congen_runtime.dir/collections.cpp.o.d"
+  "CMakeFiles/congen_runtime.dir/value.cpp.o"
+  "CMakeFiles/congen_runtime.dir/value.cpp.o.d"
+  "libcongen_runtime.a"
+  "libcongen_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcongen_runtime.a"
+)

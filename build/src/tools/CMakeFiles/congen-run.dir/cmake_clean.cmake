@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen-run.dir/congen_run.cpp.o"
+  "CMakeFiles/congen-run.dir/congen_run.cpp.o.d"
+  "congen-run"
+  "congen-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congenc.dir/congenc.cpp.o"
+  "CMakeFiles/congenc.dir/congenc.cpp.o.d"
+  "congenc"
+  "congenc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congenc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

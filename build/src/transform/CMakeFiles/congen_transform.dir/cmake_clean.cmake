@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congen_transform.dir/normalize.cpp.o"
+  "CMakeFiles/congen_transform.dir/normalize.cpp.o.d"
+  "libcongen_transform.a"
+  "libcongen_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congen_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

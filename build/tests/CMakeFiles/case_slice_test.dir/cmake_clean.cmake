@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_slice_test.dir/kernel/case_slice_test.cpp.o"
+  "CMakeFiles/case_slice_test.dir/kernel/case_slice_test.cpp.o.d"
+  "case_slice_test"
+  "case_slice_test.pdb"
+  "case_slice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_slice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

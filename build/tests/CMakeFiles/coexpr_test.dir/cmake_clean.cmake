@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coexpr_test.dir/coexpr/coexpr_test.cpp.o"
+  "CMakeFiles/coexpr_test.dir/coexpr/coexpr_test.cpp.o.d"
+  "coexpr_test"
+  "coexpr_test.pdb"
+  "coexpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_basic_test.dir/kernel/gen_basic_test.cpp.o"
+  "CMakeFiles/gen_basic_test.dir/kernel/gen_basic_test.cpp.o.d"
+  "gen_basic_test"
+  "gen_basic_test.pdb"
+  "gen_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_extended_test.dir/interp/interp_extended_test.cpp.o"
+  "CMakeFiles/interp_extended_test.dir/interp/interp_extended_test.cpp.o.d"
+  "interp_extended_test"
+  "interp_extended_test.pdb"
+  "interp_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

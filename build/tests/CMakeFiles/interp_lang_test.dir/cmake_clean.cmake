@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_lang_test.dir/interp/interp_lang_test.cpp.o"
+  "CMakeFiles/interp_lang_test.dir/interp/interp_lang_test.cpp.o.d"
+  "interp_lang_test"
+  "interp_lang_test.pdb"
+  "interp_lang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_extended_test.dir/frontend/parser_extended_test.cpp.o"
+  "CMakeFiles/parser_extended_test.dir/frontend/parser_extended_test.cpp.o.d"
+  "parser_extended_test"
+  "parser_extended_test.pdb"
+  "parser_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

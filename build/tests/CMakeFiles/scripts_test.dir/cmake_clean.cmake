@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scripts_test.dir/integration/scripts_test.cpp.o"
+  "CMakeFiles/scripts_test.dir/integration/scripts_test.cpp.o.d"
+  "scripts_test"
+  "scripts_test.pdb"
+  "scripts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scripts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

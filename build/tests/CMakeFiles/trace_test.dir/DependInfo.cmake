@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernel/trace_test.cpp" "tests/CMakeFiles/trace_test.dir/kernel/trace_test.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/kernel/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/par/CMakeFiles/congen_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/congen_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/emit/CMakeFiles/congen_emit.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/congen_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/concur/CMakeFiles/congen_concur.dir/DependInfo.cmake"
+  "/root/repo/build/src/builtins/CMakeFiles/congen_builtins.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/congen_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/congen_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/congen_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/congen_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/congen_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

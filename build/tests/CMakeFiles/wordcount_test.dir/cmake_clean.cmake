@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_test.dir/__/bench/workload/wordcount.cpp.o"
+  "CMakeFiles/wordcount_test.dir/__/bench/workload/wordcount.cpp.o.d"
+  "CMakeFiles/wordcount_test.dir/integration/wordcount_test.cpp.o"
+  "CMakeFiles/wordcount_test.dir/integration/wordcount_test.cpp.o.d"
+  "wordcount_test"
+  "wordcount_test.pdb"
+  "wordcount_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/value_test[1]_include.cmake")
+include("/root/repo/build/tests/collections_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/compose_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_test[1]_include.cmake")
+include("/root/repo/build/tests/control_test[1]_include.cmake")
+include("/root/repo/build/tests/case_slice_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/coexpr_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_test[1]_include.cmake")
+include("/root/repo/build/tests/pool_test[1]_include.cmake")
+include("/root/repo/build/tests/pipe_test[1]_include.cmake")
+include("/root/repo/build/tests/par_test[1]_include.cmake")
+include("/root/repo/build/tests/annotations_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_extended_test[1]_include.cmake")
+include("/root/repo/build/tests/normalize_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_lang_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_extended_test[1]_include.cmake")
+include("/root/repo/build/tests/metamorphic_test[1]_include.cmake")
+include("/root/repo/build/tests/emit_test[1]_include.cmake")
+include("/root/repo/build/tests/wordcount_test[1]_include.cmake")
+include("/root/repo/build/tests/scripts_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
