@@ -16,6 +16,8 @@
 #include <optional>
 #include <utility>
 
+#include "concur/fault_injection.hpp"
+
 namespace congen {
 
 template <class T>
@@ -31,6 +33,7 @@ class BlockingQueue {
 
   /// Blocking put; returns false if the queue is (or becomes) closed.
   bool put(T v) {
+    CONGEN_FAULT_POINT(QueuePut);
     std::unique_lock lock(m_);
     notFull_.wait(lock, [&] { return closed_ || q_.size() < capacity_; });
     if (closed_) return false;
@@ -41,6 +44,7 @@ class BlockingQueue {
 
   /// Blocking take; drains remaining elements after close, then fails.
   std::optional<T> take() {
+    CONGEN_FAULT_POINT(QueueTake);
     std::unique_lock lock(m_);
     notEmpty_.wait(lock, [&] { return closed_ || !q_.empty(); });
     if (q_.empty()) return std::nullopt;  // closed and drained
@@ -52,6 +56,7 @@ class BlockingQueue {
 
   /// Non-blocking put; false when full or closed.
   bool tryPut(T v) {
+    CONGEN_FAULT_POINT(QueueTryPut);
     std::lock_guard lock(m_);
     if (closed_ || q_.size() >= capacity_) return false;
     q_.push_back(std::move(v));
@@ -61,6 +66,7 @@ class BlockingQueue {
 
   /// Non-blocking take; nullopt when empty.
   std::optional<T> tryTake() {
+    CONGEN_FAULT_POINT(QueueTryTake);
     std::lock_guard lock(m_);
     if (q_.empty()) return std::nullopt;
     T v = std::move(q_.front());
@@ -72,6 +78,7 @@ class BlockingQueue {
   /// Close the channel: producers' put() fails immediately; consumers
   /// drain what is buffered and then fail. Idempotent.
   void close() {
+    CONGEN_FAULT_POINT(QueueClose);
     std::lock_guard lock(m_);
     closed_ = true;
     notFull_.notify_all();

@@ -1,21 +1,15 @@
 #include "concur/thread_pool.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "concur/fault_injection.hpp"
 
 namespace congen {
 
 ThreadPool::ThreadPool(std::size_t maxThreads) : maxThreads_(maxThreads) {}
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard lock(m_);
-    shutdown_ = true;
-  }
-  cv_.notify_all();
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-}
+ThreadPool::~ThreadPool() { shutdown(); }
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
@@ -23,17 +17,44 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::submit(Task task) {
+  CONGEN_FAULT_POINT(PoolSubmit);
   std::unique_lock lock(m_);
   if (shutdown_) throw std::runtime_error("ThreadPool: submit after shutdown");
+  // Grow whenever the idle workers cannot cover the whole pending queue,
+  // not merely when idle_ == 0: a parked worker counted "idle" here may
+  // dequeue an *older* task and block in it, and a task stranded that
+  // way would have no later growth trigger (deadlock). The invariant
+  // after every submit — idle workers >= pending tasks — is what makes
+  // nested blocked producers safe.
+  const bool needWorker = idle_ < tasks_.size() + 1;
+  // Decide growth before enqueueing: a cap rejection must leave the pool
+  // exactly as it found it, or the "failed" task would still run later.
+  if (needWorker && workers_.size() >= maxThreads_) {
+    throw std::runtime_error("ThreadPool: thread cap reached");
+  }
   tasks_.push_back(std::move(task));
-  if (idle_ == 0) {
-    if (workers_.size() >= maxThreads_) {
-      throw std::runtime_error("ThreadPool: thread cap reached");
-    }
+  if (needWorker) {
     workers_.emplace_back([this] { workerLoop(); });
+    ++created_;
   }
   lock.unlock();
   cv_.notify_one();
+}
+
+void ThreadPool::shutdown() {
+  // Swap the workers out under the lock so concurrent shutdown() calls
+  // (or shutdown racing the destructor) each join a disjoint set, then
+  // join outside the lock so retiring workers can reacquire it.
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(m_);
+    shutdown_ = true;
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -46,7 +67,12 @@ void ThreadPool::workerLoop() {
     Task task = std::move(tasks_.front());
     tasks_.pop_front();
     lock.unlock();
+    CONGEN_FAULT_POINT(PoolTaskRun);  // delay-only site: shuffles scheduling
     task();  // exceptions from pipe bodies are caught in the pipe itself
+    // Destroy the task before re-locking: a captured pipe body's
+    // destructor closes queues and releases upstream pipes, and must not
+    // run under the pool mutex.
+    task = nullptr;
     lock.lock();
     ++completed_;
   }
@@ -54,7 +80,7 @@ void ThreadPool::workerLoop() {
 
 std::size_t ThreadPool::threadsCreated() const {
   std::lock_guard lock(m_);
-  return workers_.size();
+  return created_;
 }
 
 std::size_t ThreadPool::tasksCompleted() const {

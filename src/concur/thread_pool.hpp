@@ -32,11 +32,21 @@ class ThreadPool {
   /// Process-wide pool used by pipes unless one is passed explicitly.
   static ThreadPool& global();
 
-  /// Enqueue a task; spawns a worker if none is idle. Throws
-  /// std::runtime_error after shutdown or at the thread cap.
+  /// Enqueue a task; grows the pool whenever the idle workers cannot
+  /// cover the pending queue (so a blocked task can never strand a later
+  /// one). Throws std::runtime_error after shutdown or at the thread
+  /// cap; a rejected task is NOT enqueued (submit is all-or-nothing).
   void submit(Task task);
 
-  /// Statistics (for tests and the ablation benches).
+  /// Stop accepting work, drain queued tasks, and join all workers.
+  /// Idempotent, and safe to race with concurrent submit() calls (they
+  /// throw once the flag is set). Must not be called from a pool task —
+  /// a worker joining itself would deadlock. The destructor calls this.
+  void shutdown();
+
+  /// Statistics (for tests and the ablation benches). threadsCreated
+  /// counts workers spawned over the pool's lifetime (it does not drop
+  /// at shutdown).
   [[nodiscard]] std::size_t threadsCreated() const;
   [[nodiscard]] std::size_t tasksCompleted() const;
   [[nodiscard]] std::size_t idleThreads() const;
@@ -49,6 +59,7 @@ class ThreadPool {
   std::deque<Task> tasks_;
   std::vector<std::thread> workers_;
   std::size_t maxThreads_;
+  std::size_t created_ = 0;
   std::size_t idle_ = 0;
   std::size_t completed_ = 0;
   bool shutdown_ = false;

@@ -336,6 +336,17 @@ class Compiler {
 Interpreter::Interpreter(Options options)
     : options_(options), globals_(Scope::makeGlobal()) {}
 
+Interpreter::~Interpreter() {
+  // A pipe stored in a global (`p := |> e`) cycles back to the global
+  // scope through its refresh factory, so neither would ever be
+  // destroyed — and an undestroyed pipe never closes its queue, leaving
+  // its producer blocked in put() for the global pool's destructor to
+  // join at process exit (deadlock). Clearing the bindings breaks the
+  // cycle: the pipe's destructor closes the queue and the producer
+  // retires.
+  globals_->clear();
+}
+
 void Interpreter::load(const std::string& source) {
   loadProgram(frontend::parseProgram(source));
 }

@@ -31,6 +31,7 @@ class Interpreter {
 
   Interpreter() : Interpreter(Options{}) {}
   explicit Interpreter(Options options);
+  ~Interpreter();
 
   /// Parse and load a program: procedure definitions become globals; any
   /// top-level statements execute immediately (bounded).

@@ -50,6 +50,12 @@ class Scope : public std::enable_shared_from_this<Scope> {
   /// Bind an existing variable in this scope.
   void bind(const std::string& name, VarPtr var) { vars_[name] = std::move(var); }
 
+  /// Drop every binding. Co-expression refresh factories capture their
+  /// enclosing ScopePtr, so a co-expression (or pipe) *stored in* that
+  /// scope forms a reference cycle that keeps both alive forever; the
+  /// owner of a scope clears it on teardown to break the cycle.
+  void clear() noexcept { vars_.clear(); }
+
   [[nodiscard]] bool isGlobal() const noexcept { return global_; }
 
   // make_shared needs a public constructor; Private keeps it internal.

@@ -82,6 +82,83 @@ TEST(PoolShutdown, ThreadCapIsEnforced) {
   gate.close();
 }
 
+TEST(PoolShutdown, ExplicitShutdownIsIdempotent) {
+  ThreadPool pool;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) pool.submit([&ran] { ++ran; });
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 5) << "shutdown drains accepted work before joining";
+  pool.shutdown();  // second call is a no-op
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error) << "pool stays closed";
+  EXPECT_EQ(pool.tasksCompleted(), 5u);
+}
+
+TEST(PoolShutdown, CapRejectionDoesNotEnqueueTheTask) {
+  // Regression: submit() used to push the task *before* the cap check,
+  // so a "rejected" task was still queued and ran later anyway.
+  ThreadPool pool(/*maxThreads=*/1);
+  BlockingQueue<int> gate(1);
+  pool.submit([&] { gate.take(); });  // occupies the only worker
+  waitFor([&] { return pool.idleThreads() == 0; });
+  std::atomic<bool> phantomRan{false};
+  EXPECT_THROW(pool.submit([&] { phantomRan = true; }), std::runtime_error);
+  gate.close();  // release the worker; it would now drain any stale queue
+  waitFor([&] { return pool.tasksCompleted() == 1u; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(phantomRan.load()) << "a rejected task must never run";
+  EXPECT_EQ(pool.tasksCompleted(), 1u);
+}
+
+TEST(PoolStats, ThreadsCreatedCountsGrowthNotChurn) {
+  ThreadPool pool;
+  EXPECT_EQ(pool.threadsCreated(), 0u) << "no eager workers";
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ++ran; });
+  // tasksCompleted is incremented under the same lock hold that parks
+  // the worker idle again, so waiting on it (unlike on `ran`) guarantees
+  // the next submit sees an idle worker and reuses it.
+  waitFor([&] { return pool.tasksCompleted() == 1u; });
+  EXPECT_EQ(pool.threadsCreated(), 1u) << "first submit spawns exactly one";
+  for (std::size_t i = 0; i < 20; ++i) {
+    pool.submit([&ran] { ++ran; });
+    waitFor([&] { return pool.tasksCompleted() == i + 2; });
+  }
+  EXPECT_EQ(ran.load(), 21);
+  EXPECT_EQ(pool.threadsCreated(), 1u) << "sequential load never grows the pool";
+}
+
+TEST(PoolStats, ThreadsCreatedSurvivesShutdown) {
+  // threadsCreated is a lifetime statistic: it reports workers spawned,
+  // not workers currently alive, so it must not drop to zero after the
+  // workers are joined.
+  ThreadPool pool;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 3; ++i) pool.submit([&ran] { ++ran; });
+  waitFor([&] { return ran.load() == 3; });
+  const auto created = pool.threadsCreated();
+  EXPECT_GE(created, 1u);
+  pool.shutdown();
+  EXPECT_EQ(pool.threadsCreated(), created) << "accounting survives the join";
+  EXPECT_EQ(pool.idleThreads(), 0u) << "no workers remain parked";
+}
+
+TEST(PoolStats, BurstGrowthMatchesBlockedWorkers) {
+  ThreadPool pool;
+  BlockingQueue<int> gate(1);
+  constexpr int kBlocked = 4;
+  std::atomic<int> started{0};
+  for (int i = 0; i < kBlocked; ++i) {
+    pool.submit([&] {
+      ++started;
+      gate.take();
+    });
+  }
+  waitFor([&] { return started.load() == kBlocked; });
+  EXPECT_EQ(pool.threadsCreated(), static_cast<std::size_t>(kBlocked))
+      << "every burst submit outran the blocked/parked workers, so each grew the pool";
+  gate.close();
+}
+
 TEST(PoolGlobal, SingletonIsStable) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
 }

@@ -32,6 +32,75 @@ TEST(QueueBasics, TryOperations) {
   EXPECT_TRUE(q.tryPut(3));
 }
 
+TEST(QueueBasics, TryPutAfterCloseFails) {
+  BlockingQueue<int> q(4);
+  EXPECT_TRUE(q.tryPut(1));
+  q.close();
+  EXPECT_FALSE(q.tryPut(2)) << "closed tryPut is refused even with room";
+  EXPECT_EQ(q.size(), 1u) << "the refused element was not half-enqueued";
+}
+
+TEST(QueueBasics, TryTakeDrainsAfterClose) {
+  BlockingQueue<int> q;
+  q.put(1);
+  q.put(2);
+  q.close();
+  EXPECT_EQ(q.tryTake(), 1) << "buffered elements survive close via the try-API too";
+  EXPECT_EQ(q.tryTake(), 2);
+  EXPECT_FALSE(q.tryTake().has_value());
+  EXPECT_FALSE(q.tryTake().has_value()) << "drained + closed stays failed";
+}
+
+TEST(QueueBasics, TryPutUnboundedNeverRefusesUntilClose) {
+  BlockingQueue<int> q(0);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(q.tryPut(i));
+  q.close();
+  EXPECT_FALSE(q.tryPut(1000));
+  EXPECT_EQ(q.size(), 1000u);
+}
+
+TEST(QueueBasics, TryOpsOnMailbox) {
+  // Capacity 1: tryPut toggles between accepted and refused as the slot
+  // fills and empties — the non-blocking view of the M-var.
+  BlockingQueue<int> mailbox(1);
+  EXPECT_TRUE(mailbox.tryPut(1));
+  EXPECT_FALSE(mailbox.tryPut(2)) << "occupied mailbox refuses";
+  EXPECT_EQ(mailbox.tryTake(), 1);
+  EXPECT_FALSE(mailbox.tryTake().has_value());
+  EXPECT_TRUE(mailbox.tryPut(3)) << "slot reusable after tryTake";
+  EXPECT_EQ(mailbox.take(), 3);
+}
+
+TEST(QueueBasics, TryPutReleasesBlockedTaker) {
+  // A tryPut must wake a blocked take() just like put() does.
+  BlockingQueue<int> q(1);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    EXPECT_EQ(q.take(), 7);
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(q.tryPut(7));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(QueueBasics, TryTakeReleasesBlockedPutter) {
+  // Symmetric: a tryTake on a full queue must wake a blocked put().
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.put(1));
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.put(2));
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(q.tryTake(), 1);
+  producer.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(q.take(), 2);
+}
+
 TEST(QueueClose, TakeDrainsThenFails) {
   BlockingQueue<int> q;
   q.put(1);

@@ -54,7 +54,7 @@ TEST(ValueCoercion, IntegerFromReal) {
 
 TEST(ValueCoercion, RequireHelpers) {
   EXPECT_EQ(Value::string("7").requireInt64(), 7);
-  EXPECT_THROW(Value::string("x").requireInt64(), IconError);
+  EXPECT_THROW((void)Value::string("x").requireInt64(), IconError);
   EXPECT_DOUBLE_EQ(Value::integer(3).requireReal(), 3.0);
   EXPECT_EQ(Value::integer(42).requireString(), "42") << "numbers convert to strings";
   EXPECT_EQ(Value::null().requireString(), "") << "null converts to empty string";
@@ -145,9 +145,13 @@ TEST(ValueCompare, CrossTypeOrderingIsTotal) {
   for (std::size_t i = 0; i < ordered.size(); ++i) {
     for (std::size_t j = 0; j < ordered.size(); ++j) {
       const int c = ordered[i].compare(ordered[j]);
-      if (i < j) EXPECT_LT(c, 0) << i << " vs " << j;
-      if (i == j) EXPECT_EQ(c, 0);
-      if (i > j) EXPECT_GT(c, 0);
+      if (i < j) {
+        EXPECT_LT(c, 0) << i << " vs " << j;
+      } else if (i == j) {
+        EXPECT_EQ(c, 0);
+      } else {
+        EXPECT_GT(c, 0);
+      }
     }
   }
 }
@@ -182,8 +186,8 @@ TEST(ValueSize, StarOperator) {
   auto l = ListImpl::create();
   l->put(Value::integer(1));
   EXPECT_EQ(Value::list(l).size(), 1);
-  EXPECT_THROW(Value::integer(5).size(), IconError);
-  EXPECT_THROW(Value::null().size(), IconError);
+  EXPECT_THROW((void)Value::integer(5).size(), IconError);
+  EXPECT_THROW((void)Value::null().size(), IconError);
 }
 
 TEST(ValueConcat, StringConcatenation) {

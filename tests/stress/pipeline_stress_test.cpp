@@ -1,0 +1,123 @@
+// pipeline_stress_test.cpp — torture for the Pipeline layer (Fig. 2):
+// deep stage chains on tiny queues, abandoning a pipeline mid-drain
+// (which must cascade the close upstream through every stage), and many
+// pipelines draining concurrently over one pool.
+#include "par/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "../testutil.hpp"
+#include "builtins/builtins.hpp"
+#include "par/data_parallel.hpp"
+#include "stress_util.hpp"
+
+namespace congen {
+namespace {
+
+using stress::eventually;
+using stress::onThreads;
+using test::ints;
+
+ProcPtr incProc() {
+  return builtins::makeNative(
+      "inc", [](std::vector<Value>& a) { return ops::add(a.at(0), Value::integer(1)); });
+}
+
+TEST(PipelineStress, DeepChainOnTinyQueues) {
+  // 16 stages of +1 over capacity-1 queues: 17 threads in a relay where
+  // every handoff is a rendezvous. Any lost wakeup deadlocks the chain.
+  ThreadPool pool;
+  Pipeline p(/*pipeCapacity=*/1, pool);
+  const int depth = 16;
+  for (int i = 0; i < depth; ++i) p.stage(incProc());
+  const auto got = ints(p.build([] { return test::range(0, 199); }));
+  ASSERT_EQ(got.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)], i + depth) << "relay reordered or dropped";
+  }
+}
+
+TEST(PipelineStress, AbandonMidDrainCascadesUpstream) {
+  // Drain three values from a deep pipeline over an endless source, then
+  // drop the generator. The final pipe's close must propagate: each
+  // stage's put() fails, it drops its upstream pipe, and that close
+  // releases the next producer up — all the way to the source.
+  ThreadPool pool;
+  const int rounds = 25 * stress::scale();
+  std::size_t expectedTasks = 0;
+  for (int round = 0; round < rounds; ++round) {
+    Pipeline p(/*pipeCapacity=*/2, pool);
+    p.stage(incProc()).stage(incProc()).stage(incProc());
+    {
+      auto gen = p.build([] { return test::range(1, 10000000); });
+      for (int i = 1; i <= 3; ++i) {
+        auto v = gen->nextValue();
+        ASSERT_TRUE(v.has_value());
+        ASSERT_EQ(v->requireInt64(), i + 3);
+      }
+      // gen (and the last pipe) dropped here mid-stream.
+    }
+    expectedTasks += 4;  // source + 3 stages
+    ASSERT_TRUE(eventually([&] { return pool.tasksCompleted() == expectedTasks; }, 20000))
+        << "round " << round << ": a stage survived abandonment — close did not cascade";
+  }
+}
+
+TEST(PipelineStress, ManyPipelinesConcurrently) {
+  // 4 threads × pipelines over one pool; each checks its own stream
+  // end-to-end while the pool multiplexes all producers.
+  ThreadPool pool;
+  onThreads(4, [&](int t) {
+    for (int round = 0; round < 10 * stress::scale(); ++round) {
+      Pipeline p(/*pipeCapacity=*/4, pool);
+      p.stage(incProc()).stage(incProc());
+      const int base = t * 1000;
+      const auto got = ints(p.build([base] { return test::range(base, base + 49); }));
+      ASSERT_EQ(got.size(), 50u);
+      for (int i = 0; i < 50; ++i) {
+        ASSERT_EQ(got[static_cast<std::size_t>(i)], base + i + 2);
+      }
+    }
+  });
+}
+
+TEST(PipelineStress, LastInlineUnderConcurrency) {
+  ThreadPool pool;
+  onThreads(4, [&](int t) {
+    for (int round = 0; round < 10 * stress::scale(); ++round) {
+      Pipeline p(/*pipeCapacity=*/1, pool);
+      p.stage(incProc()).stage(incProc());
+      const int base = t * 100;
+      const auto got = ints(p.buildLastInline([base] { return test::range(base, base + 19); }));
+      ASSERT_EQ(got.size(), 20u);
+      for (int i = 0; i < 20; ++i) {
+        ASSERT_EQ(got[static_cast<std::size_t>(i)], base + i + 2);
+      }
+    }
+  });
+}
+
+TEST(PipelineStress, MapReduceStormOverSharedPool) {
+  // DataParallel spawns one pipe per chunk; drive several mapReduce
+  // drains concurrently so chunk pipes from different computations
+  // interleave on the same workers.
+  auto square = builtins::makeNative(
+      "square", [](std::vector<Value>& a) { return ops::mul(a.at(0), a.at(0)); });
+  auto add = builtins::makeNative(
+      "add", [](std::vector<Value>& a) { return ops::add(a.at(0), a.at(1)); });
+  onThreads(4, [&](int) {
+    for (int round = 0; round < 5 * stress::scale(); ++round) {
+      DataParallel dp(/*chunkSize=*/7);
+      auto gen = dp.mapReduce(square, [] { return test::range(1, 60); }, add, Value::integer(0));
+      std::int64_t total = 0;
+      while (auto v = gen->nextValue()) total += v->requireInt64();
+      ASSERT_EQ(total, 73810) << "sum of squares 1..60";
+    }
+  });
+}
+
+}  // namespace
+}  // namespace congen

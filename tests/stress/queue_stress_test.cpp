@@ -1,0 +1,209 @@
+// queue_stress_test.cpp — many-producer/many-consumer torture for
+// BlockingQueue: conservation (no element lost or duplicated) across
+// capacities, close-vs-put races, the capacity-1 mailbox under
+// contention, and drain-after-close. These are the invariants the queue
+// section of docs/INTERNALS.md ("Threading invariants") promises.
+#include "concur/blocking_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "stress_util.hpp"
+
+namespace congen {
+namespace {
+
+using stress::onThreads;
+
+/// Drive P producers and C consumers over one queue and assert exact
+/// once-delivery of every successfully put element.
+void conservationTorture(int producers, int consumers, int perProducer, std::size_t capacity) {
+  BlockingQueue<int> q(capacity);
+  std::atomic<int> putOk{0};
+  std::mutex gotMutex;
+  std::vector<int> got;
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < perProducer; ++i) {
+        if (q.put(p * perProducer + i)) putOk.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int c = 0; c < consumers; ++c) {
+    threads.emplace_back([&] {
+      std::vector<int> local;
+      while (auto v = q.take()) local.push_back(*v);
+      std::lock_guard lock(gotMutex);
+      got.insert(got.end(), local.begin(), local.end());
+    });
+  }
+  // Producers finish (nothing closes the queue under them), then close
+  // releases the consumers once the buffer drains.
+  for (int p = 0; p < producers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (std::size_t t = static_cast<std::size_t>(producers); t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  ASSERT_EQ(putOk.load(), producers * perProducer) << "no put may fail before close";
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(producers * perProducer));
+  std::sort(got.begin(), got.end());
+  for (int i = 0; i < producers * perProducer; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)], i) << "element lost or duplicated";
+  }
+}
+
+TEST(QueueStress, ManyToManyBounded) { conservationTorture(4, 4, 1000 * stress::scale(), 8); }
+
+TEST(QueueStress, ManyToManyUnbounded) { conservationTorture(4, 2, 1000 * stress::scale(), 0); }
+
+TEST(QueueStress, ManyToManyMailbox) {
+  // Capacity 1: every transfer is a full rendezvous; maximal contention
+  // on the two condition variables.
+  conservationTorture(4, 4, 250 * stress::scale(), 1);
+}
+
+TEST(QueueStress, CloseVsPutRace) {
+  // Producers hammer put() while a closer slams the door at a random
+  // point. Invariant: elements taken + elements left in the drain ==
+  // puts that reported success; nothing is lost, nothing is duplicated.
+  const int rounds = 50 * stress::scale();
+  for (int round = 0; round < rounds; ++round) {
+    BlockingQueue<int> q(4);
+    std::atomic<int> putOk{0};
+    std::atomic<int> taken{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < 3; ++p) {
+      threads.emplace_back([&, p] {
+        for (int i = 0; i < 200; ++i) {
+          if (!q.put(p * 200 + i)) return;  // closed under us — stop
+          putOk.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      while (q.take()) taken.fetch_add(1, std::memory_order_relaxed);
+    });
+    threads.emplace_back([&] {
+      // Close at a slightly different moment each round.
+      std::this_thread::sleep_for(std::chrono::microseconds(round * 17 % 400));
+      q.close();
+    });
+    for (auto& t : threads) t.join();
+    // The consumer drained everything before observing the close.
+    EXPECT_EQ(taken.load(), putOk.load()) << "round " << round << " seed " << stress::seed();
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.take().has_value());
+  }
+}
+
+TEST(QueueStress, DrainAfterCloseDeliversEverythingBuffered) {
+  // Close with a full buffer and concurrent consumers: every buffered
+  // element must still come out exactly once (close is a poison pill,
+  // not a discard).
+  const int rounds = 50 * stress::scale();
+  for (int round = 0; round < rounds; ++round) {
+    BlockingQueue<int> q(0);  // unbounded: all puts succeed immediately
+    constexpr int kElems = 500;
+    for (int i = 0; i < kElems; ++i) ASSERT_TRUE(q.put(i));
+    std::atomic<int> taken{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 4; ++c) {
+      consumers.emplace_back([&] {
+        // Drain races the close below; every buffered element must come
+        // out before the poison pill is observed.
+        while (q.take()) taken.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(round * 13 % 300));
+    q.close();
+    for (auto& t : consumers) t.join();
+    EXPECT_EQ(taken.load(), kElems);
+  }
+}
+
+TEST(QueueStress, CloseRacesCloseIdempotently) {
+  const int rounds = 100 * stress::scale();
+  for (int round = 0; round < rounds; ++round) {
+    BlockingQueue<int> q(2);
+    q.put(1);
+    onThreads(4, [&](int) { q.close(); });
+    EXPECT_TRUE(q.closed());
+    EXPECT_EQ(q.take(), 1);
+    EXPECT_FALSE(q.take().has_value());
+  }
+}
+
+TEST(QueueStress, TryOpsConserveUnderContention) {
+  // Lock-free-style hammering through the non-blocking API only:
+  // successful tryPuts == successful tryTakes + what is left buffered.
+  BlockingQueue<int> q(16);
+  std::atomic<int> putOk{0};
+  std::atomic<int> takeOk{0};
+  std::atomic<bool> stop{false};
+  const int perThread = 20000 * stress::scale();
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < perThread; ++i) {
+        if (q.tryPut(i)) putOk.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (q.tryTake()) takeOk.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int p = 0; p < 3; ++p) threads[static_cast<std::size_t>(p)].join();
+  stop = true;
+  for (std::size_t t = 3; t < threads.size(); ++t) threads[t].join();
+
+  int drained = 0;
+  while (q.tryTake()) ++drained;
+  EXPECT_EQ(putOk.load(), takeOk.load() + drained) << "try-API conservation";
+}
+
+TEST(QueueStress, MixedBlockingAndTryTraffic) {
+  // Blocking producers vs. non-blocking consumers plus one blocking
+  // consumer — the shapes pipes and schedulers actually mix.
+  BlockingQueue<int> q(4);
+  constexpr int kProducers = 3;
+  const int perProducer = 500 * stress::scale();
+  std::atomic<int> delivered{0};
+  std::atomic<bool> stopPolling{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < perProducer; ++i) EXPECT_TRUE(q.put(i));
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stopPolling.load(std::memory_order_relaxed)) {
+      if (q.tryTake()) delivered.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  threads.emplace_back([&] {
+    while (q.take()) delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  threads.back().join();  // blocking consumer exits via the poison pill
+  stopPolling = true;
+  threads[static_cast<std::size_t>(kProducers)].join();
+  while (q.tryTake()) delivered.fetch_add(1, std::memory_order_relaxed);
+  EXPECT_EQ(delivered.load(), kProducers * perProducer);
+}
+
+}  // namespace
+}  // namespace congen

@@ -1,0 +1,56 @@
+// stress_util.hpp — shared helpers for the concurrency stress suite.
+//
+// Every stress test is seeded: CONGEN_STRESS_SEED in the environment
+// overrides the default, and failures should be reported with the seed
+// so a schedule is reproducible modulo OS scheduling. Iteration counts
+// are deliberately modest — the suite must stay fast enough to run
+// under TSan on a single-core CI runner — and can be raised with
+// CONGEN_STRESS_SCALE for soak runs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace congen::stress {
+
+/// The deterministic seed for this run (env CONGEN_STRESS_SEED or 42).
+inline std::uint64_t seed() {
+  if (const char* s = std::getenv("CONGEN_STRESS_SEED")) {
+    return static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+  }
+  return 42;
+}
+
+/// Multiplier for iteration counts (env CONGEN_STRESS_SCALE or 1).
+inline int scale() {
+  if (const char* s = std::getenv("CONGEN_STRESS_SCALE")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+/// Spin-wait with a deadline; returns whether the condition became true.
+inline bool eventually(const std::function<bool()>& cond, int timeoutMs = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeoutMs);
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+/// Run `body(i)` on `n` threads and join them all.
+inline void onThreads(int n, const std::function<void(int)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) threads.emplace_back([&body, i] { body(i); });
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace congen::stress
