@@ -30,6 +30,40 @@ void queueHandoff(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kItems);
 }
 
+void queueHandoffBatched(benchmark::State& state) {
+  // Bulk hand-off: the producer accumulates `batch` elements and
+  // publishes them with one putAll; the consumer drains with takeUpTo.
+  // batch == 1 degenerates to the per-element protocol and anchors the
+  // element-vs-batch throughput comparison in the BENCH JSON.
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  constexpr int kItems = 20000;
+  for (auto _ : state) {
+    BlockingQueue<int> q(capacity);
+    std::jthread producer([&q, batch] {
+      std::vector<int> buf;
+      buf.reserve(batch);
+      for (int i = 0; i < kItems; ++i) {
+        buf.push_back(i);
+        if (buf.size() >= batch) {
+          q.putAll(buf);
+          if (!buf.empty()) return;  // closed under us — stop
+        }
+      }
+      if (!buf.empty()) q.putAll(buf);
+      q.close();
+    });
+    std::int64_t sum = 0;
+    for (;;) {
+      auto chunk = q.takeUpTo(batch);
+      if (chunk.empty()) break;
+      for (int v : chunk) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+
 void queueUncontended(benchmark::State& state) {
   // Same-thread put/take: the raw mutex/CV cost without blocking.
   BlockingQueue<int> q(64);
@@ -41,15 +75,18 @@ void queueUncontended(benchmark::State& state) {
 }
 
 void pipeThroughput(benchmark::State& state) {
-  // End-to-end pipe cost per element at different throttle bounds.
+  // End-to-end pipe cost per element at different throttle bounds and
+  // batch caps: range(0) = capacity, range(1) = batchCap (1 = the
+  // per-element protocol, the pre-batching baseline).
   const auto capacity = static_cast<std::size_t>(state.range(0));
+  const auto batchCap = static_cast<std::size_t>(state.range(1));
   constexpr std::int64_t kItems = 20000;
   for (auto _ : state) {
     auto pipe = Pipe::create(
         [] {
           return RangeGen::create(Value::integer(1), Value::integer(kItems), Value::integer(1));
         },
-        capacity);
+        capacity, ThreadPool::global(), batchCap);
     std::int64_t count = 0;
     while (pipe->activate()) ++count;
     benchmark::DoNotOptimize(count);
@@ -69,8 +106,13 @@ void futureLatency(benchmark::State& state) {
 
 BENCHMARK(queueHandoff)->Name("queue/handoff_capacity")->Arg(1)->Arg(4)->Arg(64)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(queueHandoffBatched)->Name("queue/handoff_batched")
+    ->Args({1024, 1})->Args({1024, 8})->Args({1024, 64})->Args({1024, 256})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(queueUncontended)->Name("queue/uncontended");
-BENCHMARK(pipeThroughput)->Name("queue/pipe_capacity")->Arg(1)->Arg(4)->Arg(64)->Arg(1024)
+BENCHMARK(pipeThroughput)->Name("queue/pipe_capacity")
+    ->Args({4, 1})->Args({64, 1})->Args({1024, 1})
+    ->Args({4, 4})->Args({64, 64})->Args({1024, 64})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(futureLatency)->Name("queue/future_roundtrip")->Unit(benchmark::kMicrosecond);
 

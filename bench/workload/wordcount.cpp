@@ -256,13 +256,15 @@ double juniconPipeline(const std::vector<std::string>& lines, const Params& p) {
   };
   auto gen = makeInvokeGen(
       ConstGen::create(Value::proc(wcst.hash)),
-      {PromoteGen::create(makePipeCreateGen(pipeBody, p.queueCapacity))});
+      {PromoteGen::create(
+          makePipeCreateGen(pipeBody, p.queueCapacity, ThreadPool::global(), p.pipeBatch))});
   return drainReal(gen);
 }
 
 double juniconDataParallel(const std::vector<std::string>& lines, const Params& p) {
   JuniconWordCount wcst(lines, p);
-  DataParallel dp(static_cast<std::int64_t>(p.chunkSize), p.queueCapacity);
+  DataParallel dp(static_cast<std::int64_t>(p.chunkSize), p.queueCapacity, ThreadPool::global(),
+                  p.pipeBatch);
   // every (c = chunk(readLines)) |> hashWords(!c), then serial summation
   // over the flattened sequence — the "split out the reduction" variant.
   auto gen = dp.mapFlat(wcst.hashWords, [&wcst] { return wcst.readLinesGen(); });
@@ -271,7 +273,8 @@ double juniconDataParallel(const std::vector<std::string>& lines, const Params& 
 
 double juniconMapReduce(const std::vector<std::string>& lines, const Params& p) {
   JuniconWordCount wcst(lines, p);
-  DataParallel dp(static_cast<std::int64_t>(p.chunkSize), p.queueCapacity);
+  DataParallel dp(static_cast<std::int64_t>(p.chunkSize), p.queueCapacity, ThreadPool::global(),
+                  p.pipeBatch);
   auto gen = dp.mapReduce(wcst.hashWords, [&wcst] { return wcst.readLinesGen(); }, wcst.sumHash,
                           Value::real(0.0));
   return drainReal(gen);  // sum of per-chunk reductions

@@ -8,6 +8,8 @@
 // deadlock) and take() drains the remaining elements before failing.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -15,6 +17,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "concur/fault_injection.hpp"
 
@@ -46,12 +49,71 @@ class BlockingQueue {
   std::optional<T> take() {
     CONGEN_FAULT_POINT(QueueTake);
     std::unique_lock lock(m_);
-    notEmpty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    waitForElement(lock);
     if (q_.empty()) return std::nullopt;  // closed and drained
     T v = std::move(q_.front());
     q_.pop_front();
     notFull_.notify_one();
     return v;
+  }
+
+  /// Bulk put: publishes `batch` in order under a single lock acquisition,
+  /// notifying consumers once per wait cycle (notify_all when more than
+  /// one element became visible — a single notify_one would strand all
+  /// but one of several blocked consumers). Blocks while the queue is
+  /// full, like put(). Returns how many elements were accepted; fewer
+  /// than batch.size() means the queue closed mid-batch, and the
+  /// unaccepted suffix is left in `batch` (the accepted prefix is
+  /// erased) so callers can report or redirect it.
+  std::size_t putAll(std::vector<T>& batch) {
+    CONGEN_FAULT_POINT(QueuePutAll);
+    if (batch.empty()) return 0;
+    std::size_t accepted = 0;
+    {
+      std::unique_lock lock(m_);
+      while (accepted < batch.size()) {
+        notFull_.wait(lock, [&] { return closed_ || q_.size() < capacity_; });
+        if (closed_) break;
+        std::size_t moved = 0;
+        while (accepted < batch.size() && q_.size() < capacity_) {
+          q_.push_back(std::move(batch[accepted]));
+          ++accepted;
+          ++moved;
+        }
+        if (moved > 1) {
+          notEmpty_.notify_all();
+        } else if (moved == 1) {
+          notEmpty_.notify_one();
+        }
+      }
+    }
+    batch.erase(batch.begin(), batch.begin() + static_cast<std::ptrdiff_t>(accepted));
+    return accepted;
+  }
+
+  /// Bulk take: blocks until at least one element (or close), then pops
+  /// up to `max` elements under the single lock acquisition. Producers
+  /// are notified proportionally — freeing k slots wakes up to k blocked
+  /// producers, where notify_one would strand k-1 of them. An empty
+  /// result means closed-and-drained, mirroring take()'s nullopt.
+  std::vector<T> takeUpTo(std::size_t max) {
+    CONGEN_FAULT_POINT(QueueTakeUpTo);
+    std::vector<T> out;
+    if (max == 0) return out;
+    std::unique_lock lock(m_);
+    waitForElement(lock);
+    const std::size_t n = std::min(max, q_.size());
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    if (n > 1) {
+      notFull_.notify_all();
+    } else if (n == 1) {
+      notFull_.notify_one();
+    }
+    return out;
   }
 
   /// Non-blocking put; false when full or closed.
@@ -97,13 +159,31 @@ class BlockingQueue {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Consumers currently blocked inside take()/takeUpTo() waiting for an
+  /// element. A starvation signal for batching producers: a non-zero
+  /// value means buffering further values only adds latency. Approximate
+  /// by design (read without the queue lock).
+  [[nodiscard]] std::size_t waitingConsumers() const noexcept {
+    return waitingConsumers_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // Wait until an element is available or the queue is closed, keeping
+  // the waiting-consumer count accurate across the blocking region.
+  void waitForElement(std::unique_lock<std::mutex>& lock) {
+    if (closed_ || !q_.empty()) return;
+    waitingConsumers_.fetch_add(1, std::memory_order_relaxed);
+    notEmpty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    waitingConsumers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
   mutable std::mutex m_;
   std::condition_variable notFull_;
   std::condition_variable notEmpty_;
   std::deque<T> q_;
   std::size_t capacity_;
   bool closed_ = false;
+  std::atomic<std::size_t> waitingConsumers_{0};
 };
 
 }  // namespace congen

@@ -27,6 +27,9 @@ const char* faultSiteName(FaultSite site) noexcept {
     case FaultSite::QueueClose: return "BlockingQueue::close";
     case FaultSite::PoolSubmit: return "ThreadPool::submit";
     case FaultSite::PoolTaskRun: return "ThreadPool::workerLoop";
+    case FaultSite::QueuePutAll: return "BlockingQueue::putAll";
+    case FaultSite::QueueTakeUpTo: return "BlockingQueue::takeUpTo";
+    case FaultSite::PipeBatchFlush: return "Pipe::batchFlush";
     case FaultSite::kCount: break;
   }
   return "unknown";
@@ -38,6 +41,7 @@ bool faultSiteFailureCapable(FaultSite site) noexcept {
     case FaultSite::QueueTryPut:
     case FaultSite::QueueTryTake:
     case FaultSite::PoolSubmit:
+    case FaultSite::QueuePutAll:
       return true;
     default:
       return false;

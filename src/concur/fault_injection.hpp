@@ -35,6 +35,9 @@ enum class FaultSite : std::uint8_t {
   QueueClose,     // BlockingQueue::close entry (delay only)
   PoolSubmit,     // ThreadPool::submit entry (failure-capable)
   PoolTaskRun,    // worker about to run a task (delay only)
+  QueuePutAll,    // BlockingQueue::putAll entry (failure-capable)
+  QueueTakeUpTo,  // BlockingQueue::takeUpTo entry (delay only)
+  PipeBatchFlush, // Pipe producer about to publish a batch (delay only)
   kCount,
 };
 

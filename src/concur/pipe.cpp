@@ -1,20 +1,89 @@
 #include "concur/pipe.hpp"
 
+#include <algorithm>
+
 namespace congen {
 
-Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool)
+namespace {
+
+/// The producer half of the batched transport. Runs on a pool thread,
+/// draining the co-expression body into a local buffer and publishing
+/// whole segments with one putAll per flush. The batch size adapts:
+/// it starts at 1 (first result reaches the consumer with no batching
+/// latency), doubles toward `cap` while the consumer keeps up, and
+/// halves whenever a flush finds the consumer already blocked in
+/// activate() — at that point buffering further values only adds
+/// latency. Each round's goal is additionally clamped to the queue's
+/// spare capacity so a bounded pipe still bounds producer run-ahead
+/// exactly as the per-element protocol does.
+void runBatchedProducer(const std::shared_ptr<BlockingQueue<Value>>& queue, Gen& body,
+                        std::size_t cap) {
+  std::vector<Value> buffer;
+  std::size_t batch = 1;
+  bool open = true;
+  while (open) {
+    const std::size_t size = queue->size();
+    const std::size_t spare = queue->capacity() > size ? queue->capacity() - size : 0;
+    const std::size_t goal =
+        std::clamp<std::size_t>(std::min(batch, spare), 1, cap);
+    bool starved = false;
+    try {
+      while (buffer.size() < goal) {
+        auto v = body.nextValue();
+        if (!v) {
+          open = false;  // source exhausted
+          break;
+        }
+        buffer.push_back(std::move(*v));
+        if (queue->waitingConsumers() > 0) {
+          starved = true;  // consumer is blocked: flush now, batch smaller
+          break;
+        }
+      }
+    } catch (...) {
+      // The per-element protocol delivers every result generated before
+      // an error; flush the intact buffer (best effort) before letting
+      // the error propagate to the consumer.
+      try {
+        if (!buffer.empty()) queue->putAll(buffer);
+      } catch (...) {
+      }
+      throw;
+    }
+    if (buffer.empty()) break;
+    CONGEN_FAULT_POINT(PipeBatchFlush);
+    const std::size_t flushed = buffer.size();
+    if (queue->putAll(buffer) < flushed) break;  // consumer abandoned us
+    batch = starved ? std::max<std::size_t>(1, batch / 2) : std::min(cap, batch * 2);
+  }
+}
+
+}  // namespace
+
+Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool, std::size_t batchCap)
     : CoExpression(std::move(factory)),
       state_(std::make_shared<State>(capacity)),
       capacity_(capacity),
-      pool_(&pool) {
+      pool_(&pool),
+      // Capacity <= 1 pipes are futures/mailboxes: latency-sensitive and
+      // single-valued, so they always run the unbatched protocol. A
+      // bounded queue also clamps the cap — batching past capacity
+      // could never publish in one flush anyway.
+      batchCap_(state_->queue->capacity() <= 1 || batchCap <= 1
+                    ? 1
+                    : std::min(batchCap, state_->queue->capacity())) {
   // The body was built (and the shadowed environment copied) eagerly on
   // this thread by the CoExpression base. The producer captures only the
   // shared state and that body — never the Pipe itself — so
   // consumer-side destruction cannot race it.
-  pool.submit([state = state_, body = takeBody()] {
+  pool.submit([state = state_, body = takeBody(), cap = batchCap_] {
     try {
-      while (auto v = body->nextValue()) {
-        if (!state->queue->put(std::move(*v))) break;  // consumer abandoned us
+      if (cap <= 1) {
+        while (auto v = body->nextValue()) {
+          if (!state->queue->put(std::move(*v))) break;  // consumer abandoned us
+        }
+      } else {
+        runBatchedProducer(state->queue, *body, cap);
       }
     } catch (...) {
       std::lock_guard lock(state->errorMutex);
@@ -27,10 +96,21 @@ Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool)
 Pipe::~Pipe() { state_->queue->close(); }
 
 std::optional<Value> Pipe::activate() {
-  auto v = state_->queue->take();
-  if (v) {
-    ++produced_;
-    return v;
+  if (batchCap_ > 1) {
+    if (drainedPos_ >= drained_.size()) {
+      drained_ = state_->queue->takeUpTo(batchCap_);
+      drainedPos_ = 0;
+    }
+    if (drainedPos_ < drained_.size()) {
+      ++produced_;
+      return std::move(drained_[drainedPos_++]);
+    }
+  } else {
+    auto v = state_->queue->take();
+    if (v) {
+      ++produced_;
+      return v;
+    }
   }
   // Drained: surface a producer-side error on the consumer thread.
   std::exception_ptr error;
@@ -43,12 +123,14 @@ std::optional<Value> Pipe::activate() {
   return std::nullopt;
 }
 
-CoExprPtr Pipe::refreshed() const { return Pipe::create(factory(), capacity_, *pool_); }
+CoExprPtr Pipe::refreshed() const { return Pipe::create(factory(), capacity_, *pool_, batchCap_); }
 
-GenPtr makePipeCreateGen(GenFactory bodyFactory, std::size_t capacity, ThreadPool& pool) {
-  return CoExprCreateGen::create(std::move(bodyFactory), [capacity, &pool](GenFactory f) -> CoExprPtr {
-    return Pipe::create(std::move(f), capacity, pool);
-  });
+GenPtr makePipeCreateGen(GenFactory bodyFactory, std::size_t capacity, ThreadPool& pool,
+                         std::size_t batchCap) {
+  return CoExprCreateGen::create(std::move(bodyFactory),
+                                 [capacity, &pool, batchCap](GenFactory f) -> CoExprPtr {
+                                   return Pipe::create(std::move(f), capacity, pool, batchCap);
+                                 });
 }
 
 FutureValue::FutureValue(GenFactory factory, ThreadPool& pool)

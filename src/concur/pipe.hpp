@@ -16,6 +16,7 @@
 #pragma once
 
 #include <exception>
+#include <vector>
 
 #include "concur/blocking_queue.hpp"
 #include "concur/thread_pool.hpp"
@@ -26,15 +27,23 @@ namespace congen {
 class Pipe final : public CoExpression {
  public:
   static constexpr std::size_t kDefaultCapacity = 1024;
+  /// Upper bound for the adaptive producer-side batch. Batching moves
+  /// whole segments through the queue (one lock + one notify per batch)
+  /// instead of paying that cost per element. A cap of 1 disables
+  /// batching entirely; capacity <= 1 pipes (futures/mailboxes) are
+  /// always unbatched regardless of the cap.
+  static constexpr std::size_t kDefaultBatch = 64;
 
   /// Create and immediately start producing on a pool thread.
-  Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool);
+  Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool,
+       std::size_t batchCap = kDefaultBatch);
   ~Pipe() override;
 
   static std::shared_ptr<Pipe> create(GenFactory factory,
                                       std::size_t capacity = kDefaultCapacity,
-                                      ThreadPool& pool = ThreadPool::global()) {
-    return std::make_shared<Pipe>(std::move(factory), capacity, pool);
+                                      ThreadPool& pool = ThreadPool::global(),
+                                      std::size_t batchCap = kDefaultBatch) {
+    return std::make_shared<Pipe>(std::move(factory), capacity, pool, batchCap);
   }
 
   /// Activation = take from the output channel. A run-time error raised
@@ -50,6 +59,10 @@ class Pipe final : public CoExpression {
     return state_->queue;
   }
 
+  /// Effective batch cap after clamping to the queue capacity (1 means
+  /// the pipe runs the unbatched per-element protocol).
+  [[nodiscard]] std::size_t batchCap() const noexcept { return batchCap_; }
+
  private:
   /// State shared with the producer task; outlives the Pipe if the
   /// consumer abandons it mid-stream.
@@ -63,12 +76,18 @@ class Pipe final : public CoExpression {
   std::shared_ptr<State> state_;
   std::size_t capacity_;
   ThreadPool* pool_;
+  std::size_t batchCap_;
   std::size_t produced_ = 0;
+  // Consumer-side prefetch: activate() refills this from takeUpTo() so a
+  // burst of buffered results costs one lock acquisition, not one each.
+  std::vector<Value> drained_;
+  std::size_t drainedPos_ = 0;
 };
 
 /// Kernel node for `|> e`: yields a started pipe once per cycle.
 GenPtr makePipeCreateGen(GenFactory bodyFactory, std::size_t capacity = Pipe::kDefaultCapacity,
-                         ThreadPool& pool = ThreadPool::global());
+                         ThreadPool& pool = ThreadPool::global(),
+                         std::size_t batchCap = Pipe::kDefaultBatch);
 
 /// A future: a capacity-1 pipe computing a single value in the
 /// background; get() blocks for the result (fails if the expression

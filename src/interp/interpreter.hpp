@@ -26,7 +26,8 @@ class Interpreter {
   /// Options mostly matter to benchmarks (pipe sizing / pool choice).
   struct Options {
     std::size_t pipeCapacity = 1024;
-    bool normalize = true;  // run the Section V.A flattening pass first
+    std::size_t pipeBatch = 64;  // adaptive batch cap for |> transport (1 = unbatched)
+    bool normalize = true;       // run the Section V.A flattening pass first
   };
 
   Interpreter() : Interpreter(Options{}) {}

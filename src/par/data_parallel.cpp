@@ -62,11 +62,12 @@ class TasksGen final : public Gen {
   using TaskFactory = std::function<GenFactory(ListPtr chunk)>;
 
   TasksGen(GenFactory source, std::int64_t chunkSize, std::size_t capacity, ThreadPool* pool,
-           TaskFactory makeTaskBody)
+           std::size_t batch, TaskFactory makeTaskBody)
       : source_(std::move(source)),
         chunkSize_(chunkSize),
         capacity_(capacity),
         pool_(pool),
+        batch_(batch),
         makeTaskBody_(std::move(makeTaskBody)) {}
 
  protected:
@@ -92,7 +93,7 @@ class TasksGen final : public Gen {
     taskIndex_ = 0;
     ChunkGen chunks(source_(), chunkSize_);
     while (auto c = chunks.nextValue()) {
-      tasks_.push_back(Pipe::create(makeTaskBody_(c->list()), capacity_, *pool_));
+      tasks_.push_back(Pipe::create(makeTaskBody_(c->list()), capacity_, *pool_, batch_));
     }
   }
 
@@ -100,6 +101,7 @@ class TasksGen final : public Gen {
   std::int64_t chunkSize_;
   std::size_t capacity_;
   ThreadPool* pool_;
+  std::size_t batch_;
   TaskFactory makeTaskBody_;
   std::vector<std::shared_ptr<Pipe>> tasks_;
   std::size_t taskIndex_ = 0;
@@ -125,7 +127,7 @@ GenPtr DataParallel::mapReduce(ProcPtr f, GenFactory source, ProcPtr r, Value in
       });
     };
   };
-  return std::make_shared<TasksGen>(std::move(source), chunkSize_, pipeCapacity_, pool_,
+  return std::make_shared<TasksGen>(std::move(source), chunkSize_, pipeCapacity_, pool_, pipeBatch_,
                                     std::move(makeTaskBody));
 }
 
@@ -137,7 +139,7 @@ GenPtr DataParallel::mapFlat(ProcPtr f, GenFactory source) const {
                            {PromoteGen::create(ConstGen::create(Value::list(chunk)))});
     };
   };
-  return std::make_shared<TasksGen>(std::move(source), chunkSize_, pipeCapacity_, pool_,
+  return std::make_shared<TasksGen>(std::move(source), chunkSize_, pipeCapacity_, pool_, pipeBatch_,
                                     std::move(makeTaskBody));
 }
 

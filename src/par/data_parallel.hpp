@@ -33,8 +33,9 @@ class DataParallel {
  public:
   explicit DataParallel(std::int64_t chunkSize = 1000,
                         std::size_t pipeCapacity = Pipe::kDefaultCapacity,
-                        ThreadPool& pool = ThreadPool::global())
-      : chunkSize_(chunkSize), pipeCapacity_(pipeCapacity), pool_(&pool) {}
+                        ThreadPool& pool = ThreadPool::global(),
+                        std::size_t pipeBatch = Pipe::kDefaultBatch)
+      : chunkSize_(chunkSize), pipeCapacity_(pipeCapacity), pool_(&pool), pipeBatch_(pipeBatch) {}
 
   /// mapReduce(f, s, r, i): one pipe per chunk folds r over f's results,
   /// and the returned generator yields the per-chunk reductions in chunk
@@ -56,6 +57,7 @@ class DataParallel {
   std::int64_t chunkSize_;
   std::size_t pipeCapacity_;
   ThreadPool* pool_;
+  std::size_t pipeBatch_;
 };
 
 }  // namespace congen

@@ -18,14 +18,14 @@ GenPtr mapOverCoExpr(const ProcPtr& f, const Value& upstream) {
 
 GenPtr Pipeline::chain(GenFactory source, bool lastInline) const {
   // Source stage: |> s
-  Value current = Value::coexpr(Pipe::create(std::move(source), capacity_, *pool_));
+  Value current = Value::coexpr(Pipe::create(std::move(source), capacity_, *pool_, batch_));
 
   const std::size_t piped = lastInline && !stages_.empty() ? stages_.size() - 1 : stages_.size();
   for (std::size_t i = 0; i < piped; ++i) {
     // Stage i: |> f_i(! previous). The body factory captures the upstream
     // pipe by value; no locals are shared, so no shadowing is needed.
     GenFactory body = [f = stages_[i], current]() -> GenPtr { return mapOverCoExpr(f, current); };
-    current = Value::coexpr(Pipe::create(std::move(body), capacity_, *pool_));
+    current = Value::coexpr(Pipe::create(std::move(body), capacity_, *pool_, batch_));
   }
 
   if (lastInline && !stages_.empty()) {

@@ -20,8 +20,9 @@ namespace congen {
 class Pipeline {
  public:
   explicit Pipeline(std::size_t pipeCapacity = Pipe::kDefaultCapacity,
-                    ThreadPool& pool = ThreadPool::global())
-      : capacity_(pipeCapacity), pool_(&pool) {}
+                    ThreadPool& pool = ThreadPool::global(),
+                    std::size_t pipeBatch = Pipe::kDefaultBatch)
+      : capacity_(pipeCapacity), pool_(&pool), batch_(pipeBatch) {}
 
   /// Append a stage: f is mapped (goal-directed invocation, so all of
   /// f's results per element join the stream) over the previous stage's
@@ -49,6 +50,7 @@ class Pipeline {
   std::vector<ProcPtr> stages_;
   std::size_t capacity_;
   ThreadPool* pool_;
+  std::size_t batch_;
 };
 
 }  // namespace congen

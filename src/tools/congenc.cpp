@@ -13,6 +13,13 @@
 //
 // Usage:
 //   congenc <input> [-o <output>] [--module <Name>] [--dump-module]
+//           [--script] [--defs-only]
+//
+// --script treats the whole input as one Junicon program (a .jn script)
+// instead of scanning for annotation regions; --defs-only writes just
+// the emitted module struct as an includable header (keeping the
+// `#pragma once` and omitting the __congen_module() accessor so several
+// emitted modules can coexist in one translation unit).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -48,11 +55,44 @@ std::string spliceModule(const std::string& host, const std::string& moduleDecl)
   return host.substr(0, insertAt) + "\n" + moduleDecl + "\n" + host.substr(insertAt);
 }
 
+/// Scan the annotated host text: definition regions are parsed into
+/// `program`, expression regions into `exprRegions` (rewritten to
+/// module accessor calls), and the rewritten host text is returned.
+std::string transformHost(const std::string& source, const std::string& moduleName,
+                          const congen::ast::NodePtr& program,
+                          std::vector<congen::ast::NodePtr>& exprRegions) {
+  return congen::meta::transformRegions(
+      source, [&](const congen::meta::Region& region, const std::string& inner) -> std::string {
+        if (region.tag != "script") return inner;  // unknown tags: strip markers
+        const std::string lang = region.attr("lang", "junicon");
+        if (lang == "cpp" || lang == "java" || lang == "native") {
+          return inner;  // native evaluation: exempt from transformation
+        }
+        if (lang != "junicon" && lang != "unicon") {
+          throw std::runtime_error("unsupported embedded language: " + lang);
+        }
+        // Expression region or definition region? Try the expression
+        // grammar first; fall back to a whole program.
+        try {
+          auto e = congen::frontend::parseExpression(inner);
+          const std::size_t index = exprRegions.size();
+          exprRegions.push_back(std::move(e));
+          return "__congen_module().expr_" + std::to_string(index) + "()";
+        } catch (const congen::frontend::SyntaxError&) {
+          auto prog = congen::frontend::parseProgram(inner);
+          for (auto& item : prog->kids) program->kids.push_back(item);
+          return "/* junicon definitions translated into " + moduleName + " */";
+        }
+      });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string input, output, moduleName = "CongenModule";
   bool dumpModule = false;
+  bool scriptMode = false;
+  bool defsOnly = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "-o" && i + 1 < argc) {
@@ -61,8 +101,13 @@ int main(int argc, char** argv) {
       moduleName = argv[++i];
     } else if (arg == "--dump-module") {
       dumpModule = true;
+    } else if (arg == "--script") {
+      scriptMode = true;
+    } else if (arg == "--defs-only") {
+      defsOnly = true;
     } else if (arg == "-h" || arg == "--help") {
-      std::cout << "usage: congenc <input> [-o <output>] [--module <Name>] [--dump-module]\n";
+      std::cout << "usage: congenc <input> [-o <output>] [--module <Name>] [--dump-module]\n"
+                   "               [--script] [--defs-only]\n";
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       input = arg;
@@ -83,34 +128,34 @@ int main(int argc, char** argv) {
     // regions across the file; rewrite the host text.
     auto program = congen::ast::make(congen::ast::Kind::Program);
     std::vector<congen::ast::NodePtr> exprRegions;
+    std::string hostText;
 
-    const std::string hostText = congen::meta::transformRegions(
-        source, [&](const congen::meta::Region& region, const std::string& inner) -> std::string {
-          if (region.tag != "script") return inner;  // unknown tags: strip markers
-          const std::string lang = region.attr("lang", "junicon");
-          if (lang == "cpp" || lang == "java" || lang == "native") {
-            return inner;  // native evaluation: exempt from transformation
-          }
-          if (lang != "junicon" && lang != "unicon") {
-            throw std::runtime_error("unsupported embedded language: " + lang);
-          }
-          // Expression region or definition region? Try the expression
-          // grammar first; fall back to a whole program.
-          try {
-            auto e = congen::frontend::parseExpression(inner);
-            const std::size_t index = exprRegions.size();
-            exprRegions.push_back(std::move(e));
-            return "__congen_module().expr_" + std::to_string(index) + "()";
-          } catch (const congen::frontend::SyntaxError&) {
-            auto prog = congen::frontend::parseProgram(inner);
-            for (auto& item : prog->kids) program->kids.push_back(item);
-            return "/* junicon definitions translated into " + moduleName + " */";
-          }
-        });
+    if (scriptMode) {
+      // Whole-file Junicon: the entire input is one program, no
+      // annotation markers expected (the .jn script form).
+      auto prog = congen::frontend::parseProgram(source);
+      for (auto& item : prog->kids) program->kids.push_back(item);
+    } else {
+      hostText = transformHost(source, moduleName, program, exprRegions);
+    }
 
     congen::emit::EmitOptions opts;
     opts.moduleName = moduleName;
     std::string moduleSrc = congen::emit::emitModuleWithExprs(program, exprRegions, opts);
+
+    if (defsOnly) {
+      // Includable header form: keep the #pragma once the emitter wrote
+      // and add no accessor, so a TU can include many emitted modules.
+      if (output.empty()) {
+        std::cout << moduleSrc;
+      } else {
+        std::ofstream out(output, std::ios::binary);
+        if (!out) throw std::runtime_error("cannot write " + output);
+        out << moduleSrc;
+      }
+      return 0;
+    }
+
     // The module is spliced inline rather than included: drop the
     // header-guard pragma the standalone emitter writes.
     if (const auto pragma = moduleSrc.find("#pragma once\n"); pragma != std::string::npos) {

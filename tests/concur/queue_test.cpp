@@ -101,6 +101,92 @@ TEST(QueueBasics, TryTakeReleasesBlockedPutter) {
   EXPECT_EQ(q.take(), 2);
 }
 
+TEST(QueueBulk, PutAllDeliversInOrderAndConsumesTheBatch) {
+  BlockingQueue<int> q;
+  std::vector<int> batch{1, 2, 3, 4};
+  EXPECT_EQ(q.putAll(batch), 4u);
+  EXPECT_TRUE(batch.empty()) << "accepted elements are erased from the batch";
+  for (int i = 1; i <= 4; ++i) EXPECT_EQ(q.take(), i);
+}
+
+TEST(QueueBulk, PutAllEmptyBatchIsANoOp) {
+  BlockingQueue<int> q(1);
+  std::vector<int> batch;
+  EXPECT_EQ(q.putAll(batch), 0u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(QueueBulk, PutAllAfterCloseAcceptsNothingAndKeepsTheBatch) {
+  BlockingQueue<int> q(4);
+  q.close();
+  std::vector<int> batch{1, 2, 3};
+  EXPECT_EQ(q.putAll(batch), 0u);
+  EXPECT_EQ(batch, (std::vector<int>{1, 2, 3})) << "the refused batch is left intact";
+}
+
+TEST(QueueBulk, PutAllBlockedAtCapacityAcceptsPrefixOnClose) {
+  // A putAll that outgrows the bound parks on notFull_; close mid-batch
+  // must release it with the accepted prefix erased and the unaccepted
+  // suffix still in the caller's hands.
+  BlockingQueue<int> q(2);
+  std::vector<int> batch{1, 2, 3, 4, 5};
+  std::atomic<std::size_t> accepted{99};
+  std::thread producer([&] { accepted = q.putAll(batch); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.size(), 2u) << "the prefix filled the queue to its bound";
+  q.close();
+  producer.join();
+  EXPECT_EQ(accepted.load(), 2u);
+  EXPECT_EQ(batch, (std::vector<int>{3, 4, 5})) << "unaccepted suffix survives the close";
+  EXPECT_EQ(q.take(), 1);
+  EXPECT_EQ(q.take(), 2);
+  EXPECT_FALSE(q.take().has_value());
+}
+
+TEST(QueueBulk, TakeUpToTakesAtMostMaxInFifoOrder) {
+  BlockingQueue<int> q;
+  for (int i = 1; i <= 5; ++i) q.put(i);
+  EXPECT_EQ(q.takeUpTo(3), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.takeUpTo(10), (std::vector<int>{4, 5})) << "takeUpTo never blocks for more";
+}
+
+TEST(QueueBulk, TakeUpToZeroReturnsEmptyWithoutBlocking) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.takeUpTo(0).empty());
+  q.put(1);
+  EXPECT_TRUE(q.takeUpTo(0).empty());
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(QueueBulk, TakeUpToBlocksUntilTheFirstElement) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.put(42);
+  });
+  EXPECT_EQ(q.takeUpTo(8), (std::vector<int>{42})) << "blocks like take(), returns what is there";
+  producer.join();
+}
+
+TEST(QueueBulk, TakeUpToEmptyMeansClosedAndDrained) {
+  BlockingQueue<int> q;
+  q.put(1);
+  q.close();
+  EXPECT_EQ(q.takeUpTo(8), (std::vector<int>{1})) << "buffered elements survive close";
+  EXPECT_TRUE(q.takeUpTo(8).empty()) << "empty result is the bulk poison pill";
+}
+
+TEST(QueueBulk, WaitingConsumersCountsBlockedTakers) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.waitingConsumers(), 0u);
+  std::thread consumer([&] { EXPECT_EQ(q.take(), 5); });
+  while (q.waitingConsumers() == 0) std::this_thread::yield();
+  EXPECT_EQ(q.waitingConsumers(), 1u);
+  q.put(5);
+  consumer.join();
+  EXPECT_EQ(q.waitingConsumers(), 0u);
+}
+
 TEST(QueueClose, TakeDrainsThenFails) {
   BlockingQueue<int> q;
   q.put(1);

@@ -63,14 +63,22 @@ TEST(FaultInjectorStress, HitCountersCoverAllInstrumentedSites) {
   ScopedFaultInjection arm(stress::seed(), SitePolicy{});  // observe only
   ThreadPool pool;
   {
-    auto pipe = Pipe::create([] { return test::range(1, 5); }, /*capacity=*/2, pool);
-    while (pipe->activate()) {
+    // Capacity 1 forces the unbatched per-element protocol (put/take)...
+    auto mailbox = Pipe::create([] { return test::range(1, 5); }, /*capacity=*/1, pool);
+    while (mailbox->activate()) {
+    }
+    // ...and a roomier pipe runs the batched one (putAll/takeUpTo).
+    auto batched = Pipe::create([] { return test::range(1, 50); }, /*capacity=*/8, pool);
+    while (batched->activate()) {
     }
   }
-  ASSERT_TRUE(eventually([&] { return pool.tasksCompleted() == 1u; }));
+  ASSERT_TRUE(eventually([&] { return pool.tasksCompleted() == 2u; }));
   auto& inj = FaultInjector::instance();
   EXPECT_GT(inj.hits(FaultSite::QueuePut), 0u);
   EXPECT_GT(inj.hits(FaultSite::QueueTake), 0u);
+  EXPECT_GT(inj.hits(FaultSite::QueuePutAll), 0u);
+  EXPECT_GT(inj.hits(FaultSite::QueueTakeUpTo), 0u);
+  EXPECT_GT(inj.hits(FaultSite::PipeBatchFlush), 0u);
   EXPECT_GT(inj.hits(FaultSite::QueueClose), 0u);
   EXPECT_GT(inj.hits(FaultSite::PoolSubmit), 0u);
   EXPECT_GT(inj.hits(FaultSite::PoolTaskRun), 0u);
@@ -165,6 +173,92 @@ TEST(FaultStress, TryPutFailuresDoNotLoseElements) {
   EXPECT_EQ(drained, ok) << "an injected tryPut failure half-enqueued an element";
   EXPECT_GT(ok, 0);
   EXPECT_LT(ok, 2000) << "with failPerMille=300 some injections must have fired";
+}
+
+TEST(FaultStress, BulkOpsConserveUnderBatchBoundaryDelays) {
+  REQUIRE_FAULT_HOOKS();
+  // Delays at the three batch-boundary sites shake the hand-off timing
+  // between accumulation, flush, and bulk drain; conservation and
+  // stream order must not depend on who wins those races.
+  auto& inj = FaultInjector::instance();
+  inj.arm(stress::seed(), SitePolicy{});
+  for (auto site : {FaultSite::QueuePutAll, FaultSite::QueueTakeUpTo, FaultSite::PipeBatchFlush}) {
+    inj.armSite(site, SitePolicy{/*delayPerMille=*/300, /*maxDelayMicros=*/200,
+                                 /*failPerMille=*/0});
+  }
+  ThreadPool pool;
+  const int kElems = 300 * stress::scale();
+  auto pipe = Pipe::create([kElems] { return test::range(1, kElems); },
+                           /*capacity=*/4, pool, /*batchCap=*/4);
+  std::int64_t expect = 1;
+  while (auto v = pipe->activate()) EXPECT_EQ(v->requireInt64(), expect++);
+  EXPECT_EQ(expect, kElems + 1) << "an element was lost at a delayed batch boundary";
+  inj.disarm();
+  EXPECT_GT(inj.hits(FaultSite::QueuePutAll), 0u);
+  EXPECT_GT(inj.hits(FaultSite::QueueTakeUpTo), 0u);
+}
+
+TEST(FaultStress, InjectedPutAllFailureIsAllOrNothing) {
+  REQUIRE_FAULT_HOOKS();
+  // The QueuePutAll fault point sits at entry: an injected failure must
+  // reject the whole batch before any element moves — never a half-
+  // published batch.
+  auto& inj = FaultInjector::instance();
+  inj.arm(stress::seed(), SitePolicy{});
+  inj.armSite(FaultSite::QueuePutAll,
+              SitePolicy{/*delayPerMille=*/0, /*maxDelayMicros=*/0, /*failPerMille=*/300});
+  BlockingQueue<int> q(0);
+  std::size_t accepted = 0;
+  int attempts = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<int> batch{3 * i, 3 * i + 1, 3 * i + 2};
+    try {
+      accepted += q.putAll(batch);
+      EXPECT_TRUE(batch.empty());
+      ++attempts;
+    } catch (const InjectedFault&) {
+      EXPECT_EQ(batch.size(), 3u) << "an injected putAll failure half-published a batch";
+    }
+  }
+  inj.disarm();
+  std::size_t drained = 0;
+  while (q.tryTake()) ++drained;
+  EXPECT_EQ(drained, accepted) << "bulk-API conservation under injected failures";
+  EXPECT_GT(attempts, 0);
+  EXPECT_LT(attempts, 500) << "with failPerMille=300 some injections must have fired";
+}
+
+TEST(FaultStress, BatchedPipeFlushFailureDeliversAPrefixThenTheError) {
+  REQUIRE_FAULT_HOOKS();
+  // Inject hard failures into putAll under a batched pipe: the consumer
+  // must observe a gapless, duplicate-free prefix of the stream and then
+  // the injected error — a lost or reordered batch would break the
+  // prefix shape.
+  auto& inj = FaultInjector::instance();
+  inj.arm(stress::seed(), SitePolicy{});
+  inj.armSite(FaultSite::QueuePutAll,
+              SitePolicy{/*delayPerMille=*/0, /*maxDelayMicros=*/0, /*failPerMille=*/200});
+  ThreadPool pool;
+  bool sawError = false;
+  std::int64_t expect = 1;
+  {
+    auto pipe = Pipe::create([] { return test::range(1, 500); },
+                             /*capacity=*/4, pool, /*batchCap=*/4);
+    try {
+      while (auto v = pipe->activate()) EXPECT_EQ(v->requireInt64(), expect++);
+    } catch (const InjectedFault&) {
+      sawError = true;
+    }
+  }
+  inj.disarm();
+  if (sawError) {
+    EXPECT_LE(expect, 501) << "values past the failed flush leaked through";
+  } else {
+    EXPECT_EQ(expect, 501) << "no injection fired, so the full stream must arrive";
+  }
+  // The pool survives the storm and remains usable.
+  auto pipe = Pipe::create([] { return test::range(1, 3); }, /*capacity=*/2, pool);
+  EXPECT_EQ(pipe->activate()->smallInt(), 1);
 }
 
 TEST(FaultStress, MixedDelayAndFailureStormOnPool) {

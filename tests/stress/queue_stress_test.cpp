@@ -205,5 +205,197 @@ TEST(QueueStress, MixedBlockingAndTryTraffic) {
   EXPECT_EQ(delivered.load(), kProducers * perProducer);
 }
 
+// --- Bulk hand-off (putAll / takeUpTo) -------------------------------
+// The batched pipe transport rides on these two; the invariants are the
+// same as the scalar API (conservation, FIFO per producer, close as a
+// poison pill) plus one new one: a bulk op that moves k elements must
+// wake enough waiters for all k (a notify_one there strands k-1).
+
+TEST(QueueBulkStress, MixedBulkAndScalarConservationWithFifoPerProducer) {
+  // Producers alternate putAll batches with scalar puts; consumers
+  // alternate takeUpTo with scalar takes. Every element is tagged
+  // (producer, seq): each consumer's local view, restricted to one
+  // producer, must be strictly increasing — takeUpTo may not reorder
+  // within a batch or against the scalar traffic.
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  const int perProducer = 900 * stress::scale();
+  BlockingQueue<int> q(8);
+  std::mutex gotMutex;
+  std::vector<int> got;
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      int next = 0;
+      while (next < perProducer) {
+        const int batchSize = 1 + (next % 7);
+        if (next % 3 == 0) {
+          std::vector<int> batch;
+          for (int i = 0; i < batchSize && next < perProducer; ++i) {
+            batch.push_back(p * 1'000'000 + next++);
+          }
+          const std::size_t want = batch.size();
+          ASSERT_EQ(q.putAll(batch), want) << "no putAll may be cut short before close";
+          ASSERT_TRUE(batch.empty()) << "accepted elements must be consumed from the batch";
+        } else {
+          ASSERT_TRUE(q.put(p * 1'000'000 + next++));
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<int> local;
+      for (;;) {
+        if (c % 2 == 0) {
+          auto chunk = q.takeUpTo(5);
+          if (chunk.empty()) break;  // closed and drained
+          local.insert(local.end(), chunk.begin(), chunk.end());
+        } else {
+          auto v = q.take();
+          if (!v) break;
+          local.push_back(*v);
+        }
+      }
+      // FIFO per producer: this consumer's takes are a subsequence of
+      // queue order, so each producer's tags must appear increasing.
+      std::vector<int> lastSeq(kProducers, -1);
+      for (int tagged : local) {
+        const int p = tagged / 1'000'000;
+        const int seq = tagged % 1'000'000;
+        EXPECT_GT(seq, lastSeq[static_cast<std::size_t>(p)])
+            << "bulk hand-off reordered producer " << p << "'s elements";
+        lastSeq[static_cast<std::size_t>(p)] = seq;
+      }
+      std::lock_guard lock(gotMutex);
+      got.insert(got.end(), local.begin(), local.end());
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kProducers * perProducer));
+  std::sort(got.begin(), got.end());
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < perProducer; ++i) {
+      ASSERT_EQ(got[static_cast<std::size_t>(p * perProducer + i)], p * 1'000'000 + i)
+          << "element lost or duplicated";
+    }
+  }
+}
+
+TEST(QueueBulkStress, TakeUpToFreesEveryBlockedProducer) {
+  // Regression for the notify_one stranding audit: one takeUpTo that
+  // frees k slots must wake ALL k blocked producers, not just one.
+  const int rounds = 30 * stress::scale();
+  for (int round = 0; round < rounds; ++round) {
+    constexpr std::size_t kCapacity = 8;
+    BlockingQueue<int> q(kCapacity);
+    for (int i = 0; i < static_cast<int>(kCapacity); ++i) ASSERT_TRUE(q.put(i));
+    std::atomic<int> unblocked{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < static_cast<int>(kCapacity); ++p) {
+      producers.emplace_back([&, p] {
+        ASSERT_TRUE(q.put(100 + p));  // blocks: queue is full
+        unblocked.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Give the producers a moment to park on notFull_ (a producer that
+    // has not blocked yet just puts directly — still correct, merely a
+    // weaker round).
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_EQ(q.takeUpTo(kCapacity).size(), kCapacity);
+    // Under a single notify_one only one producer would ever wake; the
+    // rest would hang here until the test watchdog.
+    for (auto& t : producers) t.join();
+    EXPECT_EQ(unblocked.load(), static_cast<int>(kCapacity));
+    EXPECT_EQ(q.takeUpTo(2 * kCapacity).size(), kCapacity);
+  }
+}
+
+TEST(QueueBulkStress, PutAllFreesEveryBlockedConsumer) {
+  // Symmetric regression: one putAll of k elements must wake k blocked
+  // takers, not one.
+  const int rounds = 30 * stress::scale();
+  for (int round = 0; round < rounds; ++round) {
+    constexpr int kConsumers = 6;
+    BlockingQueue<int> q(0);
+    std::atomic<int> woke{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+      consumers.emplace_back([&] {
+        if (q.take()) woke.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    while (q.waitingConsumers() < static_cast<std::size_t>(kConsumers)) {
+      std::this_thread::yield();
+    }
+    std::vector<int> batch(kConsumers, 7);
+    ASSERT_EQ(q.putAll(batch), static_cast<std::size_t>(kConsumers));
+    for (auto& t : consumers) t.join();
+    EXPECT_EQ(woke.load(), kConsumers) << "a bulk put stranded blocked takers";
+  }
+}
+
+TEST(QueueBulkStress, CloseWithManyBlockedWaitersReleasesAll) {
+  // The close-with-many-blocked-waiters audit: blocked put, putAll,
+  // take, and takeUpTo callers must ALL return promptly on close —
+  // producers report partial/zero acceptance, consumers drain what was
+  // buffered and then observe the poison pill.
+  const int rounds = 20 * stress::scale();
+  for (int round = 0; round < rounds; ++round) {
+    BlockingQueue<int> q(2);
+    ASSERT_TRUE(q.put(1));
+    ASSERT_TRUE(q.put(2));  // full: every producer below blocks
+    std::atomic<int> released{0};
+    std::atomic<int> accepted{0};  // elements the door let through
+    std::atomic<int> drained{0};
+    std::vector<std::thread> waiters;
+    for (int p = 0; p < 3; ++p) {
+      waiters.emplace_back([&] {
+        // May succeed (a drainer freed a slot first) or be refused by
+        // the close — both are legal; conservation is checked below.
+        if (q.put(9)) accepted.fetch_add(1, std::memory_order_relaxed);
+        released.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    for (int p = 0; p < 3; ++p) {
+      waiters.emplace_back([&] {
+        std::vector<int> batch{10, 11, 12};
+        accepted.fetch_add(static_cast<int>(q.putAll(batch)), std::memory_order_relaxed);
+        released.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(round * 29 % 500));
+    std::vector<std::thread> drainers;
+    for (int c = 0; c < 4; ++c) {
+      drainers.emplace_back([&, c] {
+        for (;;) {
+          if (c % 2 == 0) {
+            auto chunk = q.takeUpTo(4);
+            if (chunk.empty()) break;
+            drained.fetch_add(static_cast<int>(chunk.size()), std::memory_order_relaxed);
+          } else {
+            if (!q.take()) break;
+            drained.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        released.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(round * 17 % 300));
+    q.close();
+    for (auto& t : waiters) t.join();
+    for (auto& t : drainers) t.join();
+    EXPECT_EQ(released.load(), 10) << "a blocked waiter outlived close";
+    // Conservation across the storm: the 2 pre-filled elements plus
+    // whatever the racing producers got in before the door shut.
+    EXPECT_EQ(drained.load(), 2 + accepted.load()) << "round " << round;
+    EXPECT_EQ(q.size(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace congen
