@@ -516,6 +516,58 @@ BigInt BigInt::gcd(BigInt a, BigInt b) {
   return a;
 }
 
+namespace {
+
+std::uint64_t mulModU64(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept {
+  return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t powModU64(std::uint64_t base, std::uint64_t e, std::uint64_t m) noexcept {
+  std::uint64_t result = 1;
+  base %= m;
+  while (e != 0) {
+    if (e & 1u) result = mulModU64(result, base, m);
+    base = mulModU64(base, base, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+bool BigInt::isPrimeU64(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (const std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
+                                29ull, 31ull, 37ull}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  // n - 1 = d * 2^s
+  std::uint64_t d = n - 1;
+  unsigned s = 0;
+  while ((d & 1u) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // {2,3,...,37} is a deterministic witness set for all n < 3.3e24, which
+  // covers the entire u64 range — this is exact primality, not probable.
+  for (const std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
+                                29ull, 31ull, 37ull}) {
+    std::uint64_t x = powModU64(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (unsigned i = 1; i < s; ++i) {
+      x = mulModU64(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
 bool BigInt::isProbablePrime(unsigned rounds) const {
   if (isNegative()) return false;
   const auto small = toInt64();

@@ -104,6 +104,12 @@ class BigInt {
   /// Miller-Rabin with `rounds` random bases after small-prime sieving.
   /// Deterministic for values < 3.3e14 via fixed witness set.
   [[nodiscard]] bool isProbablePrime(unsigned rounds = 20) const;
+  /// Exact primality for a native word — deterministic Miller-Rabin over
+  /// native 64/128-bit arithmetic, no limb allocation. The fast path
+  /// behind the `isprime` builtin's small-integer case; deliberately NOT
+  /// wired into isProbablePrime, whose cost calibrates the heavyweight
+  /// benchmark hash (Section VII's ~80x factor).
+  [[nodiscard]] static bool isPrimeU64(std::uint64_t n) noexcept;
   /// Smallest probable prime strictly greater than this value.
   [[nodiscard]] BigInt nextProbablePrime() const;
 

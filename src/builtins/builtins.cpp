@@ -292,6 +292,11 @@ Table buildTable() {
     const Value v = argOr(args, 0, Value::null());
     // Goal-directed: produce the argument if prime, otherwise fail
     // (matches isprime() in the paper's Section II example).
+    if (v.isSmallInt()) {  // native path: no BigInt materialization
+      const auto n = v.smallInt();
+      if (n < 2 || !BigInt::isPrimeU64(static_cast<std::uint64_t>(n))) return std::nullopt;
+      return v;
+    }
     if (!v.requireBigInt("isprime").isProbablePrime()) return std::nullopt;
     return v;
   });
@@ -479,10 +484,11 @@ Table buildTable() {
       Value from, by, current;
       bool started = false;
       SeqGenInf(Value f, Value b) : from(std::move(f)), by(std::move(b)) {}
-      std::optional<Result> doNext() override {
+      bool doNext(Result& out) override {
         current = started ? ops::add(current, by) : from;
         started = true;
-        return Result{current};
+        out.set(current);
+        return true;
       }
       void doRestart() override { started = false; }
     };
@@ -515,6 +521,18 @@ ProcPtr makeNativeGen(std::string name, std::function<GenPtr(std::vector<Value>&
 ProcPtr lookup(const std::string& name) {
   const auto it = table().find(name);
   return it == table().end() ? nullptr : it->second;
+}
+
+const Value* lookupConst(const std::string& name) {
+  // One Value per builtin for the process lifetime: resolution-time
+  // lookups hand out stable pointers into this table.
+  static const auto consts = [] {
+    std::unordered_map<std::string, Value> m;
+    for (const auto& [n, proc] : table()) m.emplace(n, Value::proc(proc));
+    return m;
+  }();
+  const auto it = consts.find(name);
+  return it == consts.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> names() {

@@ -20,6 +20,12 @@ namespace congen::builtins {
 /// Look up a builtin by its Unicon name; nullptr if unknown.
 ProcPtr lookup(const std::string& name);
 
+/// Look up a builtin as an interned procedure *constant*: a stable
+/// `const Value*` the compiler can embed directly in a ConstGen, so a
+/// resolved call site never re-wraps the ProcPtr into a fresh Value (and
+/// never falls back to per-access lookup). nullptr if unknown.
+const Value* lookupConst(const std::string& name);
+
 /// Names of all registered builtins (for diagnostics and tests).
 std::vector<std::string> names();
 

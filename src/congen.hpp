@@ -27,6 +27,7 @@
 #include "kernel/trace.hpp"
 #include "par/data_parallel.hpp"
 #include "par/pipeline.hpp"
+#include "runtime/atom.hpp"
 #include "runtime/collections.hpp"
 #include "runtime/error.hpp"
 #include "runtime/proc.hpp"

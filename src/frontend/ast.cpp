@@ -83,6 +83,8 @@ NodePtr clone(const NodePtr& node) {
   auto out = make(node->kind, node->text);
   out->line = node->line;
   out->col = node->col;
+  out->res = node->res;
+  out->slot = node->slot;
   out->kids.reserve(node->kids.size());
   for (const auto& k : node->kids) out->kids.push_back(clone(k));
   return out;

@@ -7,6 +7,7 @@
 // rebuild nodes structurally.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -73,12 +74,26 @@ enum class Kind {
 struct Node;
 using NodePtr = std::shared_ptr<Node>;
 
+/// How a name node was classified by the resolution pass (interp/resolver).
+/// Attached to Ident/TempRef/BoundIter/VarDecl/NativeInvoke nodes; the
+/// frame-mode compiler reads `slot` instead of walking a scope chain.
+enum class Res : std::uint8_t {
+  Unresolved,  // no resolution pass ran (top-level / eval compilation)
+  Slot,        // frame slot `slot`: parameter, local, or bound temporary
+  Late,        // frame slot `slot`, but re-checked against globals on each
+               // access (name unknown at resolve time: a global may appear)
+  Global,      // bound to the global cell of this name
+  Builtin,     // interned builtin procedure constant
+};
+
 struct Node {
   Kind kind;
   std::string text;
   std::vector<NodePtr> kids;
   int line = 0;
   int col = 0;
+  Res res = Res::Unresolved;
+  std::int32_t slot = -1;  // frame slot index for Res::Slot / Res::Late
 
   Node(Kind k, std::string t = {}) : kind(k), text(std::move(t)) {}
 };

@@ -1,14 +1,20 @@
 #include "interp/interpreter.hpp"
 
+#include <algorithm>
+#include <mutex>
+
 #include "builtins/builtins.hpp"
 #include "concur/pipe.hpp"
 #include "frontend/parser.hpp"
+#include "interp/frame.hpp"
+#include "interp/resolver.hpp"
 #include "kernel/basic.hpp"
 #include "kernel/compose.hpp"
 #include "kernel/control.hpp"
 #include "kernel/coexpression.hpp"
 #include "kernel/ops.hpp"
 #include "kernel/scan.hpp"
+#include "runtime/atom.hpp"
 #include "runtime/collections.hpp"
 #include "runtime/error.hpp"
 #include "runtime/record.hpp"
@@ -32,22 +38,31 @@ Value parseIntLiteral(const std::string& text) {
 
 }  // namespace
 
-/// Compiles AST nodes to kernel generator trees over a scope chain.
+/// Compiles AST nodes to kernel generator trees. Two modes:
+///  - scope mode (top-level, eval, co-expression bodies): names resolve
+///    by walking a Scope chain, with implicit declaration on first use;
+///  - frame mode (procedure bodies): the resolution pass has annotated
+///    every name node with its classification, and identifiers compile
+///    to direct slot references into one flat Frame — no chain walk, no
+///    per-call hashmap.
 class Compiler {
  public:
   Compiler(Interpreter& interp, ScopePtr scope)
       : interp_(interp), scope_(std::move(scope)) {}
+
+  Compiler(Interpreter& interp, ScopePtr scope, const FrameLayout* layout, Frame* frame)
+      : interp_(interp), scope_(std::move(scope)), layout_(layout), frame_(frame) {}
 
   // -- expression compilation -----------------------------------------
   GenPtr expr(const NodePtr& n) {
     switch (n->kind) {
       case Kind::IntLit: return ConstGen::create(parseIntLiteral(n->text));
       case Kind::RealLit: return ConstGen::create(Value::real(std::stod(n->text)));
-      case Kind::StrLit: return ConstGen::create(Value::string(n->text));
+      case Kind::StrLit: return ConstGen::create(atomString(n->text));
       case Kind::NullLit: return NullGen::create();
       case Kind::FailLit: return FailGen::create();
       case Kind::Ident:
-      case Kind::TempRef: return identifier(n->text);
+      case Kind::TempRef: return identifier(n);
       case Kind::KeywordVar:
         return n->text == "subject" ? makeSubjectVarGen() : makePosVarGen();
       case Kind::ListLit: return listLiteral(n);
@@ -99,7 +114,8 @@ class Compiler {
       case Kind::ExprSeq: return sequence(n, SeqGen::Mode::Expression);
       case Kind::Not: return NotGen::create(expr(n->kids[0]));
       case Kind::BoundIter: {
-        auto var = scope_->declare(n->text);
+        auto var = frame_ && n->slot >= 0 ? frame_->var(static_cast<std::size_t>(n->slot))
+                                          : scope_->declare(n->text);
         return InGen::create(std::move(var), expr(n->kids[0]));
       }
       case Kind::IfStmt: {  // usable in expression position
@@ -131,7 +147,8 @@ class Compiler {
       case Kind::DeclList: {
         std::vector<GenPtr> inits;
         for (const auto& decl : n->kids) {
-          auto var = scope_->declare(decl->text);
+          auto var = frame_ && decl->slot >= 0 ? frame_->var(static_cast<std::size_t>(decl->slot))
+                                               : scope_->declare(decl->text);
           if (!decl->kids.empty()) {
             inits.push_back(makeAssignGen(VarGen::create(var), expr(decl->kids[0])));
           }
@@ -213,31 +230,85 @@ class Compiler {
     });
   }
 
-  /// Build a procedure value whose every invocation compiles a fresh
-  /// body over a fresh scope (parameters are variadic: missing args are
-  /// &null, extras ignored — Unicon convention).
+  /// Per-procedure compile-once state: the frame layout (resolved lazily
+  /// at first call, under call_once so pool threads can race the first
+  /// invocation), and the free list of parked body trees.
+  struct ProcState {
+    Interpreter* interp;
+    NodePtr params, body;
+    std::once_flag once;
+    FrameLayout layout;
+    std::shared_ptr<BodyPool> pool = std::make_shared<BodyPool>();
+  };
+
+  /// Build a procedure value. Invocation takes a parked body from the
+  /// procedure's pool and rebinds its frame (no Scope, no hashmap, no
+  /// re-compilation); only when the pool is dry is a body compiled — once
+  /// — against a fresh flat frame. Parameters are variadic: missing args
+  /// are &null, extras ignored (Unicon convention). Bodies that create
+  /// co-expressions are not poolable (their environments outlive the
+  /// call) and fall back to one fresh frame+tree per call.
   ProcPtr makeProc(const NodePtr& def) {
-    const NodePtr params = def->kids[0];
-    const NodePtr body = def->kids[1];
-    Interpreter* interp = &interp_;
-    ScopePtr defScope = interp_.globals_;  // procedures close over globals
-    return ProcImpl::create(def->text, [interp, defScope, params, body](std::vector<Value> args) {
-      auto callScope = defScope->child();
-      for (std::size_t i = 0; i < params->kids.size(); ++i) {
-        callScope->declare(params->kids[i]->text, i < args.size() ? args[i] : Value::null());
+    auto state = std::make_shared<ProcState>();
+    state->interp = &interp_;  // procedures close over the interpreter's globals
+    state->params = def->kids[0];
+    state->body = def->kids[1];
+    return ProcImpl::create(def->text, [state](std::vector<Value> args) -> GenPtr {
+      std::call_once(state->once, [&] {
+        state->layout = resolve(state->params, state->body, *state->interp->globals_);
+      });
+      if (state->layout.poolable) {
+        if (auto parked = state->pool->take()) {
+          std::static_pointer_cast<BodyRootGen>(parked)->unpackArgs(args);
+          return parked;
+        }
       }
-      Compiler bodyCompiler(*interp, callScope);
-      return BodyRootGen::create(bodyCompiler.statement(body));
+      auto frame = std::make_shared<Frame>(state->layout, state->interp->globals_);
+      frame->rebind(args);
+      Compiler c(*state->interp, state->interp->globals_, &state->layout, frame.get());
+      auto root = BodyRootGen::create(c.statement(state->body));
+      root->setUnpackClosure([frame](const std::vector<Value>& a) { frame->rebind(a); });
+      if (state->layout.poolable) {
+        // Weak on purpose: a parked body living in the pool must not
+        // itself keep the pool alive (pool → body → recycler → pool is
+        // an unreclaimable cycle). If the procedure value is dropped
+        // while a body is in flight, parking just becomes a no-op.
+        root->setRecycler([weakPool = std::weak_ptr<BodyPool>(state->pool)](
+                              std::shared_ptr<BodyRootGen> b) {
+          if (auto pool = weakPool.lock()) pool->put(std::move(b));
+        });
+      }
+      return root;
     });
   }
 
  private:
-  GenPtr identifier(const std::string& name) {
-    if (auto var = scope_->lookup(name)) return VarGen::create(var);
-    if (auto builtin = builtins::lookup(name)) return ConstGen::create(Value::proc(builtin));
+  GenPtr identifier(const NodePtr& n) {
+    if (frame_) {
+      switch (n->res) {
+        case ast::Res::Slot:
+        case ast::Res::Late:
+          return VarGen::create(frame_->var(static_cast<std::size_t>(n->slot)));
+        case ast::Res::Global:
+          if (auto var = interp_.globals_->lookup(n->text)) return VarGen::create(var);
+          break;  // resolved-away global: fall back by name
+        case ast::Res::Builtin:
+          if (const Value* b = builtins::lookupConst(n->text)) return ConstGen::create(*b);
+          break;
+        case ast::Res::Unresolved:
+          if (const auto slot = layout_->slotOf(n->text); slot >= 0) {
+            return VarGen::create(frame_->var(static_cast<std::size_t>(slot)));
+          }
+          break;
+      }
+    }
+    if (auto var = scope_->lookup(n->text)) return VarGen::create(var);
+    // Builtins compile to their interned constants — one Value per
+    // builtin for the process, not a fresh wrapper per compile.
+    if (const Value* b = builtins::lookupConst(n->text)) return ConstGen::create(*b);
     // Undeclared: implicitly local to the current scope (Unicon's loose
     // default); first read yields &null.
-    return VarGen::create(scope_->declare(name));
+    return VarGen::create(scope_->declare(n->text));
   }
 
   GenPtr listLiteral(const NodePtr& n) {
@@ -283,10 +354,57 @@ class Compiler {
   /// Body factory for <> / |<> / |>. With shadowing, the factory
   /// snapshots every referenced *local* into a fresh cell each time it
   /// runs (creation and every ^ refresh) — Section III.A.
+  ///
+  /// In frame mode the enclosing locals are slots, not scope entries, so
+  /// the factory enumerates the frame's slot bindings: `<>` aliases every
+  /// slot cell into one scope shared across refreshes (cells shared with
+  /// the enclosing body), while `|<>` / `|>` copy the current value of
+  /// each referenced, currently-local slot into a fresh cell per run.
   GenFactory coExprFactory(const NodePtr& body, bool shadow) {
     Interpreter* interp = &interp_;
-    ScopePtr enclosing = scope_;
     NodePtr bodyAst = body;
+    if (frame_) {
+      // Capture only the slots the body can actually name. Capturing the
+      // whole frame lets a co-expression stored in one of the enclosing
+      // locals (mapReduce's `put(tasks, t)`) close a cell → value →
+      // factory → cell cycle that shared_ptr can never reclaim. For
+      // shadow mode the referenced-name filter already ran per refresh;
+      // hoisting it here is observationally identical. For alias mode
+      // the filter must keep body-bound names too: `local x` inside a
+      // `<>` body rebinds the *enclosing* slot cell.
+      const auto referenced =
+          shadow ? transform::freeIdents(bodyAst) : transform::mentionedIdents(bodyAst);
+      std::vector<std::pair<std::string, VarPtr>> slotVars;
+      for (std::size_t i = 0; i < frame_->slotCount(); ++i) {
+        const std::string& name = layout_->slotNames[i];
+        if (std::find(referenced.begin(), referenced.end(), name) == referenced.end()) continue;
+        slotVars.emplace_back(name, frame_->var(i));
+      }
+      if (!shadow) {
+        auto alias = interp_.globals_->child();
+        for (auto& [name, var] : slotVars) alias->bind(name, var);
+        return [interp, alias, bodyAst]() -> GenPtr {
+          Compiler c(*interp, alias);
+          return c.expr(bodyAst);
+        };
+      }
+      ScopePtr globals = interp_.globals_;
+      return [interp, globals, bodyAst, slotVars = std::move(slotVars)]() -> GenPtr {
+        auto shadowScope = globals->child();
+        for (const auto& [name, var] : slotVars) {
+          if (auto late = std::dynamic_pointer_cast<LateBoundVar>(var)) {
+            // A late-bound name only shadows while it is acting as a
+            // local; once a global exists the co-expression shares it.
+            if (late->actsAsLocal()) shadowScope->declare(name, late->frameCell()->get());
+          } else {
+            shadowScope->declare(name, var->get());  // copy, don't alias
+          }
+        }
+        Compiler c(*interp, shadowScope);
+        return c.expr(bodyAst);
+      };
+    }
+    ScopePtr enclosing = scope_;
     if (!shadow) {
       return [interp, enclosing, bodyAst]() -> GenPtr {
         Compiler c(*interp, enclosing);
@@ -319,7 +437,7 @@ class Compiler {
   GenPtr nativeInvoke(const NodePtr& n) {
     const NodePtr& recv = n->kids[0];
     const bool isThis = recv->kind == Kind::Ident && recv->text == "this";
-    GenPtr callee = identifier(n->text);
+    GenPtr callee = identifier(n);  // the callee name's resolution rides on this node
     std::vector<GenPtr> args;
     if (!isThis) args.push_back(expr(recv));
     for (std::size_t i = 1; i < n->kids.size(); ++i) args.push_back(expr(n->kids[i]));
@@ -328,6 +446,8 @@ class Compiler {
 
   Interpreter& interp_;
   ScopePtr scope_;
+  const FrameLayout* layout_ = nullptr;  // set in frame mode only
+  Frame* frame_ = nullptr;               // valid for the duration of one compile
 };
 
 // ---------------------------------------------------------------------
@@ -388,8 +508,8 @@ GenPtr Interpreter::call(const std::string& name, std::vector<Value> args) {
   auto var = globals_->lookup(name);
   Value f = var ? var->get() : Value::null();
   if (!f.isProc()) {
-    if (auto builtin = builtins::lookup(name)) {
-      f = Value::proc(builtin);
+    if (const Value* builtin = builtins::lookupConst(name)) {
+      f = *builtin;
     } else {
       throw errCallableExpected(name);
     }

@@ -40,11 +40,20 @@ class Scope : public std::enable_shared_from_this<Scope> {
     return nullptr;
   }
 
-  /// Bind a fresh cell in this scope (shadowing outer bindings).
+  /// Bind `name` in this scope (shadowing outer bindings). Redeclaration
+  /// is keep-and-rebind: the *existing cell* is kept (so references
+  /// captured elsewhere — resolved slots, co-expression environments,
+  /// cached global bindings — stay valid) and only its value is rebound
+  /// to `initial`. Thus `local x := 1; local x` leaves x null but every
+  /// prior capture of x still names the same location.
   VarPtr declare(const std::string& name, Value initial = Value::null()) {
-    auto var = CellVar::create(std::move(initial));
-    vars_[name] = var;
-    return var;
+    auto [it, inserted] = vars_.try_emplace(name, nullptr);
+    if (inserted) {
+      it->second = CellVar::create(std::move(initial));
+    } else {
+      it->second->set(std::move(initial));
+    }
+    return it->second;
   }
 
   /// Bind an existing variable in this scope.
@@ -53,8 +62,16 @@ class Scope : public std::enable_shared_from_this<Scope> {
   /// Drop every binding. Co-expression refresh factories capture their
   /// enclosing ScopePtr, so a co-expression (or pipe) *stored in* that
   /// scope forms a reference cycle that keeps both alive forever; the
-  /// owner of a scope clears it on teardown to break the cycle.
-  void clear() noexcept { vars_.clear(); }
+  /// owner of a scope clears it on teardown to break the cycle. The
+  /// stored values are nulled first, not just the map: cells outlive
+  /// this scope (resolved slots, co-expression environments, parked
+  /// body trees capture them), and a global cell holding a procedure
+  /// whose pooled bodies reference that very cell is a cycle the map
+  /// clear alone cannot break.
+  void clear() noexcept {
+    for (auto& [name, var] : vars_) var->set(Value::null());
+    vars_.clear();
+  }
 
   [[nodiscard]] bool isGlobal() const noexcept { return global_; }
 

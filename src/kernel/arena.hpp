@@ -1,0 +1,130 @@
+// arena.hpp — thread-cached freelist for the hottest kernel nodes.
+//
+// The interpreter and emitted modules create short-lived leaf generators
+// (ConstGen per argument, the singleton() wrapper around every native
+// call) at a rate that makes the allocator the hot path. This arena
+// recycles those control blocks through per-thread, per-size-class free
+// lists: allocation pops from the current thread's bin, deallocation
+// pushes to it. Blocks are plain operator-new memory, so a block freed on
+// a different thread than it was allocated on simply migrates bins — no
+// locks, no cross-thread sharing of list structure.
+//
+// Under ASan/TSan/MSan the arena passes through to operator new/delete so
+// reuse cannot mask use-after-free or data-race reports.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CONGEN_ARENA_PASSTHROUGH 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define CONGEN_ARENA_PASSTHROUGH 1
+#endif
+#endif
+
+namespace congen::arena {
+
+inline constexpr std::size_t kGranularity = 16;   // size-class step, bytes
+inline constexpr std::size_t kMaxBytes = 512;     // larger blocks go to new/delete
+inline constexpr std::size_t kMaxPerClass = 128;  // bin cap: bounds idle memory
+
+namespace detail {
+
+struct ThreadCache {
+  std::vector<void*> bins[kMaxBytes / kGranularity];
+  // Set false by the destructor: late deallocations (statics destroyed
+  // after this thread_local) fall back to operator delete.
+  bool alive = true;
+
+  ~ThreadCache() {
+    alive = false;
+    for (auto& bin : bins) {
+      for (void* p : bin) ::operator delete(p);
+      bin.clear();
+    }
+  }
+};
+
+inline ThreadCache& cache() {
+  thread_local ThreadCache c;
+  return c;
+}
+
+}  // namespace detail
+
+inline void* allocate(std::size_t bytes) {
+#ifdef CONGEN_ARENA_PASSTHROUGH
+  return ::operator new(bytes);
+#else
+  if (bytes == 0 || bytes > kMaxBytes) return ::operator new(bytes);
+  const std::size_t cls = (bytes + kGranularity - 1) / kGranularity;
+  auto& c = detail::cache();
+  if (c.alive) {
+    auto& bin = c.bins[cls - 1];
+    if (!bin.empty()) {
+      void* p = bin.back();
+      bin.pop_back();
+      return p;
+    }
+  }
+  return ::operator new(cls * kGranularity);  // sized for the class, reusable
+#endif
+}
+
+inline void deallocate(void* p, [[maybe_unused]] std::size_t bytes) noexcept {
+#ifdef CONGEN_ARENA_PASSTHROUGH
+  ::operator delete(p);
+#else
+  if (bytes == 0 || bytes > kMaxBytes) {
+    ::operator delete(p);
+    return;
+  }
+  const std::size_t cls = (bytes + kGranularity - 1) / kGranularity;
+  auto& c = detail::cache();
+  if (c.alive) {
+    auto& bin = c.bins[cls - 1];
+    if (bin.size() < kMaxPerClass) {
+      try {
+        bin.push_back(p);
+        return;
+      } catch (...) {
+        // fall through: return the block to the system instead
+      }
+    }
+  }
+  ::operator delete(p);
+#endif
+}
+
+/// std::allocator-compatible adapter over the thread cache, for
+/// allocate_shared (object + control block come from one arena block).
+template <class T>
+struct Allocator {
+  using value_type = T;
+
+  Allocator() noexcept = default;
+  template <class U>
+  Allocator(const Allocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) { return static_cast<T*>(arena::allocate(n * sizeof(T))); }
+  void deallocate(T* p, std::size_t n) noexcept { arena::deallocate(p, n * sizeof(T)); }
+
+  template <class U>
+  bool operator==(const Allocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// make_shared through the arena.
+template <class T, class... Args>
+std::shared_ptr<T> make(Args&&... args) {
+  return std::allocate_shared<T>(Allocator<T>{}, std::forward<Args>(args)...);
+}
+
+}  // namespace congen::arena

@@ -16,9 +16,29 @@ RangeGen::RangeGen(Value from, Value limit, Value step)
     if (stepNum->real() == 0.0) throw errInvalidValue("to-by with zero step");
     ascending_ = stepNum->real() > 0.0;
   }
+  // All-small-int ranges iterate on raw int64: an overflow-checked add
+  // replaces per-element Value classification, and overflowing past
+  // int64 necessarily means past the (int64) limit, so overflow is
+  // simply range exhaustion.
+  fast_ = from_.isSmallInt() && limit_.isSmallInt() && step_.isSmallInt();
+  if (fast_) {
+    fastLimit_ = limit_.smallInt();
+    fastStep_ = step_.smallInt();
+  }
 }
 
-std::optional<Result> RangeGen::doNext() {
+bool RangeGen::doNext(Result& out) {
+  if (fast_) {
+    if (!started_) {
+      fastCurrent_ = from_.smallInt();
+      started_ = true;
+    } else if (__builtin_add_overflow(fastCurrent_, fastStep_, &fastCurrent_)) {
+      return false;
+    }
+    if (ascending_ ? fastCurrent_ > fastLimit_ : fastCurrent_ < fastLimit_) return false;
+    out.set(Value::integer(fastCurrent_));
+    return true;
+  }
   if (!started_) {
     const auto fromNum = from_.toNumeric();
     if (!fromNum) throw errNumericExpected("from of to-by");
@@ -28,8 +48,9 @@ std::optional<Result> RangeGen::doNext() {
     current_ = ops::add(current_, step_);
   }
   const auto inRange = ascending_ ? ops::numLE(current_, limit_) : ops::numGE(current_, limit_);
-  if (!inRange) return std::nullopt;
-  return Result{current_};
+  if (!inRange) return false;
+  out.set(current_);
+  return true;
 }
 
 void RangeGen::doRestart() { started_ = false; }

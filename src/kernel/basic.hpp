@@ -1,6 +1,7 @@
 // basic.hpp — leaf generators: constants, variables, ranges, failure.
 #pragma once
 
+#include "kernel/arena.hpp"
 #include "kernel/gen.hpp"
 
 namespace congen {
@@ -11,13 +12,14 @@ class ConstGen final : public Gen {
  public:
   explicit ConstGen(Value v) : value_(std::move(v)) {}
 
-  static GenPtr create(Value v) { return std::make_shared<ConstGen>(std::move(v)); }
+  static GenPtr create(Value v) { return arena::make<ConstGen>(std::move(v)); }
 
  protected:
-  std::optional<Result> doNext() override {
-    if (done_) return std::nullopt;
+  bool doNext(Result& out) override {
+    if (done_) return false;
     done_ = true;
-    return Result{value_};
+    out.set(value_);
+    return true;
   }
   void doRestart() override { done_ = false; }
 
@@ -33,13 +35,14 @@ class VarGen final : public Gen {
  public:
   explicit VarGen(VarPtr var) : var_(std::move(var)) {}
 
-  static GenPtr create(VarPtr var) { return std::make_shared<VarGen>(std::move(var)); }
+  static GenPtr create(VarPtr var) { return arena::make<VarGen>(std::move(var)); }
 
  protected:
-  std::optional<Result> doNext() override {
-    if (done_) return std::nullopt;
+  bool doNext(Result& out) override {
+    if (done_) return false;
     done_ = true;
-    return Result{var_->get(), var_};
+    out.set(var_->get(), var_);
+    return true;
   }
   void doRestart() override { done_ = false; }
 
@@ -51,13 +54,14 @@ class VarGen final : public Gen {
 /// Yields &null once per cycle (the IconNullIterator of Fig. 5).
 class NullGen final : public Gen {
  public:
-  static GenPtr create() { return std::make_shared<NullGen>(); }
+  static GenPtr create() { return arena::make<NullGen>(); }
 
  protected:
-  std::optional<Result> doNext() override {
-    if (done_) return std::nullopt;
+  bool doNext(Result& out) override {
+    if (done_) return false;
     done_ = true;
-    return Result{Value::null()};
+    out.set(Value::null());
+    return true;
   }
   void doRestart() override { done_ = false; }
 
@@ -68,32 +72,36 @@ class NullGen final : public Gen {
 /// Always fails (the IconFail of Fig. 5).
 class FailGen final : public Gen {
  public:
-  static GenPtr create() { return std::make_shared<FailGen>(); }
+  static GenPtr create() { return arena::make<FailGen>(); }
 
  protected:
-  std::optional<Result> doNext() override { return std::nullopt; }
+  bool doNext(Result&) override { return false; }
   void doRestart() override {}
 };
 
 /// Arithmetic range: `from to limit by step` over already-fixed numeric
 /// bounds (operand generators are handled by ToByGen's delegation).
 /// Supports integer (incl. BigInt) and real sequences; step may be
-/// negative; zero step is a run-time error.
+/// negative; zero step is a run-time error. All-small-int ranges run on
+/// raw int64 arithmetic (overflow-checked: past-int64 means past the
+/// limit, since the limit itself fits) instead of Value dispatch.
 class RangeGen final : public Gen {
  public:
   RangeGen(Value from, Value limit, Value step);
 
   static GenPtr create(Value from, Value limit, Value step) {
-    return std::make_shared<RangeGen>(std::move(from), std::move(limit), std::move(step));
+    return arena::make<RangeGen>(std::move(from), std::move(limit), std::move(step));
   }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
   Value from_, limit_, step_;
   Value current_;
+  std::int64_t fastCurrent_ = 0, fastLimit_ = 0, fastStep_ = 0;
+  bool fast_ = false;
   bool started_ = false;
   bool ascending_ = true;
 };
@@ -109,9 +117,10 @@ class ValuesGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override {
-    if (index_ >= values_.size()) return std::nullopt;
-    return Result{values_[index_++]};
+  bool doNext(Result& out) override {
+    if (index_ >= values_.size()) return false;
+    out.set(values_[index_++]);
+    return true;
   }
   void doRestart() override { index_ = 0; }
 
@@ -137,10 +146,11 @@ class CallbackGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override {
+  bool doNext(Result& out) override {
     auto v = puller_();
-    if (!v) return std::nullopt;
-    return Result{std::move(*v)};
+    if (!v) return false;
+    out.set(std::move(*v));
+    return true;
   }
   void doRestart() override { puller_ = factory_(); }
 

@@ -91,10 +91,11 @@ class CoExprCreateGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override {
-    if (done_) return std::nullopt;
+  bool doNext(Result& out) override {
+    if (done_) return false;
     done_ = true;
-    return Result{Value::coexpr(make_(bodyFactory_))};
+    out.set(Value::coexpr(make_(bodyFactory_)));
+    return true;
   }
   void doRestart() override { done_ = false; }
 
@@ -114,7 +115,7 @@ class ActivateGen final : public Gen {
   static GenPtr create(GenPtr operand) { return std::make_shared<ActivateGen>(std::move(operand)); }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   // The operand must be restarted explicitly: after a successful cycle it
   // is consumed-but-not-failed, so the failure-driven auto-restart never
   // fires. The activated co-expression itself keeps its position — only
@@ -134,7 +135,7 @@ class RefreshGen final : public Gen {
   static GenPtr create(GenPtr operand) { return std::make_shared<RefreshGen>(std::move(operand)); }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override { operand_->restart(); }
 
  private:

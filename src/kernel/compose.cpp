@@ -12,26 +12,25 @@ namespace congen {
 // SeqGen
 // ---------------------------------------------------------------------
 
-std::optional<Result> SeqGen::doNext() {
-  if (terminated_) return std::nullopt;
+bool SeqGen::doNext(Result& out) {
+  if (terminated_) return false;
   while (index_ < children_.size()) {
     const bool last = index_ + 1 == children_.size();
     const bool delegating = mode_ == Mode::Expression && last;
-    auto r = children_[index_]->next();
-    if (!r) {
-      if (delegating) return std::nullopt;  // last term's failure is the sequence's
-      ++index_;                             // a bounded term failed: move on
+    if (!children_[index_]->next(out)) {
+      if (delegating) return false;  // last term's failure is the sequence's
+      ++index_;                      // a bounded term failed: move on
       continue;
     }
-    if (r->flags & Result::kSuspend) return r;  // propagate, stay on this term
-    if (r->flags & (Result::kReturn | Result::kFailBody)) {
+    if (out.flags & Result::kSuspend) return true;  // propagate, stay on this term
+    if (out.flags & (Result::kReturn | Result::kFailBody)) {
       terminated_ = true;
-      return r;
+      return true;
     }
-    if (delegating) return r;  // last term generates the sequence's results
-    ++index_;                  // bounded term produced its one result
+    if (delegating) return true;  // last term generates the sequence's results
+    ++index_;                     // bounded term produced its one result
   }
-  return std::nullopt;  // body mode: fell off the end — fail
+  return false;  // body mode: fell off the end — fail
 }
 
 void SeqGen::doRestart() {
@@ -44,17 +43,15 @@ void SeqGen::doRestart() {
 // ProductGen
 // ---------------------------------------------------------------------
 
-std::optional<Result> ProductGen::doNext() {
+bool ProductGen::doNext(Result& out) {
   while (true) {
     if (!leftActive_) {
-      auto rl = left_->next();
-      if (!rl) return std::nullopt;
-      if (rl->isControl()) return rl;  // conservatively propagate
+      if (!left_->next(out)) return false;
+      if (out.isControl()) return true;  // conservatively propagate
       leftActive_ = true;
       right_->restart();
     }
-    auto rr = right_->next();
-    if (rr) return rr;
+    if (right_->next(out)) return true;
     leftActive_ = false;  // right exhausted: backtrack into the left
   }
 }
@@ -69,13 +66,12 @@ void ProductGen::doRestart() {
 // AltGen
 // ---------------------------------------------------------------------
 
-std::optional<Result> AltGen::doNext() {
+bool AltGen::doNext(Result& out) {
   while (index_ < children_.size()) {
-    auto r = children_[index_]->next();
-    if (r) return r;
+    if (children_[index_]->next(out)) return true;
     ++index_;
   }
-  return std::nullopt;
+  return false;
 }
 
 void AltGen::doRestart() {
@@ -87,12 +83,12 @@ void AltGen::doRestart() {
 // InGen
 // ---------------------------------------------------------------------
 
-std::optional<Result> InGen::doNext() {
-  auto r = source_->next();
-  if (!r) return std::nullopt;
-  if (r->isControl()) return r;
-  var_->set(r->value);
-  return Result{std::move(r->value), var_};
+bool InGen::doNext(Result& out) {
+  if (!source_->next(out)) return false;
+  if (out.isControl()) return true;
+  var_->set(out.value);
+  out.ref = var_;
+  return true;
 }
 
 void InGen::doRestart() { source_->restart(); }
@@ -105,19 +101,18 @@ GenPtr LimitGen::create(GenPtr expr, std::int64_t n) {
   return create(std::move(expr), ConstGen::create(Value::integer(n)));
 }
 
-std::optional<Result> LimitGen::doNext() {
+bool LimitGen::doNext(Result& out) {
   if (!boundTaken_) {
     bound_->restart();
     auto n = bound_->nextValue();
-    if (!n) return std::nullopt;  // the bound expression failed
+    if (!n) return false;  // the bound expression failed
     remaining_ = n->requireInt64("limit bound");
     boundTaken_ = true;
   }
-  if (remaining_ <= 0) return std::nullopt;
-  auto r = expr_->next();
-  if (!r) return std::nullopt;
-  if (!r->isControl()) --remaining_;
-  return r;
+  if (remaining_ <= 0) return false;
+  if (!expr_->next(out)) return false;
+  if (!out.isControl()) --remaining_;
+  return true;
 }
 
 void LimitGen::doRestart() {
@@ -130,12 +125,13 @@ void LimitGen::doRestart() {
 // NotGen
 // ---------------------------------------------------------------------
 
-std::optional<Result> NotGen::doNext() {
-  if (done_) return std::nullopt;
+bool NotGen::doNext(Result& out) {
+  if (done_) return false;
   done_ = true;
   expr_->restart();
-  if (expr_->next()) return std::nullopt;
-  return Result{Value::null()};
+  if (expr_->next(out)) return false;
+  out.set(Value::null());
+  return true;
 }
 
 void NotGen::doRestart() { done_ = false; }
@@ -144,14 +140,13 @@ void NotGen::doRestart() { done_ = false; }
 // RepeatAltGen
 // ---------------------------------------------------------------------
 
-std::optional<Result> RepeatAltGen::doNext() {
+bool RepeatAltGen::doNext(Result& out) {
   while (true) {
-    auto r = expr_->next();  // auto-restarts after each pass's failure
-    if (r) {
+    if (expr_->next(out)) {  // auto-restarts after each pass's failure
       producedThisPass_ = true;
-      return r;
+      return true;
     }
-    if (!producedThisPass_) return std::nullopt;  // sterile pass: stop
+    if (!producedThisPass_) return false;  // sterile pass: stop
     producedThisPass_ = false;
   }
 }
@@ -174,10 +169,11 @@ class ListElementsGen final : public Gen {
   explicit ListElementsGen(ListPtr list) : list_(std::move(list)) {}
 
  protected:
-  std::optional<Result> doNext() override {
-    if (index_ >= list_->size()) return std::nullopt;
+  bool doNext(Result& out) override {
+    if (index_ >= list_->size()) return false;
     ++index_;
-    return Result{list_->at(index_).value_or(Value::null()), ListElemVar::create(list_, index_)};
+    out.set(list_->at(index_).value_or(Value::null()), ListElemVar::create(list_, index_));
+    return true;
   }
   void doRestart() override { index_ = 0; }
 
@@ -192,9 +188,10 @@ class StringElementsGen final : public Gen {
   explicit StringElementsGen(std::string s) : s_(std::move(s)) {}
 
  protected:
-  std::optional<Result> doNext() override {
-    if (index_ >= s_.size()) return std::nullopt;
-    return Result{Value::string(std::string(1, s_[index_++]))};
+  bool doNext(Result& out) override {
+    if (index_ >= s_.size()) return false;
+    out.set(Value::string(std::string(1, s_[index_++])));
+    return true;
   }
   void doRestart() override { index_ = 0; }
 
@@ -210,10 +207,11 @@ class TableElementsGen final : public Gen {
   explicit TableElementsGen(TablePtr table) : table_(std::move(table)), keys_(table_->sortedKeys()) {}
 
  protected:
-  std::optional<Result> doNext() override {
-    if (index_ >= keys_.size()) return std::nullopt;
+  bool doNext(Result& out) override {
+    if (index_ >= keys_.size()) return false;
     const Value& key = keys_[index_++];
-    return Result{table_->lookup(key), TableElemVar::create(table_, key)};
+    out.set(table_->lookup(key), TableElemVar::create(table_, key));
+    return true;
   }
   void doRestart() override {
     keys_ = table_->sortedKeys();
@@ -235,10 +233,11 @@ class CoActivationGen final : public Gen {
   explicit CoActivationGen(CoExprPtr c) : c_(std::move(c)) {}
 
  protected:
-  std::optional<Result> doNext() override {
+  bool doNext(Result& out) override {
     auto v = c_->activate();
-    if (!v) return std::nullopt;
-    return Result{std::move(*v)};
+    if (!v) return false;
+    out.set(std::move(*v));
+    return true;
   }
   void doRestart() override {}
 
@@ -260,17 +259,15 @@ GenPtr PromoteGen::makeElementGen(const Value& v) {
   }
 }
 
-std::optional<Result> PromoteGen::doNext() {
+bool PromoteGen::doNext(Result& out) {
   while (true) {
     if (inner_) {
-      auto r = inner_->next();
-      if (r) return r;
+      if (inner_->next(out)) return true;
       inner_.reset();
     }
-    auto r = operand_->next();
-    if (!r) return std::nullopt;
-    if (r->isControl()) return r;
-    inner_ = makeElementGen(r->value);
+    if (!operand_->next(out)) return false;
+    if (out.isControl()) return true;
+    inner_ = makeElementGen(out.value);
   }
 }
 
@@ -283,24 +280,26 @@ void PromoteGen::doRestart() {
 // ActivateGen / RefreshGen (declared in coexpression.hpp)
 // ---------------------------------------------------------------------
 
-std::optional<Result> ActivateGen::doNext() {
+bool ActivateGen::doNext(Result& out) {
   while (true) {
-    auto r = operand_->next();
-    if (!r) return std::nullopt;
-    if (r->isControl()) return r;
-    if (!r->value.isCoExpr()) throw errCoExprExpected("operand of @: " + r->value.image());
-    auto v = r->value.coExpr()->activate();
-    if (v) return Result{std::move(*v)};
+    if (!operand_->next(out)) return false;
+    if (out.isControl()) return true;
+    if (!out.value.isCoExpr()) throw errCoExprExpected("operand of @: " + out.value.image());
+    auto v = out.value.coExpr()->activate();
+    if (v) {
+      out.set(std::move(*v));
+      return true;
+    }
     // This co-expression is exhausted: backtrack into the operand.
   }
 }
 
-std::optional<Result> RefreshGen::doNext() {
-  auto r = operand_->next();
-  if (!r) return std::nullopt;
-  if (r->isControl()) return r;
-  if (!r->value.isCoExpr()) throw errCoExprExpected("operand of ^: " + r->value.image());
-  return Result{Value::coexpr(r->value.coExpr()->refreshed())};
+bool RefreshGen::doNext(Result& out) {
+  if (!operand_->next(out)) return false;
+  if (out.isControl()) return true;
+  if (!out.value.isCoExpr()) throw errCoExprExpected("operand of ^: " + out.value.image());
+  out.set(Value::coexpr(out.value.coExpr()->refreshed()));
+  return true;
 }
 
 }  // namespace congen

@@ -33,7 +33,7 @@ class SeqGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
@@ -56,7 +56,7 @@ class ProductGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
@@ -80,7 +80,7 @@ class AltGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
@@ -99,7 +99,7 @@ class InGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
@@ -120,7 +120,7 @@ class LimitGen final : public Gen {
   static GenPtr create(GenPtr expr, std::int64_t n);
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
@@ -137,7 +137,7 @@ class NotGen final : public Gen {
   static GenPtr create(GenPtr expr) { return std::make_shared<NotGen>(std::move(expr)); }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
@@ -154,7 +154,7 @@ class RepeatAltGen final : public Gen {
   static GenPtr create(GenPtr expr) { return std::make_shared<RepeatAltGen>(std::move(expr)); }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
@@ -176,7 +176,7 @@ class PromoteGen final : public Gen {
   static GenPtr makeElementGen(const Value& v);
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:

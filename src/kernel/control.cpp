@@ -8,12 +8,12 @@ namespace congen {
 // IfGen
 // ---------------------------------------------------------------------
 
-std::optional<Result> IfGen::doNext() {
+bool IfGen::doNext(Result& out) {
   if (!decided_) {
     cond_->restart();
-    const auto rc = cond_->next();
+    const bool taken = cond_->next(out);
     decided_ = true;
-    if (rc) {
+    if (taken) {
       branch_ = then_.get();
       then_->restart();
     } else {
@@ -21,8 +21,8 @@ std::optional<Result> IfGen::doNext() {
       if (else_) else_->restart();
     }
   }
-  if (!branch_) return std::nullopt;  // condition failed, no else: fail
-  return branch_->next();
+  if (!branch_) return false;  // condition failed, no else: fail
+  return branch_->next(out);
 }
 
 void IfGen::doRestart() {
@@ -37,29 +37,26 @@ void IfGen::doRestart() {
 // LoopGen
 // ---------------------------------------------------------------------
 
-bool LoopGen::stepControl(std::optional<Result>& propagate) {
-  propagate.reset();
+bool LoopGen::stepControl(Result& out, bool& propagate) {
+  propagate = false;
   switch (kind_) {
     case Kind::Repeat:
       return true;
     case Kind::Every: {
-      auto rc = control_->next();
-      if (!rc) return false;
-      if (rc->isControl()) propagate = std::move(rc);
+      if (!control_->next(out)) return false;
+      if (out.isControl()) propagate = true;
       return true;
     }
     case Kind::While: {
       control_->restart();
-      auto rc = control_->next();
-      if (!rc) return false;
-      if (rc->isControl()) propagate = std::move(rc);
+      if (!control_->next(out)) return false;
+      if (out.isControl()) propagate = true;
       return true;
     }
     case Kind::Until: {
       control_->restart();
-      auto rc = control_->next();
-      if (rc) {
-        if (rc->isControl()) propagate = std::move(rc);
+      if (control_->next(out)) {
+        if (out.isControl()) propagate = true;
         return false;  // condition succeeded: until terminates
       }
       return true;
@@ -68,47 +65,47 @@ bool LoopGen::stepControl(std::optional<Result>& propagate) {
   return false;
 }
 
-std::optional<Result> LoopGen::doNext() {
-  if (done_) return std::nullopt;
+bool LoopGen::doNext(Result& out) {
+  if (done_) return false;
   while (true) {
     if (inBody_) {
-      std::optional<Result> r;
+      bool produced = false;
       try {
-        r = body_->next();
+        produced = body_->next(out);
       } catch (const BreakSignal&) {
         done_ = true;
-        return std::nullopt;
+        return false;
       } catch (const NextSignal&) {
         inBody_ = false;
         continue;
       }
-      if (!r) {
+      if (!produced) {
         inBody_ = false;  // the bounded body failed: next control iteration
         continue;
       }
-      if (r->flags & Result::kSuspend) return r;  // propagate; resume here later
-      if (r->flags & (Result::kReturn | Result::kFailBody)) {
+      if (out.flags & Result::kSuspend) return true;  // propagate; resume here later
+      if (out.flags & (Result::kReturn | Result::kFailBody)) {
         done_ = true;
-        return r;
+        return true;
       }
       inBody_ = false;  // bounded body produced its one result
       continue;
     }
-    std::optional<Result> propagate;
+    bool propagate = false;
     bool more = false;
     try {
-      more = stepControl(propagate);
+      more = stepControl(out, propagate);
     } catch (const BreakSignal&) {
       done_ = true;
-      return std::nullopt;
+      return false;
     } catch (const NextSignal&) {
       continue;
     }
     if (propagate) {
-      if (propagate->flags & (Result::kReturn | Result::kFailBody)) done_ = true;
-      return propagate;
+      if (out.flags & (Result::kReturn | Result::kFailBody)) done_ = true;
+      return true;
     }
-    if (!more) return std::nullopt;  // loops produce no values of their own
+    if (!more) return false;  // loops produce no values of their own
     if (body_) {
       body_->restart();
       inBody_ = true;
@@ -127,12 +124,12 @@ void LoopGen::doRestart() {
 // CaseGen
 // ---------------------------------------------------------------------
 
-std::optional<Result> CaseGen::doNext() {
+bool CaseGen::doNext(Result& out) {
   if (!decided_) {
     decided_ = true;
     control_->restart();
-    const auto control = control_->next();
-    if (!control) return std::nullopt;  // control failed: case fails
+    Result control;
+    if (!control_->next(control)) return false;  // control failed: case fails
     for (auto& branch : branches_) {
       if (!branch.value) {  // default
         selected_ = branch.body.get();
@@ -140,8 +137,9 @@ std::optional<Result> CaseGen::doNext() {
       }
       branch.value->restart();
       bool matched = false;
-      while (auto v = branch.value->next()) {
-        if (v->value.equals(control->value)) {
+      Result v;
+      while (branch.value->next(v)) {
+        if (v.value.equals(control.value)) {
           matched = true;
           break;
         }
@@ -153,8 +151,8 @@ std::optional<Result> CaseGen::doNext() {
     }
     if (selected_) selected_->restart();
   }
-  if (!selected_) return std::nullopt;
-  return selected_->next();
+  if (!selected_) return false;
+  return selected_->next(out);
 }
 
 void CaseGen::doRestart() {
@@ -171,32 +169,33 @@ void CaseGen::doRestart() {
 // SuspendGen / ReturnGen
 // ---------------------------------------------------------------------
 
-std::optional<Result> SuspendGen::doNext() {
-  auto r = expr_->next();
-  if (!r) return std::nullopt;  // exhausted: the suspend statement completes
-  if (r->isControl()) return r; // nested suspend/return already flagged
-  r->flags |= Result::kSuspend;
-  return r;
+bool SuspendGen::doNext(Result& out) {
+  if (!expr_->next(out)) return false;  // exhausted: the suspend statement completes
+  if (out.isControl()) return true;     // nested suspend/return already flagged
+  out.flags |= Result::kSuspend;
+  return true;
 }
 
-std::optional<Result> ReturnGen::doNext() {
-  auto r = expr_->next();
-  if (!r) return Result{Value::null(), nullptr, Result::kFailBody};  // return of a failed expr fails
-  if (r->isControl()) return r;
-  r->flags |= Result::kReturn;
-  return r;
+bool ReturnGen::doNext(Result& out) {
+  if (!expr_->next(out)) {
+    out.set(Value::null(), nullptr, Result::kFailBody);  // return of a failed expr fails
+    return true;
+  }
+  if (out.isControl()) return true;
+  out.flags |= Result::kReturn;
+  return true;
 }
 
 // ---------------------------------------------------------------------
 // BodyRootGen
 // ---------------------------------------------------------------------
 
-std::optional<Result> BodyRootGen::doNext() {
-  if (terminated_) return std::nullopt;
+bool BodyRootGen::doNext(Result& out) {
+  if (terminated_) return false;
   while (true) {
-    std::optional<Result> r;
+    bool produced = false;
     try {
-      r = inner_->next();
+      produced = inner_->next(out);
     } catch (const BreakSignal&) {
       // Icon run-time error 506-ish: break outside of a loop.
       terminated_ = true;
@@ -205,25 +204,25 @@ std::optional<Result> BodyRootGen::doNext() {
       terminated_ = true;
       throw IconError(506, "next outside of a loop");
     }
-    if (!r) {
+    if (!produced) {
       terminated_ = true;
-      if (cache_) cache_->putFree(key_, shared_from_this());
-      return std::nullopt;  // fell off the end of the body: fail
+      park();
+      return false;  // fell off the end of the body: fail
     }
-    if (r->flags & Result::kSuspend) {
-      r->flags &= static_cast<std::uint8_t>(~Result::kSuspend);
-      return r;
+    if (out.flags & Result::kSuspend) {
+      out.flags &= static_cast<std::uint8_t>(~Result::kSuspend);
+      return true;
     }
-    if (r->flags & Result::kReturn) {
+    if (out.flags & Result::kReturn) {
       terminated_ = true;
-      if (cache_) cache_->putFree(key_, shared_from_this());
-      r->flags &= static_cast<std::uint8_t>(~Result::kReturn);
-      return r;
+      park();
+      out.flags &= static_cast<std::uint8_t>(~Result::kReturn);
+      return true;
     }
-    if (r->flags & Result::kFailBody) {
+    if (out.flags & Result::kFailBody) {
       terminated_ = true;
-      if (cache_) cache_->putFree(key_, shared_from_this());
-      return std::nullopt;
+      park();
+      return false;
     }
     // A plain result at body level is discarded (statement values are not
     // procedure results).
@@ -232,6 +231,11 @@ std::optional<Result> BodyRootGen::doNext() {
 
 void BodyRootGen::doRestart() {
   terminated_ = false;
+  if (parkedClean_) {
+    // Parking already restarted the whole tree; skip the second walk.
+    parkedClean_ = false;
+    return;
+  }
   inner_->restart();
 }
 

@@ -6,6 +6,8 @@
 // how `every x := !l do suspend f(x)` turns a loop into a generator.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,7 +28,7 @@ class IfGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
@@ -58,14 +60,16 @@ class LoopGen : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
   /// Advance the control expression once; returns false when the loop is
   /// over. For `every` the control generator is resumed; for while/until
-  /// it is restarted and its (first) success/failure tested.
-  bool stepControl(std::optional<Result>& propagate);
+  /// it is restarted and its (first) success/failure tested. A control
+  /// result carrying suspend/return flags is left in `out` with
+  /// `propagate` set.
+  bool stepControl(Result& out, bool& propagate);
 
   Kind kind_;
   GenPtr control_;
@@ -94,7 +98,7 @@ class CaseGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
@@ -112,7 +116,7 @@ class SuspendGen final : public Gen {
   static GenPtr create(GenPtr expr) { return std::make_shared<SuspendGen>(std::move(expr)); }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override { expr_->restart(); }
 
  private:
@@ -128,7 +132,7 @@ class ReturnGen final : public Gen {
   static GenPtr create(GenPtr expr) { return std::make_shared<ReturnGen>(std::move(expr)); }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override { expr_->restart(); }
 
  private:
@@ -141,8 +145,9 @@ class FailBodyGen final : public Gen {
   static GenPtr create() { return std::make_shared<FailBodyGen>(); }
 
  protected:
-  std::optional<Result> doNext() override {
-    return Result{Value::null(), nullptr, Result::kFailBody};
+  bool doNext(Result& out) override {
+    out.set(Value::null(), nullptr, Result::kFailBody);
+    return true;
   }
   void doRestart() override {}
 };
@@ -153,7 +158,7 @@ class BreakGen final : public Gen {
   static GenPtr create() { return std::make_shared<BreakGen>(); }
 
  protected:
-  [[noreturn]] std::optional<Result> doNext() override { throw BreakSignal{}; }
+  [[noreturn]] bool doNext(Result&) override { throw BreakSignal{}; }
   void doRestart() override {}
 };
 
@@ -162,44 +167,94 @@ class NextGen final : public Gen {
   static GenPtr create() { return std::make_shared<NextGen>(); }
 
  protected:
-  [[noreturn]] std::optional<Result> doNext() override { throw NextSignal{}; }
+  [[noreturn]] bool doNext(Result&) override { throw NextSignal{}; }
   void doRestart() override {}
 };
 
-/// Free-list of procedure-body iterator trees keyed by method name — the
-/// MethodBodyCache of Fig. 5. Reusing a body avoids rebuilding the
-/// composed iterator tree on every call; recursion simply builds a fresh
-/// body when the free list is empty.
-class MethodBodyCache {
+/// A mutex-guarded free list of parked procedure-body trees — one pool
+/// per procedure. BodyRootGen parks itself here on completion; callers
+/// take() a parked body and rebind its arguments instead of rebuilding
+/// the Gen tree (Fig. 5's "cached in a stack upon method return", made
+/// thread-safe so procedures can be invoked from pool threads: pipes,
+/// mapReduce). The pool is bounded — deep recursion retires extra
+/// bodies rather than hoarding them.
+class BodyPool {
  public:
-  /// Pop a cached body for `name`, or nullptr.
-  GenPtr getFree(const std::string& name) {
-    auto it = free_.find(name);
-    if (it == free_.end() || it->second.empty()) return nullptr;
-    GenPtr body = std::move(it->second.back());
-    it->second.pop_back();
-    return body;
+  [[nodiscard]] GenPtr take() {
+    std::lock_guard lock(mu_);
+    // A body parks itself the moment it terminates — while its caller may
+    // still hold a reference for goal-directed resumption (e.g. a nested
+    // call to the same procedure). Handing such a body out would rebind a
+    // frame another call site can still restart, so only sole-owned
+    // entries are reused; aliased ones stay parked until their holder
+    // lets go. Counts cannot rise while we hold the lock (only the pool
+    // could mint copies), so use_count()==1 cannot go stale here.
+    for (auto it = free_.rbegin(); it != free_.rend(); ++it) {
+      if (it->use_count() == 1) {
+        GenPtr body = std::move(*it);
+        free_.erase(std::next(it).base());
+        return body;
+      }
+    }
+    return nullptr;
   }
 
-  /// Return a body to the free list.
-  void putFree(const std::string& name, GenPtr body) { free_[name].push_back(std::move(body)); }
+  void put(GenPtr body) {
+    std::lock_guard lock(mu_);
+    if (free_.size() < kMaxParked) free_.push_back(std::move(body));
+  }
 
-  [[nodiscard]] std::size_t size(const std::string& name) const {
-    const auto it = free_.find(name);
-    return it == free_.end() ? 0 : it->second.size();
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return free_.size();
   }
 
  private:
-  std::unordered_map<std::string, std::vector<GenPtr>> free_;
+  static constexpr std::size_t kMaxParked = 64;
+  mutable std::mutex mu_;
+  std::vector<GenPtr> free_;
+};
+
+/// Name-keyed pools — the MethodBodyCache interface of Fig. 5. poolFor()
+/// returns a stable BodyPool* so a call site resolves its name once (at
+/// body construction) instead of hashing the key on every call.
+class MethodBodyCache {
+ public:
+  [[nodiscard]] BodyPool* poolFor(const std::string& name) {
+    std::lock_guard lock(mu_);
+    auto& p = pools_[name];
+    if (!p) p = std::make_unique<BodyPool>();
+    return p.get();
+  }
+
+  /// Pop a cached body for `name`, or nullptr.
+  GenPtr getFree(const std::string& name) { return poolFor(name)->take(); }
+
+  /// Return a body to the free list.
+  void putFree(const std::string& name, GenPtr body) { poolFor(name)->put(std::move(body)); }
+
+  [[nodiscard]] std::size_t size(const std::string& name) const {
+    std::lock_guard lock(mu_);
+    const auto it = pools_.find(name);
+    return it == pools_.end() ? 0 : it->second->size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<BodyPool>> pools_;
 };
 
 /// The root of a procedure body: strips suspend/return flags into plain
 /// results for the caller, terminates after return/fail, and optionally
-/// returns itself to a MethodBodyCache upon completion (the "cached in a
-/// stack upon method return" optimization of Section V.D).
+/// parks itself for reuse upon completion (the "cached in a stack upon
+/// method return" optimization of Section V.D). Parking goes either to a
+/// BodyPool (raw pointer: the pool's owner must outlive the body — the
+/// emitted-module contract) or through a recycler closure that can keep
+/// the pool's owner alive (the interpreter's contract).
 class BodyRootGen final : public Gen, public std::enable_shared_from_this<BodyRootGen> {
  public:
   using Unpack = std::function<void(const std::vector<Value>&)>;
+  using Recycler = std::function<void(std::shared_ptr<BodyRootGen>)>;
 
   explicit BodyRootGen(GenPtr inner) : inner_(std::move(inner)) {}
 
@@ -220,23 +275,53 @@ class BodyRootGen final : public Gen, public std::enable_shared_from_this<BodyRo
     return *this;
   }
 
-  /// Attach to a cache; on completion the body parks itself there.
-  BodyRootGen& setCache(MethodBodyCache* cache, std::string key) {
-    cache_ = cache;
-    key_ = std::move(key);
+  /// Park into `pool` on completion (pool must outlive this body).
+  BodyRootGen& setPool(BodyPool* pool) {
+    pool_ = pool;
     return *this;
   }
 
+  /// Park through a closure on completion (may own the pool).
+  BodyRootGen& setRecycler(Recycler recycler) {
+    recycler_ = std::move(recycler);
+    return *this;
+  }
+
+  /// Attach to a name-keyed cache: resolves the pool once, here.
+  BodyRootGen& setCache(MethodBodyCache* cache, const std::string& key) {
+    return setPool(cache->poolFor(key));
+  }
+
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
+  void park() {
+    if (!pool_ && !recycler_) return;
+    // Scrub before parking, not on take: a parked tree must not pin
+    // values from its last activation. A retained operand tuple or frame
+    // slot that (transitively) holds this procedure's own value closes a
+    // cycle through the pool — pool → body → value → pool — that
+    // shared_ptr can never reclaim. The take path skips its restart walk
+    // when the tree is already pristine (parkedClean_), so the per-call
+    // walk count is unchanged.
+    inner_->restart();
+    if (unpack_) unpack_({});  // null every frame slot
+    parkedClean_ = true;
+    if (pool_) {
+      pool_->put(shared_from_this());
+    } else {
+      recycler_(shared_from_this());
+    }
+  }
+
   GenPtr inner_;
   Unpack unpack_;
-  MethodBodyCache* cache_ = nullptr;
-  std::string key_;
+  BodyPool* pool_ = nullptr;
+  Recycler recycler_;
   bool terminated_ = false;
+  bool parkedClean_ = false;
 };
 
 }  // namespace congen

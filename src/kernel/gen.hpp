@@ -50,6 +50,26 @@ struct Result {
       : value(std::move(v)), ref(std::move(r)), flags(f) {}
 
   [[nodiscard]] bool isControl() const noexcept { return flags != kNone; }
+
+  /// Overwrite all three fields. Producers under the out-parameter
+  /// protocol must never leave a stale ref/flags from the previous
+  /// element in the shared buffer; these make the full overwrite
+  /// explicit at each production site.
+  void set(Value v) {
+    value = std::move(v);
+    ref = nullptr;
+    flags = kNone;
+  }
+  void set(Value v, VarPtr r) {
+    value = std::move(v);
+    ref = std::move(r);
+    flags = kNone;
+  }
+  void set(Value v, VarPtr r, std::uint8_t f) {
+    value = std::move(v);
+    ref = std::move(r);
+    flags = f;
+  }
 };
 
 /// Loop-control signals. `break` and `next` unwind through the iterator
@@ -82,26 +102,40 @@ class Gen {
   Gen(const Gen&) = delete;
   Gen& operator=(const Gen&) = delete;
 
-  /// Produce the next result, or fail (nullopt). A failed generator
-  /// transparently restarts on the following call.
-  std::optional<Result> next() {
+  /// Produce the next result into `out`, returning false on failure. A
+  /// failed generator transparently restarts on the following call.
+  ///
+  /// This out-parameter form is the primary protocol: delegation chains
+  /// (a suspend propagating through nested loops, a product yielding its
+  /// right operand's results) hand the *same* Result buffer down the
+  /// tree, so propagation costs no optional/Value moves per level.
+  bool next(Result& out) {
     if (failed_) {
       doRestart();
       failed_ = false;
     }
     if (trace::enabled()) [[unlikely]] {
       const int depth = trace::enter(*this);
-      auto r = doNext();
-      if (!r) {
+      const bool ok = doNext(out);
+      if (!ok) {
         failed_ = true;
         trace::failed(*this, depth);
       } else {
-        trace::produced(*this, r->value, depth);
+        trace::produced(*this, out.value, depth);
       }
-      return r;
+      return ok;
     }
-    auto r = doNext();
-    if (!r) failed_ = true;
+    if (!doNext(out)) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Convenience wrapper for host callers and tests.
+  std::optional<Result> next() {
+    std::optional<Result> r(std::in_place);
+    if (!next(*r)) r.reset();
     return r;
   }
 
@@ -113,28 +147,33 @@ class Gen {
 
   /// Convenience: next result's value, dropping the variable reference.
   std::optional<Value> nextValue() {
-    auto r = next();
-    if (!r) return std::nullopt;
-    return std::move(r->value);
+    Result r;
+    if (!next(r)) return std::nullopt;
+    return std::move(r.value);
   }
 
   /// Drive to failure, returning the last produced value (if any).
   std::optional<Value> last() {
     std::optional<Value> out;
-    while (auto r = next()) out = std::move(r->value);
+    Result r;
+    while (next(r)) out = std::move(r.value);
     return out;
   }
 
   /// Drive to failure, collecting every produced value.
   std::vector<Value> collect() {
     std::vector<Value> out;
-    while (auto r = next()) out.push_back(std::move(r->value));
+    Result r;
+    while (next(r)) out.push_back(std::move(r.value));
     return out;
   }
 
  protected:
   Gen() = default;
-  virtual std::optional<Result> doNext() = 0;
+  /// Produce into `out` (true) or fail (false). Implementations must
+  /// overwrite value, ref, AND flags on success — `out` is a reused
+  /// buffer (see Result::set).
+  virtual bool doNext(Result& out) = 0;
   virtual void doRestart() = 0;
 
  private:

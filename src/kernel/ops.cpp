@@ -15,34 +15,38 @@ namespace congen {
 // UnOpGen / BinOpGen
 // ---------------------------------------------------------------------
 
-std::optional<Result> UnOpGen::doNext() {
+bool UnOpGen::doNext(Result& out) {
   while (true) {
-    auto r = operand_->next();
-    if (!r) return std::nullopt;
-    if (r->isControl()) return r;
-    auto out = fn_(*r);
-    if (out) return out;  // else: filtered — continue the search
+    if (!operand_->next(out)) return false;
+    if (out.isControl()) return true;
+    auto r = fn_(out);
+    if (r) {
+      out = std::move(*r);
+      return true;
+    }
+    // else: filtered — continue the search
   }
 }
 
-std::optional<Result> BinOpGen::doNext() {
+bool BinOpGen::doNext(Result& out) {
   while (true) {
     if (!leftActive_) {
-      auto rl = left_->next();
-      if (!rl) return std::nullopt;
-      if (rl->isControl()) return rl;
-      leftResult_ = std::move(*rl);
+      if (!left_->next(out)) return false;
+      if (out.isControl()) return true;
+      leftResult_ = std::move(out);
       leftActive_ = true;
       right_->restart();
     }
-    auto rr = right_->next();
-    if (!rr) {
+    if (!right_->next(out)) {
       leftActive_ = false;  // backtrack into the left operand
       continue;
     }
-    if (rr->isControl()) return rr;
-    auto out = fn_(leftResult_, *rr);
-    if (out) return out;
+    if (out.isControl()) return true;
+    auto r = fn_(leftResult_, out);
+    if (r) {
+      out = std::move(*r);
+      return true;
+    }
   }
 }
 
@@ -65,9 +69,7 @@ bool DelegateGen::advanceTuple() {
   }
   if (bound_ == n) bound_ = n - 1;  // inner exhausted: re-advance the deepest operand
   while (true) {
-    auto r = operands_[bound_]->next();
-    if (r) {
-      current_[bound_] = std::move(*r);
+    if (operands_[bound_]->next(current_[bound_])) {
       ++bound_;
       if (bound_ == n) return true;
       operands_[bound_]->restart();
@@ -78,21 +80,28 @@ bool DelegateGen::advanceTuple() {
   }
 }
 
-std::optional<Result> DelegateGen::doNext() {
+bool DelegateGen::doNext(Result& out) {
   while (true) {
     if (inner_) {
-      auto r = inner_->next();
-      if (r) return r;
+      if (inner_->next(out)) return true;
       inner_.reset();
     }
-    if (!advanceTuple()) return std::nullopt;
+    if (!advanceTuple()) return false;
     inner_ = factory_(current_);
-    if (!inner_) return std::nullopt;
+    if (!inner_) return false;
   }
 }
 
 void DelegateGen::doRestart() {
   inner_.reset();
+  // Drop the retained operand tuple, not just the inner generator: for an
+  // invocation, current_[0] is the procedure value, and a parked body
+  // tree that pins its own procedure (recursive calls) is a cycle through
+  // the body pool that can never collect.
+  for (auto& r : current_) {
+    r.value = Value::null();
+    r.ref = nullptr;
+  }
   bound_ = 0;
   exhaustedNullary_ = false;
   for (auto& op : operands_) op->restart();
@@ -245,14 +254,13 @@ class RevAssignGen final : public Gen {
   RevAssignGen(GenPtr lhs, GenPtr rhs) : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
  protected:
-  std::optional<Result> doNext() override {
+  bool doNext(Result& out) override {
     while (true) {
       if (!active_) {
-        auto rl = lhs_->next();
-        if (!rl) return std::nullopt;
-        if (rl->isControl()) return rl;
-        if (!rl->ref) throw errInvalidValue("reversible assignment to a non-variable");
-        target_ = rl->ref;
+        if (!lhs_->next(out)) return false;
+        if (out.isControl()) return true;
+        if (!out.ref) throw errInvalidValue("reversible assignment to a non-variable");
+        target_ = out.ref;
         saved_ = target_->get();
         active_ = true;
         rhs_->restart();
@@ -261,15 +269,15 @@ class RevAssignGen final : public Gen {
         target_->set(saved_);
         assigned_ = false;
       }
-      auto rr = rhs_->next();
-      if (!rr) {
+      if (!rhs_->next(out)) {
         active_ = false;  // rhs exhausted (value already restored)
         continue;
       }
-      if (rr->isControl()) return rr;
-      target_->set(rr->value);
+      if (out.isControl()) return true;
+      target_->set(out.value);
       assigned_ = true;
-      return Result{rr->value, target_};
+      out.ref = target_;
+      return true;
     }
   }
   void doRestart() override {
@@ -294,28 +302,28 @@ class RevSwapGen final : public Gen {
   RevSwapGen(GenPtr lhs, GenPtr rhs) : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
  protected:
-  std::optional<Result> doNext() override {
+  bool doNext(Result& out) override {
     if (swapped_) {  // resumed: undo and fail
       left_->set(savedLeft_);
       right_->set(savedRight_);
       swapped_ = false;
-      return std::nullopt;
+      return false;
     }
     lhs_->restart();
     rhs_->restart();
-    auto rl = lhs_->next();
-    if (!rl) return std::nullopt;
-    auto rr = rhs_->next();
-    if (!rr) return std::nullopt;
-    if (!rl->ref || !rr->ref) throw errInvalidValue("reversible swap of a non-variable");
-    left_ = rl->ref;
-    right_ = rr->ref;
+    Result rl, rr;
+    if (!lhs_->next(rl)) return false;
+    if (!rhs_->next(rr)) return false;
+    if (!rl.ref || !rr.ref) throw errInvalidValue("reversible swap of a non-variable");
+    left_ = rl.ref;
+    right_ = rr.ref;
     savedLeft_ = left_->get();
     savedRight_ = right_->get();
     left_->set(savedRight_);
     right_->set(savedLeft_);
     swapped_ = true;
-    return Result{savedRight_, left_};
+    out.set(savedRight_, left_);
+    return true;
   }
   void doRestart() override {
     if (swapped_) {

@@ -29,7 +29,7 @@ class UnOpGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override { operand_->restart(); }
 
  private:
@@ -50,7 +50,7 @@ class BinOpGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:
@@ -79,7 +79,7 @@ class DelegateGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:

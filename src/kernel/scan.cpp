@@ -50,7 +50,7 @@ std::optional<std::int64_t> ScanEnv::resolvePos(std::int64_t p) {
 // ScanGen
 // ---------------------------------------------------------------------
 
-std::optional<Result> ScanGen::doNext() {
+bool ScanGen::doNext(Result& out) {
   while (true) {
     if (scanning_) {
       // Swap the inner environment in around every body step (Icon swaps
@@ -58,17 +58,15 @@ std::optional<Result> ScanGen::doNext() {
       // outer environment current while the scan is suspended, and an
       // abandoned scan can never leak its environment.
       ScanEnv::push(std::move(saved_));
-      auto r = body_->next();
+      const bool produced = body_->next(out);
       saved_ = ScanEnv::pop();
-      if (r) return r;  // scan results are the body's results
-      scanning_ = false;  // body exhausted: backtrack into the subject
+      if (produced) return true;  // scan results are the body's results
+      scanning_ = false;          // body exhausted: backtrack into the subject
       continue;
     }
-    auto subject = subject_->next();
-    if (!subject) return std::nullopt;
-    if (subject->isControl()) return *subject;
-    saved_.subject =
-        std::make_shared<const std::string>(subject->value.requireString("scan subject"));
+    if (!subject_->next(out)) return false;
+    if (out.isControl()) return true;
+    saved_.subject = std::make_shared<const std::string>(out.value.requireString("scan subject"));
     saved_.pos = 1;
     scanning_ = true;
     body_->restart();
@@ -96,22 +94,23 @@ class TabStepGen final : public Gen {
   explicit TabStepGen(std::int64_t rawTarget) : rawTarget_(rawTarget) {}
 
  protected:
-  std::optional<Result> doNext() override {
+  bool doNext(Result& out) override {
     auto& env = ScanEnv::current();
     if (moved_) {  // resumed: restore and fail (reversible effect)
       env.pos = savedPos_;
       moved_ = false;
-      return std::nullopt;
+      return false;
     }
     const auto target = ScanEnv::resolvePos(rawTarget_);
-    if (!target) return std::nullopt;  // out of range: fail without moving
+    if (!target) return false;  // out of range: fail without moving
     savedPos_ = env.pos;
     env.pos = *target;
     const auto lo = std::min(savedPos_, *target);
     const auto hi = std::max(savedPos_, *target);
     moved_ = true;
-    return Result{Value::string(env.subject->substr(static_cast<std::size_t>(lo - 1),
-                                                    static_cast<std::size_t>(hi - lo)))};
+    out.set(Value::string(env.subject->substr(static_cast<std::size_t>(lo - 1),
+                                              static_cast<std::size_t>(hi - lo))));
+    return true;
   }
   void doRestart() override {
     if (moved_) {

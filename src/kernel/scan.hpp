@@ -57,7 +57,7 @@ class ScanGen final : public Gen {
   }
 
  protected:
-  std::optional<Result> doNext() override;
+  bool doNext(Result& out) override;
   void doRestart() override;
 
  private:

@@ -17,8 +17,8 @@ class ChunkGen final : public Gen {
   ChunkGen(GenPtr source, std::int64_t chunkSize) : source_(std::move(source)), chunkSize_(chunkSize) {}
 
  protected:
-  std::optional<Result> doNext() override {
-    if (exhausted_) return std::nullopt;
+  bool doNext(Result& out) override {
+    if (exhausted_) return false;
     auto chunk = ListImpl::create();
     while (chunk->size() < chunkSize_) {
       auto v = source_->nextValue();
@@ -28,8 +28,9 @@ class ChunkGen final : public Gen {
       }
       chunk->put(std::move(*v));
     }
-    if (chunk->empty()) return std::nullopt;
-    return Result{Value::list(std::move(chunk))};
+    if (chunk->empty()) return false;
+    out.set(Value::list(std::move(chunk)));
+    return true;
   }
   void doRestart() override {
     exhausted_ = false;
@@ -71,14 +72,17 @@ class TasksGen final : public Gen {
         makeTaskBody_(std::move(makeTaskBody)) {}
 
  protected:
-  std::optional<Result> doNext() override {
+  bool doNext(Result& out) override {
     if (!built_) build();
     while (taskIndex_ < tasks_.size()) {
       auto v = tasks_[taskIndex_]->activate();
-      if (v) return Result{std::move(*v)};
+      if (v) {
+        out.set(std::move(*v));
+        return true;
+      }
       ++taskIndex_;
     }
-    return std::nullopt;
+    return false;
   }
 
   void doRestart() override {

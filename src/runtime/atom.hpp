@@ -1,0 +1,29 @@
+// atom.hpp — interned literal values.
+//
+// Program text mentions the same literals over and over; the compilers
+// (interpreter and emitted modules) intern them here once so every
+// ConstGen for a given spelling shares one Value representation instead
+// of re-materializing a fresh string/bigint per compile.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/value.hpp"
+
+namespace congen {
+
+/// The interned string Value for `s`. Thread-safe; the returned Value
+/// shares the table's representation (copying a Value is a refcount
+/// bump, not a string copy).
+inline Value atomString(const std::string& s) {
+  static std::mutex mu;
+  static std::unordered_map<std::string, Value> table;
+  std::lock_guard lock(mu);
+  auto [it, inserted] = table.try_emplace(s, Value::null());
+  if (inserted) it->second = Value::string(s);
+  return it->second;
+}
+
+}  // namespace congen

@@ -191,11 +191,17 @@ TEST(MethodBodyCacheTest, ParkAndReuse) {
   root->setCache(&cache, "m");
   root->unpackArgs({Value::integer(7)});
 
+  Gen* rootRaw = root.get();
   EXPECT_EQ(ints(root), (std::vector<std::int64_t>{7}));
-  // On completion the body parked itself.
+  // On completion the body parked itself. A parked body is only handed
+  // back out once its previous call site has released it (a still-held
+  // body could be resumed there), so drop our reference first.
+  EXPECT_EQ(cache.getFree("m"), nullptr) << "aliased body must not be handed out";
+  EXPECT_EQ(cache.size("m"), 1u) << "still parked after the refused take";
+  root.reset();
   auto reused = cache.getFree("m");
   ASSERT_NE(reused, nullptr);
-  EXPECT_EQ(reused.get(), static_cast<Gen*>(root.get()));
+  EXPECT_EQ(reused.get(), rootRaw);
   static_cast<BodyRootGen&>(*reused).unpackArgs({Value::integer(8)});
   EXPECT_EQ(ints(reused), (std::vector<std::int64_t>{8})) << "reused body with rebound args";
   EXPECT_EQ(cache.size("m"), 1u) << "parked again after the second run";
