@@ -1,12 +1,15 @@
 #include "builtins/builtins.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <mutex>
 #include <unordered_map>
 
 #include "kernel/basic.hpp"
+#include "kernel/coexpression.hpp"
 #include "kernel/compose.hpp"
+#include "kernel/error_env.hpp"
 #include "kernel/gen.hpp"
 #include "kernel/ops.hpp"
 #include "kernel/scan.hpp"
@@ -493,6 +496,23 @@ Table buildTable() {
       void doRestart() override { started = false; }
     };
     return std::make_shared<SeqGenInf>(from, by);
+  });
+
+  // ---- cancellation / deadlines / error handling ---------------------
+  addNative(t, "timeout", [](std::vector<Value>& args) -> std::optional<Value> {
+    // timeout(c, ms): activate c, but give up (fail) if no result
+    // arrives within ms milliseconds. The deadline bounds *waiting* —
+    // a plain co-expression computes on this thread and ignores it; a
+    // pipe abandons the wait and stays re-activatable.
+    const Value c = argOr(args, 0, Value::null());
+    if (!c.isCoExpr()) throw errCoExprExpected("timeout: " + c.image());
+    const std::int64_t ms = argOr(args, 1, Value::null()).requireInt64("timeout milliseconds");
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return c.coExpr()->activateUntil(deadline);
+  });
+  addNative(t, "errorclear", [](std::vector<Value>&) -> std::optional<Value> {
+    ErrorEnv::clear();
+    return Value::null();
   });
 
   return t;

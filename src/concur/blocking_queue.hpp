@@ -10,8 +10,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <mutex>
@@ -19,9 +21,21 @@
 #include <utility>
 #include <vector>
 
+#include "concur/cancel.hpp"
 #include "concur/fault_injection.hpp"
 
 namespace congen {
+
+/// Outcome of a cancellable / deadline-bounded queue operation. The
+/// precedence when several hold at once is kCancelled > element transfer
+/// > kClosed > kTimedOut: cancellation is checked first so a cancelled
+/// consumer stops within one operation even with elements buffered,
+/// while a *closed* queue still drains (close means end-of-stream, not
+/// abandonment).
+enum class QueueOpStatus : std::uint8_t { kOk, kClosed, kCancelled, kTimedOut };
+
+/// Absent deadline = wait indefinitely (cancellation/close still apply).
+using QueueDeadline = std::optional<std::chrono::steady_clock::time_point>;
 
 template <class T>
 class BlockingQueue {
@@ -116,6 +130,146 @@ class BlockingQueue {
     return out;
   }
 
+  // ---- cancellable / deadline-bounded operations ----------------------
+  //
+  // The *For family is the cancellation-aware side of the protocol. The
+  // uncontended fast path costs one extra relaxed atomic load (the token
+  // check); a wakeup callback is registered only when the operation must
+  // actually block, and registering on an already-cancelled token never
+  // invokes the callback — the loops re-check cancelled() right after
+  // registering, which closes the register/cancel race (see cancel.hpp).
+
+  /// put() with cancellation and an optional deadline.
+  QueueOpStatus putFor(T v, const CancelToken& token, QueueDeadline deadline = {}) {
+    CONGEN_FAULT_POINT(QueuePut);
+    CONGEN_FAULT_POINT(QueueTimedWait);
+    std::optional<CancelCallback> wake;  // declared before the lock: unregisters after release
+    std::unique_lock lock(m_);
+    for (;;) {
+      if (token.cancelled()) return QueueOpStatus::kCancelled;
+      if (closed_) return QueueOpStatus::kClosed;
+      if (q_.size() < capacity_) {
+        q_.push_back(std::move(v));
+        notEmpty_.notify_one();
+        return QueueOpStatus::kOk;
+      }
+      if (!waitCycle(lock, notFull_, token, deadline, wake, /*consumer=*/false,
+                     [&] { return q_.size() < capacity_; })) {
+        return QueueOpStatus::kTimedOut;
+      }
+    }
+  }
+
+  /// putAll() with cancellation and an optional deadline. `accepted`
+  /// reports how many elements were published (the accepted prefix is
+  /// erased from `batch`, exactly like putAll); kOk means the whole
+  /// batch went through.
+  QueueOpStatus putAllFor(std::vector<T>& batch, std::size_t& accepted,
+                          const CancelToken& token, QueueDeadline deadline = {}) {
+    CONGEN_FAULT_POINT(QueuePutAll);
+    CONGEN_FAULT_POINT(QueueTimedWait);
+    accepted = 0;
+    if (batch.empty()) return QueueOpStatus::kOk;
+    QueueOpStatus status = QueueOpStatus::kOk;
+    {
+      std::optional<CancelCallback> wake;
+      std::unique_lock lock(m_);
+      while (accepted < batch.size()) {
+        if (token.cancelled()) {
+          status = QueueOpStatus::kCancelled;
+          break;
+        }
+        if (closed_) {
+          status = QueueOpStatus::kClosed;
+          break;
+        }
+        if (q_.size() < capacity_) {
+          std::size_t moved = 0;
+          while (accepted < batch.size() && q_.size() < capacity_) {
+            q_.push_back(std::move(batch[accepted]));
+            ++accepted;
+            ++moved;
+          }
+          if (moved > 1) {
+            notEmpty_.notify_all();
+          } else if (moved == 1) {
+            notEmpty_.notify_one();
+          }
+          continue;
+        }
+        if (!waitCycle(lock, notFull_, token, deadline, wake, /*consumer=*/false,
+                       [&] { return q_.size() < capacity_; })) {
+          status = QueueOpStatus::kTimedOut;
+          break;
+        }
+      }
+    }
+    batch.erase(batch.begin(), batch.begin() + static_cast<std::ptrdiff_t>(accepted));
+    return status;
+  }
+
+  /// take() with cancellation and an optional deadline. kOk sets `out`;
+  /// kClosed means closed-and-drained. A cancelled consumer returns
+  /// kCancelled immediately, *without* draining buffered elements —
+  /// cancellation is abandonment, close is end-of-stream.
+  QueueOpStatus takeFor(std::optional<T>& out, const CancelToken& token,
+                        QueueDeadline deadline = {}) {
+    CONGEN_FAULT_POINT(QueueTake);
+    CONGEN_FAULT_POINT(QueueTimedWait);
+    out.reset();
+    std::optional<CancelCallback> wake;
+    std::unique_lock lock(m_);
+    for (;;) {
+      if (token.cancelled()) return QueueOpStatus::kCancelled;
+      if (!q_.empty()) {
+        out = std::move(q_.front());
+        q_.pop_front();
+        notFull_.notify_one();
+        return QueueOpStatus::kOk;
+      }
+      if (closed_) return QueueOpStatus::kClosed;
+      if (!waitCycle(lock, notEmpty_, token, deadline, wake, /*consumer=*/true,
+                     [&] { return !q_.empty(); })) {
+        return QueueOpStatus::kTimedOut;
+      }
+    }
+  }
+
+  /// takeUpTo() with cancellation and an optional deadline. kOk fills
+  /// `out` with 1..max elements (proportional producer wakeups, like
+  /// takeUpTo); kClosed means closed-and-drained.
+  QueueOpStatus takeUpToFor(std::vector<T>& out, std::size_t max, const CancelToken& token,
+                            QueueDeadline deadline = {}) {
+    CONGEN_FAULT_POINT(QueueTakeUpTo);
+    CONGEN_FAULT_POINT(QueueTimedWait);
+    out.clear();
+    if (max == 0) return QueueOpStatus::kOk;
+    std::optional<CancelCallback> wake;
+    std::unique_lock lock(m_);
+    for (;;) {
+      if (token.cancelled()) return QueueOpStatus::kCancelled;
+      if (!q_.empty()) {
+        const std::size_t n = std::min(max, q_.size());
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          out.push_back(std::move(q_.front()));
+          q_.pop_front();
+        }
+        if (n > 1) {
+          notFull_.notify_all();
+        } else {
+          notFull_.notify_one();
+        }
+        return QueueOpStatus::kOk;
+      }
+      if (closed_) return QueueOpStatus::kClosed;
+      if (!waitCycle(lock, notEmpty_, token, deadline, wake, /*consumer=*/true,
+                     [&] { return !q_.empty(); })) {
+        return QueueOpStatus::kTimedOut;
+      }
+    }
+  }
+
   /// Non-blocking put; false when full or closed.
   bool tryPut(T v) {
     CONGEN_FAULT_POINT(QueueTryPut);
@@ -168,6 +322,41 @@ class BlockingQueue {
   }
 
  private:
+  // One blocking cycle of a cancellable wait. First call registers the
+  // wakeup callback and returns without waiting (the caller re-checks
+  // its exit conditions — this is what makes the register/cancel race
+  // benign); later calls block on `cv` until the predicate, close,
+  // cancel, or the deadline. Returns false only on deadline expiry.
+  //
+  // Lock-order audit: the callback takes m_ then notifies; it runs on
+  // the canceller's thread OUTSIDE the cancel-state mutex, and
+  // registration/unregistration take the cancel-state mutex while m_ may
+  // be held here — but requestStop never holds the state mutex while
+  // acquiring m_, so the ordering m_ → state-mutex is acyclic.
+  template <class Ready>
+  bool waitCycle(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                 const CancelToken& token, const QueueDeadline& deadline,
+                 std::optional<CancelCallback>& wake, bool consumer, Ready ready) {
+    if (token.canBeCancelled() && !wake) {
+      wake.emplace(token, [this] {
+        std::lock_guard relock(m_);
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+      });
+      return true;  // re-check: a cancel landing before registration is otherwise lost
+    }
+    auto pred = [&] { return closed_ || token.cancelled() || ready(); };
+    if (consumer) waitingConsumers_.fetch_add(1, std::memory_order_relaxed);
+    bool expired = false;
+    if (deadline) {
+      expired = !cv.wait_until(lock, *deadline, pred);
+    } else {
+      cv.wait(lock, pred);
+    }
+    if (consumer) waitingConsumers_.fetch_sub(1, std::memory_order_relaxed);
+    return !expired;
+  }
+
   // Wait until an element is available or the queue is closed, keeping
   // the waiting-consumer count accurate across the blocking region.
   void waitForElement(std::unique_lock<std::mutex>& lock) {

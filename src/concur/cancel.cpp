@@ -1,0 +1,127 @@
+#include "concur/cancel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "concur/fault_injection.hpp"
+
+namespace congen {
+
+namespace cancel_detail {
+
+struct CallbackNode {
+  std::function<void()> fn;
+};
+
+struct CancelState {
+  std::mutex m;
+  std::condition_variable done;  // signals completion of the running callback
+  std::atomic<bool> cancelled{false};
+  std::vector<CallbackNode*> callbacks;   // registered, not yet invoked
+  CallbackNode* running = nullptr;        // being invoked right now
+  std::thread::id runningThread;
+};
+
+bool cancelledOn(const CancelState& s) noexcept {
+  return s.cancelled.load(std::memory_order_relaxed);
+}
+
+bool requestStopOn(const std::shared_ptr<CancelState>& s) {
+  CONGEN_FAULT_POINT(CancelSignal);
+  std::unique_lock lock(s->m);
+  if (s->cancelled.load(std::memory_order_relaxed)) return false;
+  // Flag first, callbacks after: anything registered from here on (it
+  // serializes on s->m) observes cancelled() and re-checks instead of
+  // expecting an invocation.
+  s->cancelled.store(true, std::memory_order_release);
+  while (!s->callbacks.empty()) {
+    CallbackNode* node = s->callbacks.back();
+    s->callbacks.pop_back();
+    s->running = node;
+    s->runningThread = std::this_thread::get_id();
+    // Move the callable out so the node may be freed from within its own
+    // invocation (a callback destroying its own registration).
+    auto fn = std::move(node->fn);
+    lock.unlock();
+    fn();
+    lock.lock();
+    s->running = nullptr;
+    s->done.notify_all();
+  }
+  return true;
+}
+
+}  // namespace cancel_detail
+
+using cancel_detail::CallbackNode;
+using cancel_detail::CancelState;
+
+CancelCallback::CancelCallback(const CancelToken& token, std::function<void()> fn)
+    : state_(token.state_) {
+  if (!state_) return;
+  std::lock_guard lock(state_->m);
+  if (state_->cancelled.load(std::memory_order_relaxed)) return;  // caller re-checks
+  node_ = new CallbackNode{std::move(fn)};
+  state_->callbacks.push_back(node_);
+}
+
+CancelCallback::~CancelCallback() {
+  if (!node_) return;
+  std::unique_lock lock(state_->m);
+  auto& cbs = state_->callbacks;
+  for (auto it = cbs.begin(); it != cbs.end(); ++it) {
+    if (*it == node_) {  // not yet invoked: plain removal
+      cbs.erase(it);
+      lock.unlock();
+      delete node_;
+      return;
+    }
+  }
+  // Invoked or in flight. If another thread is running it, wait until it
+  // finishes so the callable's captures cannot dangle; if *this* thread
+  // is running it (self-destruction from inside the callback), the
+  // callable was moved out already and the node is safe to free.
+  state_->done.wait(lock, [&] {
+    return state_->running != node_ || state_->runningThread == std::this_thread::get_id();
+  });
+  lock.unlock();
+  delete node_;
+}
+
+StopSource::StopSource() : state_(std::make_shared<CancelState>()) {}
+
+bool StopSource::requestStop() { return cancel_detail::requestStopOn(state_); }
+
+void StopSource::linkTo(const CancelToken& parent) {
+  if (!parent.canBeCancelled() || !state_) return;
+  std::weak_ptr<CancelState> weak = state_;
+  links_.push_back(std::make_unique<CancelCallback>(parent, [weak] {
+    if (auto s = weak.lock()) cancel_detail::requestStopOn(s);
+  }));
+  // Registration on a cancelled token does not invoke — close the race
+  // by checking after the link is in place.
+  if (parent.cancelled()) requestStop();
+}
+
+namespace {
+
+std::vector<CancelToken>& scopeStack() {
+  thread_local std::vector<CancelToken> stack;
+  return stack;
+}
+
+}  // namespace
+
+CancelScope::CancelScope(CancelToken token) { scopeStack().push_back(std::move(token)); }
+
+CancelScope::~CancelScope() { scopeStack().pop_back(); }
+
+CancelToken CancelScope::current() noexcept {
+  auto& stack = scopeStack();
+  return stack.empty() ? CancelToken{} : stack.back();
+}
+
+}  // namespace congen

@@ -1,0 +1,136 @@
+// cancel.hpp — structured cancellation for the concurrency layer.
+//
+// The paper's pipe "iterates until failure" with no way to stop it: an
+// abandoned or erroring stage could only be handled by destructor-order
+// luck (closing a queue wakes its own producer, but nothing upstream).
+// This header provides the explicit termination protocol the coroutine
+// literature treats as the composability-critical piece: a StopSource
+// requests cancellation, CancelTokens observe it, and registered wakeup
+// callbacks get every blocked queue operation out of its wait within one
+// operation.
+//
+// Design rules (audited in docs/INTERNALS.md, "Cancellation, deadlines
+// & failure containment"):
+//
+//  * cancelled() is one relaxed atomic load — the uncontended hot path
+//    never takes a lock and never registers anything.
+//  * requestStop() sets the flag under the state mutex, then invokes the
+//    registered callbacks OUTSIDE it, so a callback may take unrelated
+//    locks (the queue mutex) without ordering against the cancel state.
+//  * Registering a callback on an already-cancelled token does NOT
+//    invoke it; the constructor records the fact instead. Waiters must
+//    re-check cancelled() after registering (the blocking-queue loops
+//    do), which closes the register/cancel race without ever running a
+//    callback on the registering thread while it holds its own locks.
+//  * ~CancelCallback blocks until an in-flight invocation on another
+//    thread completes (std::stop_callback semantics), so a callback can
+//    never outlive the resources it captures.
+//  * Sources can be *linked* under a parent token (linkTo): cancelling
+//    the parent synchronously requests stop on every linked child. This
+//    is how cancelling a downstream pipeline stage cascades to every
+//    upstream producer without multi-token wait combinators.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace congen {
+
+namespace cancel_detail {
+struct CancelState;
+struct CallbackNode;
+[[nodiscard]] bool cancelledOn(const CancelState& s) noexcept;
+bool requestStopOn(const std::shared_ptr<CancelState>& s);
+}  // namespace cancel_detail
+
+/// Observer half of a cancellation channel. Copyable, cheap, and safe to
+/// read from any thread. A default-constructed token can never be
+/// cancelled (canBeCancelled() is false), so APIs taking an optional
+/// token accept `CancelToken{}` with zero overhead.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Whether a StopSource backs this token at all.
+  [[nodiscard]] bool canBeCancelled() const noexcept { return state_ != nullptr; }
+
+  /// One relaxed atomic load; false for a detached token.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return state_ != nullptr && cancel_detail::cancelledOn(*state_);
+  }
+
+ private:
+  friend class StopSource;
+  friend class CancelCallback;
+  explicit CancelToken(std::shared_ptr<cancel_detail::CancelState> s) : state_(std::move(s)) {}
+  std::shared_ptr<cancel_detail::CancelState> state_;
+};
+
+/// RAII registration of a cancellation wakeup. The callback runs on the
+/// thread that calls requestStop(), outside the cancel-state mutex. If
+/// the token is already cancelled at construction the callback is NOT
+/// invoked (see the header comment: callers re-check cancelled()). The
+/// destructor waits for an in-flight invocation on another thread, and
+/// tolerates being run from inside its own callback.
+class CancelCallback {
+ public:
+  CancelCallback(const CancelToken& token, std::function<void()> fn);
+  ~CancelCallback();
+  CancelCallback(const CancelCallback&) = delete;
+  CancelCallback& operator=(const CancelCallback&) = delete;
+
+ private:
+  std::shared_ptr<cancel_detail::CancelState> state_;
+  cancel_detail::CallbackNode* node_ = nullptr;
+};
+
+/// Owner half: requests cancellation, observed through token(). A source
+/// may additionally be linked under parent tokens, forming the cascade
+/// tree the pipeline layer uses (downstream token → upstream sources).
+class StopSource {
+ public:
+  StopSource();
+  ~StopSource() = default;
+  StopSource(StopSource&&) noexcept = default;
+  StopSource& operator=(StopSource&&) noexcept = default;
+  StopSource(const StopSource&) = delete;
+  StopSource& operator=(const StopSource&) = delete;
+
+  [[nodiscard]] CancelToken token() const noexcept { return CancelToken(state_); }
+  [[nodiscard]] bool stopRequested() const noexcept {
+    return cancel_detail::cancelledOn(*state_);
+  }
+
+  /// Idempotent; returns true for the call that performed the
+  /// transition. Invokes registered callbacks (and linked children)
+  /// synchronously, outside the state mutex.
+  bool requestStop();
+
+  /// Make this source a child of `parent`: cancelling the parent token
+  /// requests stop here too, synchronously. An already-cancelled parent
+  /// cancels immediately; a detached parent is ignored. Links live as
+  /// long as this source (they unregister on destruction/move-out).
+  void linkTo(const CancelToken& parent);
+
+ private:
+  std::shared_ptr<cancel_detail::CancelState> state_;
+  std::vector<std::unique_ptr<CancelCallback>> links_;
+};
+
+/// Ambient per-thread token, ScanEnv-style. A pipe's producer installs
+/// its own token for the duration of the body drive, so any pipe created
+/// lazily *inside* that body links itself under the producer's token and
+/// cancellation reaches arbitrarily nested, dynamically-created stages.
+class CancelScope {
+ public:
+  explicit CancelScope(CancelToken token);
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+  /// The innermost installed token; a detached token when none is.
+  [[nodiscard]] static CancelToken current() noexcept;
+};
+
+}  // namespace congen

@@ -30,6 +30,8 @@ const char* faultSiteName(FaultSite site) noexcept {
     case FaultSite::QueuePutAll: return "BlockingQueue::putAll";
     case FaultSite::QueueTakeUpTo: return "BlockingQueue::takeUpTo";
     case FaultSite::PipeBatchFlush: return "Pipe::batchFlush";
+    case FaultSite::QueueTimedWait: return "BlockingQueue::timedWait";
+    case FaultSite::CancelSignal: return "StopSource::requestStop";
     case FaultSite::kCount: break;
   }
   return "unknown";

@@ -38,6 +38,8 @@ enum class FaultSite : std::uint8_t {
   QueuePutAll,    // BlockingQueue::putAll entry (failure-capable)
   QueueTakeUpTo,  // BlockingQueue::takeUpTo entry (delay only)
   PipeBatchFlush, // Pipe producer about to publish a batch (delay only)
+  QueueTimedWait, // timed/cancellable queue op (putFor family) entry (delay only)
+  CancelSignal,   // StopSource::requestStop entry (delay only)
   kCount,
 };
 

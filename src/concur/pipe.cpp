@@ -1,14 +1,45 @@
 #include "concur/pipe.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <set>
+
+#include "runtime/error.hpp"
 
 namespace congen {
 
 namespace {
 
+// Live-pipe registry backing Pipe::dumpAll. Function-local and
+// intentionally leaked so pipes destroyed during static teardown never
+// race a destructed set.
+struct PipeRegistry {
+  std::mutex m;
+  std::set<const Pipe*>* pipes = new std::set<const Pipe*>;
+};
+
+PipeRegistry& registry() {
+  static PipeRegistry* r = new PipeRegistry;
+  return *r;
+}
+
+void registerPipe(const Pipe* p) {
+  auto& r = registry();
+  std::lock_guard lock(r.m);
+  r.pipes->insert(p);
+}
+
+void unregisterPipe(const Pipe* p) {
+  auto& r = registry();
+  std::lock_guard lock(r.m);
+  r.pipes->erase(p);
+}
+
 /// The producer half of the batched transport. Runs on a pool thread,
 /// draining the co-expression body into a local buffer and publishing
-/// whole segments with one putAll per flush. The batch size adapts:
+/// whole segments with one putAllFor per flush. The batch size adapts:
 /// it starts at 1 (first result reaches the consumer with no batching
 /// latency), doubles toward `cap` while the consumer keeps up, and
 /// halves whenever a flush finds the consumer already blocked in
@@ -16,12 +47,18 @@ namespace {
 /// latency. Each round's goal is additionally clamped to the queue's
 /// spare capacity so a bounded pipe still bounds producer run-ahead
 /// exactly as the per-element protocol does.
+///
+/// Cancellation: the generation loop checks the token between results
+/// (one relaxed load) and every flush waits cancellably, so a cancelled
+/// pipe's producer returns within one queue operation even with the
+/// queue full.
 void runBatchedProducer(const std::shared_ptr<BlockingQueue<Value>>& queue, Gen& body,
-                        std::size_t cap) {
+                        std::size_t cap, const CancelToken& token) {
   std::vector<Value> buffer;
+  std::size_t accepted = 0;
   std::size_t batch = 1;
   bool open = true;
-  while (open) {
+  while (open && !token.cancelled()) {
     const std::size_t size = queue->size();
     const std::size_t spare = queue->capacity() > size ? queue->capacity() - size : 0;
     const std::size_t goal =
@@ -35,6 +72,10 @@ void runBatchedProducer(const std::shared_ptr<BlockingQueue<Value>>& queue, Gen&
           break;
         }
         buffer.push_back(std::move(*v));
+        if (token.cancelled()) {
+          open = false;
+          break;
+        }
         if (queue->waitingConsumers() > 0) {
           starved = true;  // consumer is blocked: flush now, batch smaller
           break;
@@ -45,15 +86,16 @@ void runBatchedProducer(const std::shared_ptr<BlockingQueue<Value>>& queue, Gen&
       // an error; flush the intact buffer (best effort) before letting
       // the error propagate to the consumer.
       try {
-        if (!buffer.empty()) queue->putAll(buffer);
+        if (!buffer.empty()) queue->putAllFor(buffer, accepted, token);
       } catch (...) {
       }
       throw;
     }
     if (buffer.empty()) break;
     CONGEN_FAULT_POINT(PipeBatchFlush);
-    const std::size_t flushed = buffer.size();
-    if (queue->putAll(buffer) < flushed) break;  // consumer abandoned us
+    if (queue->putAllFor(buffer, accepted, token) != QueueOpStatus::kOk) {
+      break;  // consumer abandoned or cancelled us
+    }
     batch = starved ? std::max<std::size_t>(1, batch / 2) : std::min(cap, batch * 2);
   }
 }
@@ -72,47 +114,121 @@ Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool, std::size
       batchCap_(state_->queue->capacity() <= 1 || batchCap <= 1
                     ? 1
                     : std::min(batchCap, state_->queue->capacity())) {
+  // A pipe created inside a producer body (the ambient CancelScope is
+  // that producer's token) hangs itself under it, so cancelling the
+  // downstream consumer reaches lazily-created inner pipes too.
+  if (auto ambient = CancelScope::current(); ambient.canBeCancelled()) {
+    state_->source.linkTo(ambient);
+  }
   // The body was built (and the shadowed environment copied) eagerly on
   // this thread by the CoExpression base. The producer captures only the
   // shared state and that body — never the Pipe itself — so
   // consumer-side destruction cannot race it.
   pool.submit([state = state_, body = takeBody(), cap = batchCap_] {
+    const CancelToken token = state->source.token();
+    // Make this pipe's token ambient for the body: co-expressions and
+    // pipes the body creates while running pick it up via the scope.
+    CancelScope scope(token);
     try {
       if (cap <= 1) {
-        while (auto v = body->nextValue()) {
-          if (!state->queue->put(std::move(*v))) break;  // consumer abandoned us
+        while (!token.cancelled()) {
+          auto v = body->nextValue();
+          if (!v) break;
+          if (state->queue->putFor(std::move(*v), token) != QueueOpStatus::kOk) {
+            break;  // consumer abandoned or cancelled us
+          }
         }
       } else {
-        runBatchedProducer(state->queue, *body, cap);
+        runBatchedProducer(state->queue, *body, cap, token);
       }
+    } catch (const IconError&) {
+      // Typed run-time error: forward verbatim, then cancel everything
+      // feeding this stage. Ordering matters — store the error BEFORE
+      // requesting stop so the consumer never observes the cancel
+      // without the cause.
+      {
+        std::lock_guard lock(state->errorMutex);
+        state->error = std::current_exception();
+      }
+      state->source.requestStop();
+    } catch (const testing::InjectedFault&) {
+      // Injected test faults cross the pipe unwrapped so the stress
+      // suite can assert on the precise fault type.
+      {
+        std::lock_guard lock(state->errorMutex);
+        state->error = std::current_exception();
+      }
+      state->source.requestStop();
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard lock(state->errorMutex);
+        state->error = std::make_exception_ptr(errStageFailed(e.what()));
+      }
+      state->source.requestStop();
     } catch (...) {
-      std::lock_guard lock(state->errorMutex);
-      state->error = std::current_exception();
+      {
+        std::lock_guard lock(state->errorMutex);
+        state->error = std::make_exception_ptr(errStageFailed("unknown exception"));
+      }
+      state->source.requestStop();
     }
     state->queue->close();  // end-of-stream
   });
+  // Register only after submit succeeded: a throwing ctor must not leave
+  // a dangling registry entry.
+  registerPipe(this);
 }
 
-Pipe::~Pipe() { state_->queue->close(); }
+Pipe::~Pipe() {
+  unregisterPipe(this);
+  state_->queue->close();
+}
 
-std::optional<Value> Pipe::activate() {
+std::optional<Value> Pipe::activate() { return step(QueueDeadline{}); }
+
+std::optional<Value> Pipe::activateUntil(std::chrono::steady_clock::time_point deadline) {
+  return step(QueueDeadline{deadline});
+}
+
+std::optional<Value> Pipe::step(QueueDeadline deadline) {
+  // A finished pipe (error already surfaced, or cancelled, or drained)
+  // fails deterministically forever — it never revisits the dead queue,
+  // so an activation after a consumed producer error cannot block or
+  // re-observe stale state.
+  if (finished_.load(std::memory_order_relaxed)) return std::nullopt;
+  const CancelToken token = state_->source.token();
   if (batchCap_ > 1) {
     if (drainedPos_ >= drained_.size()) {
-      drained_ = state_->queue->takeUpTo(batchCap_);
       drainedPos_ = 0;
+      const auto status = state_->queue->takeUpToFor(drained_, batchCap_, token, deadline);
+      if (status == QueueOpStatus::kTimedOut) return std::nullopt;  // re-activatable
+      if (status == QueueOpStatus::kCancelled && producerErrorPending()) {
+        // Containment, not abandonment: the stop came from this pipe's
+        // own failing producer, which flushed its delivered prefix and
+        // is closing the queue. Drain with the plain (non-cancellable)
+        // op so the prefix reaches the consumer before the error does.
+        drained_ = state_->queue->takeUpTo(batchCap_);
+      }
     }
     if (drainedPos_ < drained_.size()) {
-      ++produced_;
+      produced_.fetch_add(1, std::memory_order_relaxed);
       return std::move(drained_[drainedPos_++]);
     }
   } else {
-    auto v = state_->queue->take();
+    std::optional<Value> v;
+    const auto status = state_->queue->takeFor(v, token, deadline);
+    if (status == QueueOpStatus::kTimedOut) return std::nullopt;  // re-activatable
+    if (status == QueueOpStatus::kCancelled && producerErrorPending()) {
+      v = state_->queue->take();  // containment: see the batched branch
+    }
     if (v) {
-      ++produced_;
+      produced_.fetch_add(1, std::memory_order_relaxed);
       return v;
     }
   }
-  // Drained: surface a producer-side error on the consumer thread.
+  // Drained or cancelled: the stream is over for good. Surface a
+  // producer-side error on the consumer thread, once.
+  finished_.store(true, std::memory_order_relaxed);
   std::exception_ptr error;
   {
     std::lock_guard lock(state_->errorMutex);
@@ -123,7 +239,33 @@ std::optional<Value> Pipe::activate() {
   return std::nullopt;
 }
 
+bool Pipe::producerErrorPending() const {
+  std::lock_guard lock(state_->errorMutex);
+  return state_->error != nullptr;
+}
+
 CoExprPtr Pipe::refreshed() const { return Pipe::create(factory(), capacity_, *pool_, batchCap_); }
+
+void Pipe::dumpAll(std::ostream& os) {
+  auto& r = registry();
+  std::lock_guard lock(r.m);
+  os << "=== live pipes: " << r.pipes->size() << " ===\n";
+  for (const Pipe* p : *r.pipes) {
+    const auto& q = *p->state_->queue;
+    bool hasError = false;
+    {
+      std::lock_guard el(p->state_->errorMutex);
+      hasError = p->state_->error != nullptr;
+    }
+    os << "  pipe@" << static_cast<const void*>(p) << " queued=" << q.size() << "/"
+       << (q.capacity() == std::numeric_limits<std::size_t>::max() ? 0 : q.capacity())
+       << " closed=" << (q.closed() ? 1 : 0)
+       << " cancelled=" << (p->cancelRequested() ? 1 : 0)
+       << " finished=" << (p->finished_.load(std::memory_order_relaxed) ? 1 : 0)
+       << " delivered=" << p->produced_.load(std::memory_order_relaxed)
+       << " pendingError=" << (hasError ? 1 : 0) << " batchCap=" << p->batchCap_ << "\n";
+  }
+}
 
 GenPtr makePipeCreateGen(GenFactory bodyFactory, std::size_t capacity, ThreadPool& pool,
                          std::size_t batchCap) {
@@ -138,9 +280,19 @@ FutureValue::FutureValue(GenFactory factory, ThreadPool& pool)
 
 std::optional<Value> FutureValue::get() {
   if (!resolved_) {
-    cached_ = pipe_->activate();
+    try {
+      cached_ = pipe_->activate();
+    } catch (...) {
+      // Cache the error so every get() reports it — without this, the
+      // first get() consumed the error and later calls looked like a
+      // plain failure.
+      error_ = std::current_exception();
+      resolved_ = true;
+      throw;
+    }
     resolved_ = true;
   }
+  if (error_) std::rethrow_exception(error_);
   return cached_;
 }
 

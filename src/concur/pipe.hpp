@@ -13,12 +13,36 @@
 // queue, which makes the producer's put() fail so an abandoned pipe can
 // never deadlock a worker. A capacity-1 pipe over a singleton expression
 // is a future.
+//
+// Structured cancellation (see cancel.hpp): every pipe owns a
+// StopSource, and every queue wait on either side uses that pipe's own
+// token. Cross-pipe propagation is purely source-to-token linking —
+// cancelWith() makes this pipe a child of another token, and a pipe
+// created *inside* a producer body links itself under the ambient
+// CancelScope automatically, so cancelling a downstream consumer
+// unblocks every upstream producer within one queue operation.
+//
+// Failure containment: a producer-side run-time error (IconError) is
+// stored, the pipe's own token is stopped (cascading to linked upstream
+// pipes), and the error re-surfaces exactly once from the consumer's
+// activate() after the delivered prefix drains. The consumer
+// distinguishes containment from abandonment: a cancelled take with a
+// pending producer error falls back to plain (non-cancellable) drains of
+// the already-closed queue, so the flushed prefix is never lost to the
+// pipe's own error-triggered stop. Any non-IconError
+// producer exception is wrapped into the typed IconError 801 (injected
+// test faults pass through verbatim so the stress suite can assert on
+// them). After the rethrow — or after cancellation — the pipe is
+// *finished*: further activations deterministically fail (nullopt)
+// without touching the dead queue.
 #pragma once
 
 #include <exception>
+#include <iosfwd>
 #include <vector>
 
 #include "concur/blocking_queue.hpp"
+#include "concur/cancel.hpp"
 #include "concur/thread_pool.hpp"
 #include "kernel/coexpression.hpp"
 
@@ -47,8 +71,30 @@ class Pipe final : public CoExpression {
   }
 
   /// Activation = take from the output channel. A run-time error raised
-  /// inside the producer is re-thrown here, on the consumer's thread.
+  /// inside the producer is re-thrown here, on the consumer's thread,
+  /// exactly once; afterwards the pipe is finished and activation fails.
   std::optional<Value> activate() override;
+
+  /// Deadline-bounded activation: fails once `deadline` passes with no
+  /// result available, WITHOUT finishing the pipe — a timed-out pipe can
+  /// be re-activated (the deadline bounds waiting, not computation).
+  std::optional<Value> activateUntil(std::chrono::steady_clock::time_point deadline) override;
+
+  /// Request cancellation: wakes the producer out of its current queue
+  /// operation (and, through linked sources, every upstream producer);
+  /// the consumer side observes end-of-stream. Idempotent.
+  void cancel() { state_->source.requestStop(); }
+
+  [[nodiscard]] bool cancelRequested() const noexcept { return state_->source.stopRequested(); }
+
+  /// This pipe's own cancellation token — the one every queue wait on
+  /// this pipe uses, and the linking point for upstream stages.
+  [[nodiscard]] CancelToken cancelToken() const noexcept { return state_->source.token(); }
+
+  /// Link this pipe under `token`: when `token` is cancelled, this pipe
+  /// is cancelled too (synchronously). The pipeline layer links each
+  /// upstream stage under its downstream consumer's token.
+  void cancelWith(const CancelToken& token) { state_->source.linkTo(token); }
 
   /// ^p: a fresh pipe over a fresh environment copy.
   [[nodiscard]] CoExprPtr refreshed() const override;
@@ -63,23 +109,38 @@ class Pipe final : public CoExpression {
   /// the pipe runs the unbatched per-element protocol).
   [[nodiscard]] std::size_t batchCap() const noexcept { return batchCap_; }
 
+  /// Diagnostic dump of every live pipe in the process (queue depth,
+  /// close/cancel flags, results delivered) — the payload of the
+  /// congen-run --timeout watchdog, so a hung pipeline fails fast with
+  /// state instead of eating a CI job limit.
+  static void dumpAll(std::ostream& os);
+
  private:
   /// State shared with the producer task; outlives the Pipe if the
   /// consumer abandons it mid-stream.
   struct State {
     explicit State(std::size_t capacity) : queue(std::make_shared<BlockingQueue<Value>>(capacity)) {}
     std::shared_ptr<BlockingQueue<Value>> queue;
+    StopSource source;              // the pipe's cancellation channel
     std::exception_ptr error;       // producer-side run-time error
     std::mutex errorMutex;
   };
+
+  std::optional<Value> step(QueueDeadline deadline);
+  [[nodiscard]] bool producerErrorPending() const;
 
   std::shared_ptr<State> state_;
   std::size_t capacity_;
   ThreadPool* pool_;
   std::size_t batchCap_;
-  std::size_t produced_ = 0;
-  // Consumer-side prefetch: activate() refills this from takeUpTo() so a
-  // burst of buffered results costs one lock acquisition, not one each.
+  // produced_/finished_ are relaxed atomics solely so the watchdog's
+  // dumpAll can read them from another thread; there is no ordering
+  // requirement (single consumer).
+  std::atomic<std::size_t> produced_{0};
+  std::atomic<bool> finished_{false};
+  // Consumer-side prefetch: activate() refills this from takeUpToFor()
+  // so a burst of buffered results costs one lock acquisition, not one
+  // each.
   std::vector<Value> drained_;
   std::size_t drainedPos_ = 0;
 };
@@ -90,18 +151,25 @@ GenPtr makePipeCreateGen(GenFactory bodyFactory, std::size_t capacity = Pipe::kD
                          std::size_t batchCap = Pipe::kDefaultBatch);
 
 /// A future: a capacity-1 pipe computing a single value in the
-/// background; get() blocks for the result (fails if the expression
-/// failed).
+/// background; get() blocks for the result.
+///
+/// Failure vs error are distinguishable, matching Icon: get() returns
+/// nullopt when the expression *failed* (produced no value), and
+/// re-throws a producer-side run-time error (IconError) — on the first
+/// AND on every subsequent call, so a caller that observes the error
+/// once cannot mistake the future for a mere failure later.
 class FutureValue {
  public:
   explicit FutureValue(GenFactory factory, ThreadPool& pool = ThreadPool::global());
 
-  /// Block until the value is available; nullopt if the expression failed.
+  /// Block until the value is available; nullopt if the expression
+  /// failed; re-throws (every time) if it errored.
   std::optional<Value> get();
 
  private:
   std::shared_ptr<Pipe> pipe_;
   std::optional<Value> cached_;
+  std::exception_ptr error_;
   bool resolved_ = false;
 };
 

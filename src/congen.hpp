@@ -12,6 +12,7 @@
 #include "builtins/builtins.hpp"
 #include "coexpr/shadow.hpp"
 #include "concur/blocking_queue.hpp"
+#include "concur/cancel.hpp"
 #include "concur/pipe.hpp"
 #include "concur/thread_pool.hpp"
 #include "frontend/parser.hpp"
@@ -20,6 +21,7 @@
 #include "kernel/coexpression.hpp"
 #include "kernel/compose.hpp"
 #include "kernel/control.hpp"
+#include "kernel/error_env.hpp"
 #include "kernel/gen.hpp"
 #include "kernel/iterate.hpp"
 #include "kernel/ops.hpp"

@@ -518,7 +518,8 @@ class Parser {
         const Token kw = take();
         if (kw.text == "&null") return stamp(ast::make(Kind::NullLit), kw);
         if (kw.text == "&fail") return stamp(ast::make(Kind::FailLit), kw);
-        if (kw.text == "&subject" || kw.text == "&pos") {
+        if (kw.text == "&subject" || kw.text == "&pos" || kw.text == "&error" ||
+            kw.text == "&errornumber" || kw.text == "&errorvalue") {
           return stamp(ast::make(Kind::KeywordVar, kw.text.substr(1)), kw);
         }
         err("unknown keyword " + kw.text);

@@ -12,6 +12,7 @@
 #include "kernel/compose.hpp"
 #include "kernel/control.hpp"
 #include "kernel/coexpression.hpp"
+#include "kernel/error_env.hpp"
 #include "kernel/ops.hpp"
 #include "kernel/scan.hpp"
 #include "runtime/atom.hpp"
@@ -64,7 +65,11 @@ class Compiler {
       case Kind::Ident:
       case Kind::TempRef: return identifier(n);
       case Kind::KeywordVar:
-        return n->text == "subject" ? makeSubjectVarGen() : makePosVarGen();
+        if (n->text == "subject") return makeSubjectVarGen();
+        if (n->text == "error") return makeErrorVarGen();
+        if (n->text == "errornumber") return makeErrorNumberVarGen();
+        if (n->text == "errorvalue") return makeErrorValueVarGen();
+        return makePosVarGen();
       case Kind::ListLit: return listLiteral(n);
       case Kind::Binary: return binary(n);
       case Kind::Unary: return unary(n);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 
 #include "kernel/gen.hpp"
@@ -48,6 +49,15 @@ class CoExpression : public std::enable_shared_from_this<CoExpression> {
     }
     ++results_;
     return v;
+  }
+
+  /// Deadline-bounded activation, used by the `timeout(c, ms)` builtin.
+  /// The deadline bounds *waiting*, not computation: an implementation
+  /// that can block (the multithreaded pipe) gives up and fails once the
+  /// deadline passes, leaving the co-expression re-activatable; the base
+  /// class never blocks, so it ignores the deadline entirely.
+  virtual std::optional<Value> activateUntil(std::chrono::steady_clock::time_point /*deadline*/) {
+    return activate();
   }
 
   /// Refresh ^c: a *new* co-expression re-built from the factory, with a

@@ -1,0 +1,63 @@
+#include "kernel/error_env.hpp"
+
+#include "kernel/basic.hpp"
+#include "runtime/error.hpp"
+#include "runtime/var.hpp"
+
+namespace congen {
+
+ErrorEnv::State& ErrorEnv::current() {
+  thread_local State state;
+  return state;
+}
+
+bool ErrorEnv::convertToFailure(const IconError& e) {
+  auto& s = current();
+  if (s.credit <= 0) return false;
+  --s.credit;
+  s.occurred = true;
+  s.number = e.number();
+  s.value = e.message();
+  return true;
+}
+
+void ErrorEnv::clear() {
+  auto& s = current();
+  s.occurred = false;
+  s.number = 0;
+  s.value.clear();
+}
+
+GenPtr makeErrorVarGen() {
+  return VarGen::create(ComputedVar::create(
+      [] { return Value::integer(ErrorEnv::current().credit); },
+      [](Value v) { ErrorEnv::current().credit = v.requireInt64("&error"); }));
+}
+
+namespace {
+
+/// Read-only keyword that fails while no converted error is recorded.
+GenPtr makeErrorDetailGen(Value (*read)(const ErrorEnv::State&)) {
+  return CallbackGen::create([read]() -> CallbackGen::Puller {
+    bool done = false;
+    return [read, done]() mutable -> std::optional<Value> {
+      if (done) return std::nullopt;
+      done = true;
+      const auto& s = ErrorEnv::current();
+      if (!s.occurred) return std::nullopt;
+      return read(s);
+    };
+  });
+}
+
+}  // namespace
+
+GenPtr makeErrorNumberVarGen() {
+  return makeErrorDetailGen([](const ErrorEnv::State& s) { return Value::integer(s.number); });
+}
+
+GenPtr makeErrorValueVarGen() {
+  return makeErrorDetailGen([](const ErrorEnv::State& s) { return Value::string(s.value); });
+}
+
+}  // namespace congen

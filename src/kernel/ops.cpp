@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "kernel/basic.hpp"
+#include "kernel/error_env.hpp"
 #include "runtime/collections.hpp"
 #include "runtime/error.hpp"
 #include "runtime/proc.hpp"
@@ -14,39 +15,59 @@ namespace congen {
 // ---------------------------------------------------------------------
 // UnOpGen / BinOpGen
 // ---------------------------------------------------------------------
+//
+// The operator nodes are where run-time errors become catchable: with
+// &error credit (see error_env.hpp), an IconError raised while
+// evaluating the node converts to plain failure of the node. The
+// handlers live here — not in every builtin — because these three node
+// kinds are the translation-level notion of "the expression in which
+// the error occurred", and both the interpreter and emitted C++ build
+// their trees from them. Returning false leaves partial iteration
+// state behind, which is safe: a failed node is restarted by Gen::next
+// before its next cycle.
 
 bool UnOpGen::doNext(Result& out) {
-  while (true) {
-    if (!operand_->next(out)) return false;
-    if (out.isControl()) return true;
-    auto r = fn_(out);
-    if (r) {
-      out = std::move(*r);
-      return true;
+  try {
+    while (true) {
+      if (!operand_->next(out)) return false;
+      if (out.isControl()) return true;
+      auto r = fn_(out);
+      if (r) {
+        out = std::move(*r);
+        return true;
+      }
+      // else: filtered — continue the search
     }
-    // else: filtered — continue the search
+  } catch (const IconError& e) {
+    if (!ErrorEnv::convertToFailure(e)) throw;
+    return false;
   }
 }
 
 bool BinOpGen::doNext(Result& out) {
-  while (true) {
-    if (!leftActive_) {
-      if (!left_->next(out)) return false;
+  try {
+    while (true) {
+      if (!leftActive_) {
+        if (!left_->next(out)) return false;
+        if (out.isControl()) return true;
+        leftResult_ = std::move(out);
+        leftActive_ = true;
+        right_->restart();
+      }
+      if (!right_->next(out)) {
+        leftActive_ = false;  // backtrack into the left operand
+        continue;
+      }
       if (out.isControl()) return true;
-      leftResult_ = std::move(out);
-      leftActive_ = true;
-      right_->restart();
+      auto r = fn_(leftResult_, out);
+      if (r) {
+        out = std::move(*r);
+        return true;
+      }
     }
-    if (!right_->next(out)) {
-      leftActive_ = false;  // backtrack into the left operand
-      continue;
-    }
-    if (out.isControl()) return true;
-    auto r = fn_(leftResult_, out);
-    if (r) {
-      out = std::move(*r);
-      return true;
-    }
+  } catch (const IconError& e) {
+    if (!ErrorEnv::convertToFailure(e)) throw;
+    return false;
   }
 }
 
@@ -81,14 +102,19 @@ bool DelegateGen::advanceTuple() {
 }
 
 bool DelegateGen::doNext(Result& out) {
-  while (true) {
-    if (inner_) {
-      if (inner_->next(out)) return true;
-      inner_.reset();
+  try {
+    while (true) {
+      if (inner_) {
+        if (inner_->next(out)) return true;
+        inner_.reset();
+      }
+      if (!advanceTuple()) return false;
+      inner_ = factory_(current_);
+      if (!inner_) return false;
     }
-    if (!advanceTuple()) return false;
-    inner_ = factory_(current_);
-    if (!inner_) return false;
+  } catch (const IconError& e) {
+    if (!ErrorEnv::convertToFailure(e)) throw;
+    return false;
   }
 }
 

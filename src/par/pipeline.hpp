@@ -17,6 +17,16 @@
 
 namespace congen {
 
+/// A built pipeline plus its cancellation handle: requestStop() on
+/// `stop` cascades through every stage's pipe (the last stage is linked
+/// under stop's token, and each upstream stage under its downstream
+/// consumer's token), so all producers unblock within one queue
+/// operation.
+struct CancellablePipeline {
+  GenPtr gen;
+  StopSource stop;
+};
+
 class Pipeline {
  public:
   explicit Pipeline(std::size_t pipeCapacity = Pipe::kDefaultCapacity,
@@ -42,10 +52,16 @@ class Pipeline {
   /// two-thread pipelines of the Fig. 6 benchmark when n = 2).
   [[nodiscard]] GenPtr buildLastInline(GenFactory source) const;
 
+  /// build() with an external cancellation handle attached to the whole
+  /// chain. Dropping the generator without draining it is also fine —
+  /// requestStop() tears the stages down without waiting for the queues
+  /// to drain.
+  [[nodiscard]] CancellablePipeline buildCancellable(GenFactory source) const;
+
   [[nodiscard]] std::size_t depth() const noexcept { return stages_.size(); }
 
  private:
-  [[nodiscard]] GenPtr chain(GenFactory source, bool lastInline) const;
+  [[nodiscard]] GenPtr chain(GenFactory source, bool lastInline, StopSource* stop) const;
 
   std::vector<ProcPtr> stages_;
   std::size_t capacity_;

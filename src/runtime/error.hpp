@@ -16,12 +16,18 @@ namespace congen {
 class IconError : public std::runtime_error {
  public:
   IconError(int number, const std::string& message)
-      : std::runtime_error(std::to_string(number) + ": " + message), number_(number) {}
+      : std::runtime_error(std::to_string(number) + ": " + message),
+        number_(number),
+        message_(message) {}
 
   [[nodiscard]] int number() const noexcept { return number_; }
+  /// The bare message, without the "NNN: " prefix of what(). This is
+  /// what &errorvalue reports after an error is converted to failure.
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
 
  private:
   int number_;
+  std::string message_;
 };
 
 /// 101: integer expected or out of range.
@@ -50,5 +56,14 @@ inline IconError errCoExprExpected(const std::string& what) {
 inline IconError errDivisionByZero() { return {201, "division by zero"}; }
 /// 205: invalid value.
 inline IconError errInvalidValue(const std::string& what) { return {205, "invalid value: " + what}; }
+/// 801: a concurrent stage died with a non-Icon exception; the original
+/// cause is preserved in the message so containment never loses it.
+inline IconError errStageFailed(const std::string& what) {
+  return {801, "pipeline stage failed: " + what};
+}
+/// 802: a data-parallel chunk kept failing after its retry budget.
+inline IconError errRetryExhausted(const std::string& what) {
+  return {802, "retry budget exhausted: " + what};
+}
 
 }  // namespace congen

@@ -11,11 +11,21 @@
 //   congen-run --trace ...              print iterator-protocol events
 //                                       (the paper's future-work
 //                                       monitoring, Section IX)
+//   congen-run --timeout <sec> ...      watchdog: if the run exceeds the
+//                                       budget, dump every live pipe's
+//                                       queue state to stderr and exit 3
+//                                       (a hung pipeline fails fast with
+//                                       diagnostics instead of eating a
+//                                       CI job limit)
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "concur/pipe.hpp"
 #include "frontend/lexer.hpp"
 #include "interp/interpreter.hpp"
 #include "kernel/trace.hpp"
@@ -76,15 +86,38 @@ int repl(congen::interp::Interpreter& interp) {
 
 int main(int argc, char** argv) {
   congen::interp::Interpreter interp;
-  // --trace as the first argument enables iterator-protocol monitoring.
-  if (argc >= 2 && std::string(argv[1]) == "--trace") {
-    congen::trace::install([](const congen::trace::Event& e) {
-      if (e.kind != congen::trace::EventKind::Resume) {
-        std::cerr << congen::trace::format(e) << "\n";
+  // Prefix options, in any order: --timeout <sec> arms the watchdog,
+  // --trace enables iterator-protocol monitoring.
+  for (;;) {
+    if (argc >= 3 && std::string(argv[1]) == "--timeout") {
+      const long seconds = std::strtol(argv[2], nullptr, 10);
+      if (seconds <= 0) {
+        std::cerr << "congen-run: --timeout needs a positive number of seconds\n";
+        return 2;
       }
-    });
-    --argc;
-    ++argv;
+      // Detached on purpose: the watchdog never fires on a healthy run,
+      // and a hung run is exactly when joining would be impossible.
+      std::thread([seconds] {
+        std::this_thread::sleep_for(std::chrono::seconds(seconds));
+        std::cerr << "congen-run: watchdog expired after " << seconds << "s\n";
+        congen::Pipe::dumpAll(std::cerr);
+        std::_Exit(3);
+      }).detach();
+      argc -= 2;
+      argv += 2;
+      continue;
+    }
+    if (argc >= 2 && std::string(argv[1]) == "--trace") {
+      congen::trace::install([](const congen::trace::Event& e) {
+        if (e.kind != congen::trace::EventKind::Resume) {
+          std::cerr << congen::trace::format(e) << "\n";
+        }
+      });
+      --argc;
+      ++argv;
+      continue;
+    }
+    break;
   }
   try {
     if (argc >= 3 && std::string(argv[1]) == "-e") {

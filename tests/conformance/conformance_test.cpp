@@ -19,8 +19,11 @@
 #include "runtime/collections.hpp"
 
 // Build-time emitted modules, one per example (see CMakeLists.txt).
+#include "conf_errors.hpp"
 #include "conf_mapreduce.hpp"
 #include "conf_nqueens.hpp"
+#include "conf_retry.hpp"
+#include "conf_timeout.hpp"
 #include "conf_wordcount.hpp"
 #include "conf_wordfreq.hpp"
 #include "confembed_logstats_embedded.hpp"
@@ -77,8 +80,11 @@ void expectScriptConformance(const std::string& name) {
   EXPECT_EQ(viaInterp, viaEmitted) << name << ": interpreter and emitted paths disagree";
 }
 
+TEST(ConformanceScripts, Errors) { expectScriptConformance<Conf_errors>("errors"); }
 TEST(ConformanceScripts, Mapreduce) { expectScriptConformance<Conf_mapreduce>("mapreduce"); }
 TEST(ConformanceScripts, Nqueens) { expectScriptConformance<Conf_nqueens>("nqueens"); }
+TEST(ConformanceScripts, Retry) { expectScriptConformance<Conf_retry>("retry"); }
+TEST(ConformanceScripts, Timeout) { expectScriptConformance<Conf_timeout>("timeout"); }
 TEST(ConformanceScripts, Wordcount) { expectScriptConformance<Conf_wordcount>("wordcount"); }
 TEST(ConformanceScripts, Wordfreq) { expectScriptConformance<Conf_wordfreq>("wordfreq"); }
 
@@ -92,7 +98,8 @@ TEST(ConformanceCorpus, CoversEveryShippedExample) {
   for (const auto& e : std::filesystem::directory_iterator(kRoot + "/examples/embedded")) {
     if (e.path().extension() == ".ccg") embedded.insert(e.path().stem().string());
   }
-  EXPECT_EQ(scripts, (std::set<std::string>{"mapreduce", "nqueens", "wordcount", "wordfreq"}))
+  EXPECT_EQ(scripts, (std::set<std::string>{"errors", "mapreduce", "nqueens", "retry", "timeout",
+                                            "wordcount", "wordfreq"}))
       << "new script: add it to tests/conformance";
   EXPECT_EQ(embedded, (std::set<std::string>{"logstats_embedded", "wordcount_embedded"}))
       << "new embedded example: add it to tests/conformance";

@@ -162,6 +162,18 @@ TEST(EmitGolden, KeywordVariables) {
                       emitDefs("def f(s) { return s ? (&pos := 2 & &subject); }"));
 }
 
+TEST(EmitGolden, ErrorKeywords) {
+  expectMatchesGolden("error_keywords", emitDefs(R"(
+    def safediv(a, b) {
+      local r;
+      &error := 1;
+      if r := a / b then { &error := 0; return r; };
+      write(&errornumber, ": ", &errorvalue);
+      errorclear();
+    }
+  )"));
+}
+
 TEST(EmitGolden, RecordsCaseAndReversibles) {
   expectMatchesGolden("records_case_reversibles", emitDefs(R"(
     record point(x, y)

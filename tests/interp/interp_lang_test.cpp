@@ -4,6 +4,7 @@
 
 #include "interp/interpreter.hpp"
 #include "runtime/collections.hpp"
+#include "runtime/error.hpp"
 
 namespace congen::interp {
 namespace {
@@ -231,6 +232,60 @@ TEST(InterleaveLang, ExplicitSteppingMergesStreams) {
   std::vector<std::int64_t> got;
   for (const auto& v : out->list()->elements()) got.push_back(v.smallInt());
   EXPECT_EQ(got, (std::vector<std::int64_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(ErrorLang, ErrorCreditConvertsErrorToFailure) {
+  Interpreter interp;
+  // Fresh thread-local state can carry over from other tests in this
+  // process; start clean.
+  interp.evalOne("errorclear()");
+  interp.evalOne("&error := 0");
+  EXPECT_THROW(interp.evalAll("1 / 0"), IconError) << "no credit: the error propagates";
+  interp.evalOne("&error := 1");
+  EXPECT_TRUE(interp.evalAll("1 / 0").empty()) << "credit converts the error to failure";
+  EXPECT_EQ(interp.evalOne("&error")->smallInt(), 0) << "conversion spends the credit";
+  EXPECT_THROW(interp.evalAll("1 / 0"), IconError) << "credit exhausted";
+}
+
+TEST(ErrorLang, ErrorNumberAndValueReportLastConversion) {
+  Interpreter interp;
+  interp.evalOne("errorclear()");
+  interp.evalOne("&error := 2");
+  EXPECT_TRUE(interp.evalAll("1 / 0").empty());
+  EXPECT_EQ(interp.evalOne("&errornumber")->smallInt(), 201);
+  EXPECT_EQ(interp.evalOne("&errorvalue")->toDisplayString(), "division by zero");
+  interp.evalOne("errorclear()");
+  EXPECT_TRUE(interp.evalAll("&errornumber").empty()) << "cleared: the keyword fails";
+  EXPECT_TRUE(interp.evalAll("&errorvalue").empty());
+  EXPECT_EQ(interp.evalOne("&error")->smallInt(), 1) << "errorclear leaves the credit";
+  interp.evalOne("&error := 0");
+}
+
+TEST(ErrorLang, ConvertedErrorFailsJustTheExpression) {
+  Interpreter interp;
+  interp.evalOne("errorclear()");
+  interp.evalOne("&error := 1");
+  // Goal-directed: the failing division makes that alternative fail;
+  // evaluation continues with the next one.
+  EXPECT_EQ(evalInts(interp, "(1 / 0) | 7"), (std::vector<std::int64_t>{7}));
+  interp.evalOne("&error := 0");
+}
+
+TEST(TimeoutLang, GenerousDeadlineYieldsTheValue) {
+  Interpreter interp;
+  interp.evalOne("c := |> (41 + 1)");
+  EXPECT_EQ(interp.evalOne("timeout(c, 10000)")->smallInt(), 42);
+}
+
+TEST(TimeoutLang, PlainCoExpressionIgnoresDeadline) {
+  Interpreter interp;
+  interp.evalOne("c := <> (1 to 2)");
+  EXPECT_EQ(interp.evalOne("timeout(c, 0)")->smallInt(), 1) << "base class never waits";
+}
+
+TEST(TimeoutLang, NonCoExpressionErrors) {
+  Interpreter interp;
+  EXPECT_THROW(interp.evalAll("timeout(3, 10)"), IconError);
 }
 
 }  // namespace
