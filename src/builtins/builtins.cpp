@@ -13,6 +13,7 @@
 #include "kernel/gen.hpp"
 #include "kernel/ops.hpp"
 #include "kernel/scan.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/collections.hpp"
 #include "runtime/error.hpp"
 
@@ -513,6 +514,35 @@ Table buildTable() {
   addNative(t, "errorclear", [](std::vector<Value>&) -> std::optional<Value> {
     ErrorEnv::clear();
     return Value::null();
+  });
+
+  // ---- monitoring ------------------------------------------------------
+  addNative(t, "metricson", [](std::vector<Value>&) -> std::optional<Value> {
+    obs::enableMetrics();
+    return Value::null();
+  });
+  addNative(t, "metricsoff", [](std::vector<Value>&) -> std::optional<Value> {
+    obs::disableMetrics();
+    return Value::null();
+  });
+  addNative(t, "metrics", [](std::vector<Value>&) -> std::optional<Value> {
+    // metrics(): a table of every registered metric. Counters and gauges
+    // map name -> integer; histograms contribute name.count / name.sum.
+    const auto snap = obs::Registry::global().snapshot();
+    auto table = TableImpl::create(Value::null());
+    for (const auto& [name, v] : snap.counters) {
+      table->insert(Value::string(name), Value::integer(static_cast<std::int64_t>(v)));
+    }
+    for (const auto& [name, v] : snap.gauges) {
+      table->insert(Value::string(name), Value::integer(v));
+    }
+    for (const auto& h : snap.histograms) {
+      table->insert(Value::string(h.name + ".count"),
+                    Value::integer(static_cast<std::int64_t>(h.count)));
+      table->insert(Value::string(h.name + ".sum"),
+                    Value::integer(static_cast<std::int64_t>(h.sum)));
+    }
+    return Value::table(std::move(table));
   });
 
   return t;

@@ -23,6 +23,7 @@
 
 #include "concur/cancel.hpp"
 #include "concur/fault_injection.hpp"
+#include "obs/runtime_stats.hpp"
 
 namespace congen {
 
@@ -48,13 +49,33 @@ class BlockingQueue {
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
+  /// Conservation accounting: elements still buffered when the queue
+  /// dies were produced but never consumed — they count as dropped, and
+  /// leave the aggregate depth gauge (see obs/runtime_stats.hpp). The
+  /// destructor runs strictly after the last operation, so the unlocked
+  /// read of q_ is safe.
+  ~BlockingQueue() {
+    if (obs::metricsEnabled() && !q_.empty()) [[unlikely]] {
+      auto& s = obs::QueueStats::get();
+      s.droppedOnClose.add(q_.size());
+      s.depth.sub(static_cast<std::int64_t>(q_.size()));
+    }
+  }
+
   /// Blocking put; returns false if the queue is (or becomes) closed.
   bool put(T v) {
     CONGEN_FAULT_POINT(QueuePut);
     std::unique_lock lock(m_);
-    notFull_.wait(lock, [&] { return closed_ || q_.size() < capacity_; });
+    const bool metrics = obs::metricsEnabled();
+    const auto ready = [&] { return closed_ || q_.size() < capacity_; };
+    if (metrics && !ready()) [[unlikely]] {
+      timedWait(lock, notFull_, obs::QueueStats::get().blockedPutMicros, ready);
+    } else {
+      notFull_.wait(lock, ready);
+    }
     if (closed_) return false;
     q_.push_back(std::move(v));
+    if (metrics) [[unlikely]] countScalarPut();
     notEmpty_.notify_one();
     return true;
   }
@@ -63,10 +84,12 @@ class BlockingQueue {
   std::optional<T> take() {
     CONGEN_FAULT_POINT(QueueTake);
     std::unique_lock lock(m_);
-    waitForElement(lock);
+    const bool metrics = obs::metricsEnabled();
+    waitForElement(lock, metrics);
     if (q_.empty()) return std::nullopt;  // closed and drained
     T v = std::move(q_.front());
     q_.pop_front();
+    if (metrics) [[unlikely]] countScalarTake();
     notFull_.notify_one();
     return v;
   }
@@ -85,8 +108,14 @@ class BlockingQueue {
     std::size_t accepted = 0;
     {
       std::unique_lock lock(m_);
+      const bool metrics = obs::metricsEnabled();
+      const auto ready = [&] { return closed_ || q_.size() < capacity_; };
       while (accepted < batch.size()) {
-        notFull_.wait(lock, [&] { return closed_ || q_.size() < capacity_; });
+        if (metrics && !ready()) [[unlikely]] {
+          timedWait(lock, notFull_, obs::QueueStats::get().blockedPutMicros, ready);
+        } else {
+          notFull_.wait(lock, ready);
+        }
         if (closed_) break;
         std::size_t moved = 0;
         while (accepted < batch.size() && q_.size() < capacity_) {
@@ -94,6 +123,7 @@ class BlockingQueue {
           ++accepted;
           ++moved;
         }
+        if (metrics && moved > 0) [[unlikely]] countBulkPut(moved);
         if (moved > 1) {
           notEmpty_.notify_all();
         } else if (moved == 1) {
@@ -115,13 +145,15 @@ class BlockingQueue {
     std::vector<T> out;
     if (max == 0) return out;
     std::unique_lock lock(m_);
-    waitForElement(lock);
+    const bool metrics = obs::metricsEnabled();
+    waitForElement(lock, metrics);
     const std::size_t n = std::min(max, q_.size());
     out.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       out.push_back(std::move(q_.front()));
       q_.pop_front();
     }
+    if (metrics && n > 0) [[unlikely]] countBulkTake(n);
     if (n > 1) {
       notFull_.notify_all();
     } else if (n == 1) {
@@ -145,15 +177,18 @@ class BlockingQueue {
     CONGEN_FAULT_POINT(QueueTimedWait);
     std::optional<CancelCallback> wake;  // declared before the lock: unregisters after release
     std::unique_lock lock(m_);
+    const bool metrics = obs::metricsEnabled();
     for (;;) {
       if (token.cancelled()) return QueueOpStatus::kCancelled;
       if (closed_) return QueueOpStatus::kClosed;
       if (q_.size() < capacity_) {
         q_.push_back(std::move(v));
+        if (metrics) [[unlikely]] countScalarPut();
         notEmpty_.notify_one();
         return QueueOpStatus::kOk;
       }
       if (!waitCycle(lock, notFull_, token, deadline, wake, /*consumer=*/false,
+                     metrics ? &obs::QueueStats::get().blockedPutMicros : nullptr,
                      [&] { return q_.size() < capacity_; })) {
         return QueueOpStatus::kTimedOut;
       }
@@ -174,6 +209,7 @@ class BlockingQueue {
     {
       std::optional<CancelCallback> wake;
       std::unique_lock lock(m_);
+      const bool metrics = obs::metricsEnabled();
       while (accepted < batch.size()) {
         if (token.cancelled()) {
           status = QueueOpStatus::kCancelled;
@@ -190,6 +226,7 @@ class BlockingQueue {
             ++accepted;
             ++moved;
           }
+          if (metrics && moved > 0) [[unlikely]] countBulkPut(moved);
           if (moved > 1) {
             notEmpty_.notify_all();
           } else if (moved == 1) {
@@ -198,6 +235,7 @@ class BlockingQueue {
           continue;
         }
         if (!waitCycle(lock, notFull_, token, deadline, wake, /*consumer=*/false,
+                       metrics ? &obs::QueueStats::get().blockedPutMicros : nullptr,
                        [&] { return q_.size() < capacity_; })) {
           status = QueueOpStatus::kTimedOut;
           break;
@@ -219,16 +257,19 @@ class BlockingQueue {
     out.reset();
     std::optional<CancelCallback> wake;
     std::unique_lock lock(m_);
+    const bool metrics = obs::metricsEnabled();
     for (;;) {
       if (token.cancelled()) return QueueOpStatus::kCancelled;
       if (!q_.empty()) {
         out = std::move(q_.front());
         q_.pop_front();
+        if (metrics) [[unlikely]] countScalarTake();
         notFull_.notify_one();
         return QueueOpStatus::kOk;
       }
       if (closed_) return QueueOpStatus::kClosed;
       if (!waitCycle(lock, notEmpty_, token, deadline, wake, /*consumer=*/true,
+                     metrics ? &obs::QueueStats::get().blockedTakeMicros : nullptr,
                      [&] { return !q_.empty(); })) {
         return QueueOpStatus::kTimedOut;
       }
@@ -246,6 +287,7 @@ class BlockingQueue {
     if (max == 0) return QueueOpStatus::kOk;
     std::optional<CancelCallback> wake;
     std::unique_lock lock(m_);
+    const bool metrics = obs::metricsEnabled();
     for (;;) {
       if (token.cancelled()) return QueueOpStatus::kCancelled;
       if (!q_.empty()) {
@@ -255,6 +297,7 @@ class BlockingQueue {
           out.push_back(std::move(q_.front()));
           q_.pop_front();
         }
+        if (metrics) [[unlikely]] countBulkTake(n);
         if (n > 1) {
           notFull_.notify_all();
         } else {
@@ -264,6 +307,7 @@ class BlockingQueue {
       }
       if (closed_) return QueueOpStatus::kClosed;
       if (!waitCycle(lock, notEmpty_, token, deadline, wake, /*consumer=*/true,
+                     metrics ? &obs::QueueStats::get().blockedTakeMicros : nullptr,
                      [&] { return !q_.empty(); })) {
         return QueueOpStatus::kTimedOut;
       }
@@ -276,6 +320,7 @@ class BlockingQueue {
     std::lock_guard lock(m_);
     if (closed_ || q_.size() >= capacity_) return false;
     q_.push_back(std::move(v));
+    if (obs::metricsEnabled()) [[unlikely]] countScalarPut();
     notEmpty_.notify_one();
     return true;
   }
@@ -287,6 +332,7 @@ class BlockingQueue {
     if (q_.empty()) return std::nullopt;
     T v = std::move(q_.front());
     q_.pop_front();
+    if (obs::metricsEnabled()) [[unlikely]] countScalarTake();
     notFull_.notify_one();
     return v;
   }
@@ -336,7 +382,8 @@ class BlockingQueue {
   template <class Ready>
   bool waitCycle(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
                  const CancelToken& token, const QueueDeadline& deadline,
-                 std::optional<CancelCallback>& wake, bool consumer, Ready ready) {
+                 std::optional<CancelCallback>& wake, bool consumer, obs::Histogram* blocked,
+                 Ready ready) {
     if (token.canBeCancelled() && !wake) {
       wake.emplace(token, [this] {
         std::lock_guard relock(m_);
@@ -347,23 +394,70 @@ class BlockingQueue {
     }
     auto pred = [&] { return closed_ || token.cancelled() || ready(); };
     if (consumer) waitingConsumers_.fetch_add(1, std::memory_order_relaxed);
+    const auto t0 = blocked ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
     bool expired = false;
     if (deadline) {
       expired = !cv.wait_until(lock, *deadline, pred);
     } else {
       cv.wait(lock, pred);
     }
+    if (blocked) blocked->record(microsSince(t0));
     if (consumer) waitingConsumers_.fetch_sub(1, std::memory_order_relaxed);
     return !expired;
   }
 
   // Wait until an element is available or the queue is closed, keeping
   // the waiting-consumer count accurate across the blocking region.
-  void waitForElement(std::unique_lock<std::mutex>& lock) {
+  void waitForElement(std::unique_lock<std::mutex>& lock, bool metrics) {
     if (closed_ || !q_.empty()) return;
     waitingConsumers_.fetch_add(1, std::memory_order_relaxed);
-    notEmpty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    const auto ready = [&] { return closed_ || !q_.empty(); };
+    if (metrics) [[unlikely]] {
+      timedWait(lock, notEmpty_, obs::QueueStats::get().blockedTakeMicros, ready);
+    } else {
+      notEmpty_.wait(lock, ready);
+    }
     waitingConsumers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // ---- metrics plumbing (enabled path only; see obs/runtime_stats.hpp) --
+
+  static std::uint64_t microsSince(std::chrono::steady_clock::time_point t0) {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                          std::chrono::steady_clock::now() - t0)
+                                          .count());
+  }
+
+  template <class Ready>
+  static void timedWait(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                        obs::Histogram& blocked, Ready ready) {
+    const auto t0 = std::chrono::steady_clock::now();
+    cv.wait(lock, ready);
+    blocked.record(microsSince(t0));
+  }
+
+  static void countScalarPut() {
+    auto& s = obs::QueueStats::get();
+    s.putElements.add(1);
+    s.depth.add(1);
+  }
+  static void countScalarTake() {
+    auto& s = obs::QueueStats::get();
+    s.takeElements.add(1);
+    s.depth.sub(1);
+  }
+  static void countBulkPut(std::size_t moved) {
+    auto& s = obs::QueueStats::get();
+    s.putBatches.add(1);
+    s.putBatchElements.add(moved);
+    s.putBatchSize.record(moved);
+    s.depth.add(static_cast<std::int64_t>(moved));
+  }
+  static void countBulkTake(std::size_t n) {
+    auto& s = obs::QueueStats::get();
+    s.takeBatches.add(1);
+    s.takeBatchElements.add(n);
+    s.depth.sub(static_cast<std::int64_t>(n));
   }
 
   mutable std::mutex m_;

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <set>
 
+#include "obs/runtime_stats.hpp"
+#include "obs/trace_sink.hpp"
 #include "runtime/error.hpp"
 
 namespace congen {
@@ -96,7 +98,16 @@ void runBatchedProducer(const std::shared_ptr<BlockingQueue<Value>>& queue, Gen&
     if (queue->putAllFor(buffer, accepted, token) != QueueOpStatus::kOk) {
       break;  // consumer abandoned or cancelled us
     }
+    if (obs::metricsEnabled()) [[unlikely]] {
+      obs::PipeStats::get().batchesFlushed.add(1);
+    }
     batch = starved ? std::max<std::size_t>(1, batch / 2) : std::min(cap, batch * 2);
+  }
+}
+
+void countErrorStored() {
+  if (obs::metricsEnabled()) [[unlikely]] {
+    obs::PipeStats::get().errorsStored.add(1);
   }
 }
 
@@ -129,6 +140,7 @@ Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool, std::size
     // Make this pipe's token ambient for the body: co-expressions and
     // pipes the body creates while running pick it up via the scope.
     CancelScope scope(token);
+    obs::TraceSpan span("pipe.producer", "pipe");
     try {
       if (cap <= 1) {
         while (!token.cancelled()) {
@@ -150,6 +162,7 @@ Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool, std::size
         std::lock_guard lock(state->errorMutex);
         state->error = std::current_exception();
       }
+      countErrorStored();
       state->source.requestStop();
     } catch (const testing::InjectedFault&) {
       // Injected test faults cross the pipe unwrapped so the stress
@@ -158,18 +171,21 @@ Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool, std::size
         std::lock_guard lock(state->errorMutex);
         state->error = std::current_exception();
       }
+      countErrorStored();
       state->source.requestStop();
     } catch (const std::exception& e) {
       {
         std::lock_guard lock(state->errorMutex);
         state->error = std::make_exception_ptr(errStageFailed(e.what()));
       }
+      countErrorStored();
       state->source.requestStop();
     } catch (...) {
       {
         std::lock_guard lock(state->errorMutex);
         state->error = std::make_exception_ptr(errStageFailed("unknown exception"));
       }
+      countErrorStored();
       state->source.requestStop();
     }
     state->queue->close();  // end-of-stream
@@ -177,11 +193,19 @@ Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool, std::size
   // Register only after submit succeeded: a throwing ctor must not leave
   // a dangling registry entry.
   registerPipe(this);
+  if (obs::metricsEnabled()) [[unlikely]] {
+    auto& s = obs::PipeStats::get();
+    s.created.add(1);
+    s.live.add(1);
+  }
 }
 
 Pipe::~Pipe() {
   unregisterPipe(this);
   state_->queue->close();
+  if (obs::metricsEnabled()) [[unlikely]] {
+    obs::PipeStats::get().live.sub(1);
+  }
 }
 
 std::optional<Value> Pipe::activate() { return step(QueueDeadline{}); }
@@ -196,6 +220,7 @@ std::optional<Value> Pipe::step(QueueDeadline deadline) {
   // so an activation after a consumed producer error cannot block or
   // re-observe stale state.
   if (finished_.load(std::memory_order_relaxed)) return std::nullopt;
+  const bool metrics = obs::metricsEnabled();
   const CancelToken token = state_->source.token();
   if (batchCap_ > 1) {
     if (drainedPos_ >= drained_.size()) {
@@ -212,6 +237,7 @@ std::optional<Value> Pipe::step(QueueDeadline deadline) {
     }
     if (drainedPos_ < drained_.size()) {
       produced_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics) [[unlikely]] obs::PipeStats::get().activations.add(1);
       return std::move(drained_[drainedPos_++]);
     }
   } else {
@@ -223,6 +249,7 @@ std::optional<Value> Pipe::step(QueueDeadline deadline) {
     }
     if (v) {
       produced_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics) [[unlikely]] obs::PipeStats::get().activations.add(1);
       return v;
     }
   }
@@ -247,9 +274,25 @@ bool Pipe::producerErrorPending() const {
 CoExprPtr Pipe::refreshed() const { return Pipe::create(factory(), capacity_, *pool_, batchCap_); }
 
 void Pipe::dumpAll(std::ostream& os) {
+  // Take the registry snapshot BEFORE the per-pipe walk: snapshot() only
+  // reads relaxed atomics (never the pipe registry lock), so the two
+  // sections cannot deadlock against a pipe being constructed, and the
+  // aggregate header is at most a few in-flight operations away from the
+  // per-pipe lines below it.
+  const auto snap = obs::Registry::global().snapshot();
   auto& r = registry();
   std::lock_guard lock(r.m);
   os << "=== live pipes: " << r.pipes->size() << " ===\n";
+  if (obs::metricsEnabled()) {
+    os << "  aggregate: created=" << snap.counterValue("pipe.created")
+       << " live=" << snap.gaugeValue("pipe.live")
+       << " activations=" << snap.counterValue("pipe.activations")
+       << " batchesFlushed=" << snap.counterValue("pipe.batches_flushed")
+       << " cancellations=" << snap.counterValue("pipe.cancellations")
+       << " errorsStored=" << snap.counterValue("pipe.errors_stored")
+       << " queueDepth=" << snap.gaugeValue("queue.depth")
+       << " poolThreadsLive=" << snap.gaugeValue("pool.threads_live") << "\n";
+  }
   for (const Pipe* p : *r.pipes) {
     const auto& q = *p->state_->queue;
     bool hasError = false;

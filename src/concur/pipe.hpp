@@ -83,7 +83,12 @@ class Pipe final : public CoExpression {
   /// Request cancellation: wakes the producer out of its current queue
   /// operation (and, through linked sources, every upstream producer);
   /// the consumer side observes end-of-stream. Idempotent.
-  void cancel() { state_->source.requestStop(); }
+  void cancel() {
+    if (obs::metricsEnabled()) [[unlikely]] {
+      obs::PipeStats::get().cancellations.add(1);
+    }
+    state_->source.requestStop();
+  }
 
   [[nodiscard]] bool cancelRequested() const noexcept { return state_->source.stopRequested(); }
 

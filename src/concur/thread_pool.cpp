@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "concur/fault_injection.hpp"
+#include "obs/runtime_stats.hpp"
 
 namespace congen {
 
@@ -18,6 +19,7 @@ ThreadPool& ThreadPool::global() {
 
 void ThreadPool::submit(Task task) {
   CONGEN_FAULT_POINT(PoolSubmit);
+  const bool metrics = obs::metricsEnabled();
   std::unique_lock lock(m_);
   if (shutdown_) throw std::runtime_error("ThreadPool: submit after shutdown");
   // Grow whenever the idle workers cannot cover the whole pending queue,
@@ -32,10 +34,13 @@ void ThreadPool::submit(Task task) {
   if (needWorker && workers_.size() >= maxThreads_) {
     throw std::runtime_error("ThreadPool: thread cap reached");
   }
-  tasks_.push_back(std::move(task));
+  Entry entry{std::move(task), {}};
+  if (metrics) entry.enqueued = std::chrono::steady_clock::now();
+  tasks_.push_back(std::move(entry));
   if (needWorker) {
     workers_.emplace_back([this] { workerLoop(); });
     ++created_;
+    if (metrics) obs::PoolStats::get().threadsCreated.add(1);
   }
   lock.unlock();
   cv_.notify_one();
@@ -65,24 +70,39 @@ void ThreadPool::shutdown() {
 }
 
 void ThreadPool::workerLoop() {
+  // The live gauge is updated unconditionally (worker birth/death is far
+  // off any hot path) so toggling metrics mid-run can't unbalance it.
+  obs::PoolStats::get().threadsLive.add(1);
   std::unique_lock lock(m_);
   while (true) {
     ++idle_;
     cv_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
     --idle_;
-    if (shutdown_ && tasks_.empty()) return;
-    Task task = std::move(tasks_.front());
+    if (shutdown_ && tasks_.empty()) break;
+    Entry entry = std::move(tasks_.front());
     tasks_.pop_front();
     lock.unlock();
+    const bool metrics = obs::metricsEnabled();
+    if (metrics) [[unlikely]] {
+      auto& s = obs::PoolStats::get();
+      if (entry.enqueued != std::chrono::steady_clock::time_point{}) {
+        const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - entry.enqueued);
+        s.queueLatencyMicros.record(static_cast<std::uint64_t>(waited.count()));
+      }
+      s.tasksRun.add(1);
+    }
     CONGEN_FAULT_POINT(PoolTaskRun);  // delay-only site: shuffles scheduling
-    task();  // exceptions from pipe bodies are caught in the pipe itself
+    entry.fn();  // exceptions from pipe bodies are caught in the pipe itself
     // Destroy the task before re-locking: a captured pipe body's
     // destructor closes queues and releases upstream pipes, and must not
     // run under the pool mutex.
-    task = nullptr;
+    entry.fn = nullptr;
     lock.lock();
     ++completed_;
   }
+  lock.unlock();
+  obs::PoolStats::get().threadsLive.sub(1);
 }
 
 std::size_t ThreadPool::threadsCreated() const {

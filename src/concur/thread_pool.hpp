@@ -9,6 +9,7 @@
 // is idle, and parks idle workers for reuse.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -60,11 +61,19 @@ class ThreadPool {
   [[nodiscard]] std::size_t idleThreads() const;
 
  private:
+  /// A queued task plus its enqueue timestamp. The stamp is taken only
+  /// while metrics are enabled (default time_point otherwise), feeding
+  /// the pool.queue_latency_micros histogram at dequeue.
+  struct Entry {
+    Task fn;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   void workerLoop();
 
   mutable std::mutex m_;
   std::condition_variable cv_;
-  std::deque<Task> tasks_;
+  std::deque<Entry> tasks_;
   std::vector<std::thread> workers_;
   std::size_t maxThreads_;
   std::size_t created_ = 0;

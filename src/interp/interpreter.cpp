@@ -15,6 +15,7 @@
 #include "kernel/error_env.hpp"
 #include "kernel/ops.hpp"
 #include "kernel/scan.hpp"
+#include "obs/runtime_stats.hpp"
 #include "runtime/atom.hpp"
 #include "runtime/collections.hpp"
 #include "runtime/error.hpp"
@@ -478,6 +479,7 @@ void Interpreter::load(const std::string& source) {
 }
 
 void Interpreter::loadProgram(const ast::NodePtr& program) {
+  if (obs::metricsEnabled()) [[unlikely]] obs::KernelStats::get().interpLoads.add(1);
   ast::NodePtr prog = options_.normalize ? transform::normalizeProgram(program) : program;
   Compiler compiler(*this, globals_);
   for (const auto& item : prog->kids) {
@@ -493,6 +495,7 @@ void Interpreter::loadProgram(const ast::NodePtr& program) {
 }
 
 GenPtr Interpreter::eval(const std::string& source) {
+  if (obs::metricsEnabled()) [[unlikely]] obs::KernelStats::get().interpEvals.add(1);
   ast::NodePtr tree = frontend::parseExpression(source);
   if (options_.normalize) {
     transform::TempNames names;

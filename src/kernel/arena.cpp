@@ -1,0 +1,82 @@
+// arena.cpp — aggregation side of the arena's branch-free tallies.
+//
+// Each ThreadCache registers its Tally here on construction and retires
+// it on thread exit (totals folded into the retired sums). stats() sums
+// retired + live; a Registry collector (registered from a dynamic
+// initializer in this TU, which is always linked because allocate() is)
+// bridges the totals into the kernel.arena.* counters at snapshot time.
+#include "kernel/arena.hpp"
+
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "obs/runtime_stats.hpp"
+
+namespace congen::arena {
+
+namespace {
+
+struct TallyRegistry {
+  std::mutex m;
+  std::vector<detail::Tally*> live;
+  Stats retired;
+};
+
+// Leaked: threads may retire during static destruction.
+TallyRegistry& tallies() {
+  static TallyRegistry* r = new TallyRegistry;
+  return *r;
+}
+
+}  // namespace
+
+namespace detail {
+
+void registerTally(Tally* t) {
+  auto& r = tallies();
+  std::lock_guard lock(r.m);
+  r.live.push_back(t);
+}
+
+void retireTally(Tally* t) noexcept {
+  auto& r = tallies();
+  std::lock_guard lock(r.m);
+  r.retired.hits += t->hits.load(std::memory_order_relaxed);
+  r.retired.misses += t->misses.load(std::memory_order_relaxed);
+  r.retired.returns += t->returns.load(std::memory_order_relaxed);
+  std::erase(r.live, t);
+}
+
+}  // namespace detail
+
+Stats stats() noexcept {
+  auto& r = tallies();
+  std::lock_guard lock(r.m);
+  Stats s = r.retired;
+  for (const detail::Tally* t : r.live) {
+    s.hits += t->hits.load(std::memory_order_relaxed);
+    s.misses += t->misses.load(std::memory_order_relaxed);
+    s.returns += t->returns.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+namespace {
+
+// Snapshot-time bridge into the metrics registry: counters are
+// monotonic, so the collector adds only the delta since its last run.
+[[maybe_unused]] const bool kCollectorRegistered = [] {
+  obs::Registry::global().addCollector([last = Stats{}]() mutable {
+    const Stats now = stats();
+    auto& k = obs::KernelStats::get();
+    k.arenaHits.add(now.hits - last.hits);
+    k.arenaMisses.add(now.misses - last.misses);
+    k.arenaReturns.add(now.returns - last.returns);
+    last = now;
+  });
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace congen::arena

@@ -9,11 +9,22 @@
 // a different thread than it was allocated on simply migrates bins — no
 // locks, no cross-thread sharing of list structure.
 //
+// Observability: allocate()/deallocate() inline into generator hot loops,
+// where even a metrics-flag branch measurably degrades the callers'
+// register allocation (~25% on kernel/range_bare). So the arena keeps
+// BRANCH-FREE per-thread tallies — one relaxed store to this thread's own
+// cache line per operation, below the registry's one-relaxed-load
+// disabled-cost ceiling — and a snapshot-time collector (arena.cpp)
+// folds them into the kernel.arena.* registry counters.
+//
 // Under ASan/TSan/MSan the arena passes through to operator new/delete so
-// reuse cannot mask use-after-free or data-race reports.
+// reuse cannot mask use-after-free or data-race reports (tallies then
+// stay zero).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <new>
 #include <utility>
@@ -34,7 +45,49 @@ inline constexpr std::size_t kGranularity = 16;   // size-class step, bytes
 inline constexpr std::size_t kMaxBytes = 512;     // larger blocks go to new/delete
 inline constexpr std::size_t kMaxPerClass = 128;  // bin cap: bounds idle memory
 
+/// Aggregate arena activity (live threads + retired threads), pulled by
+/// the obs collector at snapshot time.
+struct Stats {
+  std::uint64_t hits = 0;     ///< allocations served from a thread bin
+  std::uint64_t misses = 0;   ///< allocations that fell through to operator new
+  std::uint64_t returns = 0;  ///< deallocations parked back into a bin
+};
+
+/// Sum the per-thread tallies (relaxed reads; each counter is exact after
+/// the writing thread quiesces).
+Stats stats() noexcept;
+
 namespace detail {
+
+/// Per-thread counters. Single writer (the owning thread) via relaxed
+/// load+store — compiles to a plain add on the thread's own cache line,
+/// no flag check, no RMW; the collector reads them relaxed cross-thread.
+struct Tally {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> returns{0};
+};
+
+inline void bump(std::atomic<std::uint64_t>& c) noexcept {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+void registerTally(Tally* t);  // arena.cpp: global live-tally list
+void retireTally(Tally* t) noexcept;  // flushes totals, then unlinks
+
+/// Lives in its own thread_local (not inside ThreadCache): the bench
+/// gates showed the allocator's callers are sensitive to ThreadCache's
+/// exact layout, so the observability state stays out of it.
+struct TallyHolder {
+  Tally t;
+  TallyHolder() { registerTally(&t); }
+  ~TallyHolder() { retireTally(&t); }
+};
+
+inline Tally& tally() {
+  thread_local TallyHolder h;
+  return h.t;
+}
 
 struct ThreadCache {
   std::vector<void*> bins[kMaxBytes / kGranularity];
@@ -70,8 +123,10 @@ inline void* allocate(std::size_t bytes) {
     if (!bin.empty()) {
       void* p = bin.back();
       bin.pop_back();
+      detail::bump(detail::tally().hits);
       return p;
     }
+    detail::bump(detail::tally().misses);
   }
   return ::operator new(cls * kGranularity);  // sized for the class, reusable
 #endif
@@ -92,6 +147,7 @@ inline void deallocate(void* p, [[maybe_unused]] std::size_t bytes) noexcept {
     if (bin.size() < kMaxPerClass) {
       try {
         bin.push_back(p);
+        detail::bump(detail::tally().returns);
         return;
       } catch (...) {
         // fall through: return the block to the system instead
@@ -122,8 +178,18 @@ struct Allocator {
 };
 
 /// make_shared through the arena.
+///
+/// Kept out-of-line on purpose: letting allocate_shared (bin pop, TLS
+/// cache, control-block setup, tallies) inline into generator-creating
+/// callers bloats them enough that GCC spills their loop registers —
+/// kernel/range_bare pays ~25% for it. One call per node creation is
+/// noise next to the allocation itself.
 template <class T, class... Args>
-std::shared_ptr<T> make(Args&&... args) {
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+std::shared_ptr<T>
+make(Args&&... args) {
   return std::allocate_shared<T>(Allocator<T>{}, std::forward<Args>(args)...);
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "kernel/gen.hpp"
+#include "obs/runtime_stats.hpp"
 
 namespace congen {
 
@@ -181,6 +182,7 @@ class NextGen final : public Gen {
 class BodyPool {
  public:
   [[nodiscard]] GenPtr take() {
+    const bool metrics = obs::metricsEnabled();
     std::lock_guard lock(mu_);
     // A body parks itself the moment it terminates — while its caller may
     // still hold a reference for goal-directed resumption (e.g. a nested
@@ -193,15 +195,22 @@ class BodyPool {
       if (it->use_count() == 1) {
         GenPtr body = std::move(*it);
         free_.erase(std::next(it).base());
+        if (metrics) [[unlikely]] obs::KernelStats::get().framesPooled.add(1);
         return body;
       }
     }
+    // A take() miss means the caller builds a fresh body (frame) tree.
+    if (metrics) [[unlikely]] obs::KernelStats::get().framesAllocated.add(1);
     return nullptr;
   }
 
   void put(GenPtr body) {
+    const bool metrics = obs::metricsEnabled();
     std::lock_guard lock(mu_);
-    if (free_.size() < kMaxParked) free_.push_back(std::move(body));
+    if (free_.size() < kMaxParked) {
+      free_.push_back(std::move(body));
+      if (metrics) [[unlikely]] obs::KernelStats::get().framesParked.add(1);
+    }
   }
 
   [[nodiscard]] std::size_t size() const {

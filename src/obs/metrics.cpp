@@ -1,0 +1,205 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace congen::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metricsEnabled{false};
+
+std::size_t assignStripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+}
+
+}  // namespace detail
+
+void enableMetrics() noexcept { detail::g_metricsEnabled.store(true, std::memory_order_relaxed); }
+void disableMetrics() noexcept { detail::g_metricsEnabled.store(false, std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> latencyBoundsMicros() {
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 1; b <= (1ull << 23); b <<= 1) bounds.push_back(b);  // 1µs .. ~8.4s
+  return bounds;
+}
+
+std::vector<std::uint64_t> sizeBounds() {
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 1; b <= 1024; b <<= 1) bounds.push_back(b);
+  return bounds;
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry;  // leaked: see header
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(m_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(m_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<std::uint64_t> bounds) {
+  std::lock_guard lock(m_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void Registry::addCollector(std::function<void()> fn) {
+  std::lock_guard lock(collectorsM_);
+  collectors_.push_back(std::move(fn));
+}
+
+Snapshot Registry::snapshot() const {
+  {
+    // Collectors may register instruments, so they run before m_ is
+    // taken (counter() et al. lock m_ themselves).
+    std::lock_guard lock(collectorsM_);
+    for (const auto& fn : collectors_) fn();
+  }
+  Snapshot s;
+  std::lock_guard lock(m_);
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    hs.counts = h->bucketCounts();
+    // Derive the totals from the same per-bucket read: count must equal
+    // the sum of buckets even if records land mid-snapshot.
+    hs.count = 0;
+    for (const auto c : hs.counts) hs.count += c;
+    hs.sum = h->sum();
+    s.histograms.push_back(std::move(hs));
+  }
+  return s;
+}
+
+std::uint64_t Snapshot::counterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::int64_t Snapshot::gaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSample* Snapshot::histogram(const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void writeJsonString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Snapshot::writeJson(std::ostream& os) const {
+  os << "{\n  \"schema\": \"congen-metrics\",\n  \"version\": 1,\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    os << (first ? "\n    " : ",\n    ");
+    writeJsonString(os, name);
+    os << ": " << v;
+    first = false;
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    os << (first ? "\n    " : ",\n    ");
+    writeJsonString(os, name);
+    os << ": " << v;
+    first = false;
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    writeJsonString(os, h.name);
+    os << ": {\"count\": " << h.count << ", \"sum\": " << h.sum << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << "{\"le\": ";
+      if (i < h.bounds.size()) {
+        os << h.bounds[i];
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"count\": " << h.counts[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+void Snapshot::writeText(std::ostream& os) const {
+  os << "=== congen metrics ===\n";
+  for (const auto& [name, v] : counters) os << "  " << name << " = " << v << "\n";
+  for (const auto& [name, v] : gauges) os << "  " << name << " = " << v << " (gauge)\n";
+  for (const auto& h : histograms) {
+    os << "  " << h.name << ": count=" << h.count << " sum=" << h.sum;
+    if (h.count > 0) {
+      os << " buckets[";
+      bool any = false;
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        if (h.counts[i] == 0) continue;
+        if (any) os << " ";
+        if (i < h.bounds.size()) {
+          os << "<=" << h.bounds[i];
+        } else {
+          os << ">" << h.bounds.back();
+        }
+        os << ":" << h.counts[i];
+        any = true;
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace congen::obs

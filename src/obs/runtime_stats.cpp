@@ -1,0 +1,73 @@
+#include "obs/runtime_stats.hpp"
+
+namespace congen::obs {
+
+QueueStats& QueueStats::get() {
+  auto& r = Registry::global();
+  static QueueStats* s = new QueueStats{
+      r.counter("queue.put.elements"),
+      r.counter("queue.put.batches"),
+      r.counter("queue.put.batch_elements"),
+      r.counter("queue.take.elements"),
+      r.counter("queue.take.batches"),
+      r.counter("queue.take.batch_elements"),
+      r.counter("queue.dropped_on_close"),
+      r.gauge("queue.depth"),
+      r.histogram("queue.put.batch_size", sizeBounds()),
+      r.histogram("queue.blocked.put_micros", latencyBoundsMicros()),
+      r.histogram("queue.blocked.take_micros", latencyBoundsMicros()),
+  };
+  return *s;
+}
+
+PipeStats& PipeStats::get() {
+  auto& r = Registry::global();
+  static PipeStats* s = new PipeStats{
+      r.counter("pipe.created"),
+      r.gauge("pipe.live"),
+      r.counter("pipe.activations"),
+      r.counter("pipe.batches_flushed"),
+      r.counter("pipe.cancellations"),
+      r.counter("pipe.errors_stored"),
+  };
+  return *s;
+}
+
+PoolStats& PoolStats::get() {
+  auto& r = Registry::global();
+  static PoolStats* s = new PoolStats{
+      r.counter("pool.tasks_run"),
+      r.counter("pool.threads_created"),
+      r.gauge("pool.threads_live"),
+      r.histogram("pool.queue_latency_micros", latencyBoundsMicros()),
+  };
+  return *s;
+}
+
+ParStats& ParStats::get() {
+  auto& r = Registry::global();
+  static ParStats* s = new ParStats{
+      r.counter("par.chunks"),
+      r.counter("par.retries"),
+      r.counter("par.replay_skips"),
+      r.counter("par.stages"),
+  };
+  return *s;
+}
+
+KernelStats& KernelStats::get() {
+  auto& r = Registry::global();
+  static KernelStats* s = new KernelStats{
+      r.counter("kernel.frames.pooled"),
+      r.counter("kernel.frames.allocated"),
+      r.counter("kernel.frames.parked"),
+      r.counter("kernel.arena.hits"),
+      r.counter("kernel.arena.misses"),
+      r.counter("kernel.arena.returns"),
+      r.counter("interp.evals"),
+      r.counter("interp.loads"),
+  };
+  return *s;
+}
+
+}  // namespace congen::obs

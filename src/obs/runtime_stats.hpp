@@ -1,0 +1,88 @@
+// runtime_stats.hpp — the runtime's named metric handles.
+//
+// One struct per instrumented subsystem, each a bundle of references
+// resolved against Registry::global() exactly once (thread-safe static
+// local in get()). Instrumentation sites capture `metricsEnabled()` once
+// per operation and, when true, update through these handles — so the
+// disabled path costs one relaxed load and the enabled path costs
+// striped relaxed fetch_adds, never a name hash.
+//
+// Conservation contract (checked at stress-suite teardown, see
+// tests/stress/conservation_env.cpp): with metrics enabled for the whole
+// life of every queue,
+//
+//   put.elements + put.batch_elements ==
+//       take.elements + take.batch_elements + depth + dropped_on_close
+//
+// and put.batch_size histogram sum == put.batch_elements. Every queue
+// operation updates its counters under the queue lock on the transfer
+// path, so the identities hold exactly, not just statistically.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace congen::obs {
+
+/// BlockingQueue<T> — aggregated over every instantiation and instance.
+struct QueueStats {
+  Counter& putElements;       ///< scalar put()/tryPut()/putFor() successes
+  Counter& putBatches;        ///< bulk publications (one per putAll flush)
+  Counter& putBatchElements;  ///< elements moved by bulk publications
+  Counter& takeElements;      ///< scalar take()/tryTake()/takeFor() successes
+  Counter& takeBatches;       ///< bulk drains (one per takeUpTo)
+  Counter& takeBatchElements; ///< elements moved by bulk drains
+  Counter& droppedOnClose;    ///< elements still queued at queue destruction
+  Gauge& depth;               ///< live elements across all queues
+  Histogram& putBatchSize;    ///< elements per bulk publication
+  Histogram& blockedPutMicros;   ///< producer time blocked waiting for space
+  Histogram& blockedTakeMicros;  ///< consumer time blocked waiting for data
+  static QueueStats& get();
+};
+
+/// Pipe — the multithreaded generator proxy.
+struct PipeStats {
+  Counter& created;        ///< pipes constructed
+  Gauge& live;             ///< pipes currently alive
+  Counter& activations;    ///< results delivered to consumers
+  Counter& batchesFlushed; ///< producer-side bulk flushes
+  Counter& cancellations;  ///< cancel() requests
+  Counter& errorsStored;   ///< producer errors captured for re-throw
+  static PipeStats& get();
+};
+
+/// ThreadPool.
+struct PoolStats {
+  Counter& tasksRun;      ///< tasks completed by workers
+  Counter& threadsCreated;
+  Gauge& threadsLive;     ///< workers currently running
+  Histogram& queueLatencyMicros;  ///< submit() -> dequeue wait
+  static PoolStats& get();
+};
+
+/// DataParallel / Pipeline.
+struct ParStats {
+  Counter& chunks;       ///< chunks produced by ChunkGen
+  Counter& retries;      ///< per-chunk retry attempts scheduled
+  Counter& replaySkips;  ///< already-delivered values swallowed on replay
+  Counter& stages;       ///< pipeline stage pipes constructed
+  static ParStats& get();
+};
+
+/// Interpreter / kernel allocation machinery.
+struct KernelStats {
+  Counter& framesPooled;    ///< procedure bodies reused from a BodyPool
+  Counter& framesAllocated; ///< calls that had to build a fresh body/frame
+  Counter& framesParked;    ///< bodies returned to a pool on completion
+  // The arena counters are fed by a snapshot-time collector from the
+  // arena's branch-free per-thread tallies (see kernel/arena.hpp) — they
+  // advance at Registry::snapshot(), not at the allocation site, and
+  // count regardless of the metrics flag.
+  Counter& arenaHits;       ///< arena allocations served from a thread bin
+  Counter& arenaMisses;     ///< arena allocations that fell through to new
+  Counter& arenaReturns;    ///< deallocations parked back into a bin
+  Counter& interpEvals;     ///< Interpreter::eval() calls
+  Counter& interpLoads;     ///< Interpreter::load()/loadProgram() calls
+  static KernelStats& get();
+};
+
+}  // namespace congen::obs

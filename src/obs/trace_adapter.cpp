@@ -1,0 +1,44 @@
+#include "obs/trace_adapter.hpp"
+
+#include <string>
+
+#include "kernel/trace.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace congen::obs {
+
+namespace {
+
+/// Strip the congen:: namespace from a demangled node type for readable
+/// track labels (matches trace::format's rendering).
+std::string shortName(const std::string& type) {
+  const auto pos = type.rfind("::");
+  return pos == std::string::npos ? type : type.substr(pos + 2);
+}
+
+}  // namespace
+
+void installChromeTraceHook() {
+  installTraceSink();
+  trace::install([](const trace::Event& e) {
+    switch (e.kind) {
+      case trace::EventKind::Resume:
+        traceBegin(shortName(e.nodeType), "gen");
+        break;
+      case trace::EventKind::Produce:
+        traceEnd(shortName(e.nodeType), "gen",
+                 e.value ? "{\"result\": " + jsonQuote(e.value->image()) + "}" : "");
+        break;
+      case trace::EventKind::Fail:
+        traceEnd(shortName(e.nodeType), "gen", "{\"fail\": true}");
+        break;
+    }
+  });
+}
+
+void removeChromeTraceHook() {
+  trace::remove();
+  removeTraceSink();
+}
+
+}  // namespace congen::obs

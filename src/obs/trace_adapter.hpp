@@ -1,0 +1,23 @@
+// trace_adapter.hpp — bridge from the kernel next()-protocol hook to the
+// Chrome trace sink.
+//
+// kernel/trace.hpp observes the whole computation at one uniform point
+// (the paper's Section IX monitoring direction); this adapter turns that
+// event stream into duration spans: Resume opens a 'B' event named after
+// the kernel node type, Produce/Fail close it with an 'E' carrying the
+// produced value (or a fail marker) as args. Because next() calls nest
+// strictly per thread, the resulting spans form well-bracketed per-thread
+// tracks — the generator tree becomes a flame graph.
+#pragma once
+
+namespace congen::obs {
+
+/// Install the Chrome sink AND a kernel trace hook feeding it. Replaces
+/// any previously installed kernel hook (they are exclusive by design —
+/// see trace::install).
+void installChromeTraceHook();
+
+/// Remove the kernel hook and stop the sink.
+void removeChromeTraceHook();
+
+}  // namespace congen::obs

@@ -1,0 +1,154 @@
+#include "obs/trace_sink.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace congen::obs {
+
+namespace detail {
+std::atomic<bool> g_traceSinkEnabled{false};
+}
+
+namespace {
+
+struct TraceEvent {
+  char phase;  // 'B', 'E', 'i'
+  std::string name;
+  const char* category;
+  std::uint64_t tsMicros;
+  std::uint32_t tid;
+  std::string args;  // pre-rendered JSON object, may be empty
+};
+
+/// Buffer cap: a runaway trace degrades to dropping events (counted)
+/// instead of exhausting memory. 4M events ≈ a few hundred MB rendered,
+/// far beyond what chrome://tracing loads comfortably anyway.
+constexpr std::size_t kMaxEvents = 1 << 22;
+
+struct SinkState {
+  std::mutex m;
+  std::vector<TraceEvent> events;
+  std::unordered_map<std::thread::id, std::uint32_t> tids;
+  std::chrono::steady_clock::time_point epoch;
+  std::uint64_t dropped = 0;
+
+  std::uint32_t tidFor(std::thread::id id) {
+    const auto it = tids.find(id);
+    if (it != tids.end()) return it->second;
+    const auto tid = static_cast<std::uint32_t>(tids.size() + 1);
+    tids.emplace(id, tid);
+    return tid;
+  }
+};
+
+SinkState& state() {
+  static SinkState* s = new SinkState;  // leaked: late events must not race teardown
+  return *s;
+}
+
+void append(char phase, const std::string& name, const char* category, const std::string& args) {
+  auto& s = state();
+  std::lock_guard lock(s.m);
+  if (!detail::g_traceSinkEnabled.load(std::memory_order_relaxed)) return;  // lost the race
+  if (s.events.size() >= kMaxEvents) {
+    ++s.dropped;
+    return;
+  }
+  // Timestamp under the lock: buffer order == timestamp order, so every
+  // per-thread track is monotonic by construction.
+  const auto now = std::chrono::steady_clock::now();
+  const auto ts =
+      static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(now - s.epoch).count());
+  s.events.push_back(TraceEvent{phase, name, category, ts, s.tidFor(std::this_thread::get_id()), args});
+}
+
+void writeJsonString(std::ostream& os, const std::string& str) {
+  os << '"';
+  for (const char c : str) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void installTraceSink() {
+  auto& s = state();
+  std::lock_guard lock(s.m);
+  s.events.clear();
+  s.tids.clear();
+  s.dropped = 0;
+  s.epoch = std::chrono::steady_clock::now();
+  detail::g_traceSinkEnabled.store(true, std::memory_order_relaxed);
+}
+
+void removeTraceSink() {
+  auto& s = state();
+  std::lock_guard lock(s.m);
+  detail::g_traceSinkEnabled.store(false, std::memory_order_relaxed);
+  s.events.clear();
+  s.tids.clear();
+}
+
+void traceBegin(const std::string& name, const char* category) {
+  append('B', name, category, "");
+}
+
+void traceEnd(const std::string& name, const char* category, const std::string& args) {
+  append('E', name, category, args);
+}
+
+void traceInstant(const std::string& name, const char* category, const std::string& args) {
+  append('i', name, category, args);
+}
+
+std::size_t traceEventCount() {
+  auto& s = state();
+  std::lock_guard lock(s.m);
+  return s.events.size();
+}
+
+std::string jsonQuote(const std::string& str) {
+  std::ostringstream os;
+  writeJsonString(os, str);
+  return os.str();
+}
+
+void writeTraceJson(std::ostream& os) {
+  auto& s = state();
+  std::lock_guard lock(s.m);
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& e : s.events) {
+    os << (first ? "\n" : ",\n") << "  {\"name\": ";
+    writeJsonString(os, e.name);
+    os << ", \"cat\": \"" << e.category << "\", \"ph\": \"" << e.phase << "\", \"ts\": " << e.tsMicros
+       << ", \"pid\": 1, \"tid\": " << e.tid;
+    if (!e.args.empty()) os << ", \"args\": " << e.args;
+    if (e.phase == 'i') os << ", \"s\": \"t\"";
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n") << "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"producer\": "
+     << "\"congen\", \"droppedEvents\": " << s.dropped << "}}\n";
+}
+
+}  // namespace congen::obs

@@ -1,0 +1,87 @@
+// trace_sink.hpp — structured trace collection in Chrome trace format.
+//
+// A process-global event collector that renders chrome://tracing (and
+// Perfetto) compatible JSON: duration events ('B'/'E') forming per-thread
+// tracks, plus instant events ('i'). Producers are the kernel next()
+// protocol (via obs/trace_adapter.hpp) and the pipe/pool layer, which
+// emit stage spans directly — so a single trace shows the generator tree
+// resuming on the consumer thread interleaved with producer threads
+// flushing batches.
+//
+// Disabled cost is one relaxed atomic load per call site (traceEnabled()
+// is checked by the caller). The enabled path takes a global mutex per
+// event — tracing is a debugging tool, not a production counter; the
+// kernel hook it rides on already pays a demangle per event.
+//
+// Timestamps are steady-clock microseconds since install(), strictly
+// non-decreasing per thread (the timestamp is taken under the same lock
+// that orders the buffer, so per-track monotonicity is structural, not
+// best-effort). Thread ids are small dense integers assigned on first
+// event, stable for the sink's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace congen::obs {
+
+namespace detail {
+extern std::atomic<bool> g_traceSinkEnabled;
+}
+
+/// The one relaxed load a call site pays when no sink is installed.
+inline bool traceEnabled() noexcept {
+  return detail::g_traceSinkEnabled.load(std::memory_order_relaxed);
+}
+
+/// Start collecting (clears any previous buffer). Idempotent.
+void installTraceSink();
+/// Stop collecting and drop the buffer.
+void removeTraceSink();
+
+/// Emit a duration-begin / duration-end pair on the current thread.
+/// `args` (optional) is a pre-rendered JSON object (e.g. R"({"n": 3})")
+/// attached to the event; pass an empty string for none.
+void traceBegin(const std::string& name, const char* category);
+void traceEnd(const std::string& name, const char* category, const std::string& args = "");
+/// Emit an instant event on the current thread.
+void traceInstant(const std::string& name, const char* category, const std::string& args = "");
+
+/// RAII span: begin on construction, end on destruction (exception-safe
+/// bracketing for producer bodies). No-op when the sink is disabled at
+/// construction time.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category) : name_(name), category_(category) {
+    if (traceEnabled()) {
+      armed_ = true;
+      traceBegin(name_, category_);
+    }
+  }
+  ~TraceSpan() {
+    if (armed_) traceEnd(name_, category_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  bool armed_ = false;
+};
+
+/// Render the collected buffer as a complete Chrome trace JSON document
+/// ({"traceEvents": [...], ...}). Safe to call while collecting (events
+/// appended after the call are simply not included).
+void writeTraceJson(std::ostream& os);
+
+/// Number of events currently buffered (tests / overflow checks).
+std::size_t traceEventCount();
+
+/// Quote + escape a string as a JSON string literal (for building the
+/// pre-rendered `args` objects passed to traceEnd/traceInstant).
+std::string jsonQuote(const std::string& s);
+
+}  // namespace congen::obs

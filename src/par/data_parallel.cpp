@@ -8,6 +8,7 @@
 #include "kernel/basic.hpp"
 #include "kernel/compose.hpp"
 #include "kernel/ops.hpp"
+#include "obs/runtime_stats.hpp"
 #include "runtime/collections.hpp"
 #include "runtime/error.hpp"
 
@@ -33,6 +34,7 @@ class ChunkGen final : public Gen {
       chunk->put(std::move(*v));
     }
     if (chunk->empty()) return false;
+    if (obs::metricsEnabled()) [[unlikely]] obs::ParStats::get().chunks.add(1);
     out.set(Value::list(std::move(chunk)));
     return true;
   }
@@ -103,6 +105,7 @@ class TasksGen final : public Gen {
       if (v) {
         if (t.toSkip > 0) {
           --t.toSkip;  // replaying an already-delivered prefix after a retry
+          if (obs::metricsEnabled()) [[unlikely]] obs::ParStats::get().replaySkips.add(1);
           continue;
         }
         ++t.emitted;
@@ -149,6 +152,7 @@ class TasksGen final : public Gen {
     if (maxRetries_ <= 0) throw;
     if (t.attempts >= maxRetries_) throw errRetryExhausted(cause);
     ++t.attempts;
+    if (obs::metricsEnabled()) [[unlikely]] obs::ParStats::get().retries.add(1);
     if (backoffBaseMicros_ > 0) {
       const auto micros = backoffBaseMicros_ << std::min(t.attempts - 1, 10);
       std::this_thread::sleep_for(std::chrono::microseconds(micros));

@@ -3,6 +3,7 @@
 #include "kernel/basic.hpp"
 #include "kernel/compose.hpp"
 #include "kernel/ops.hpp"
+#include "obs/runtime_stats.hpp"
 
 namespace congen {
 
@@ -22,6 +23,9 @@ GenPtr Pipeline::chain(GenFactory source, bool lastInline, StopSource* stop) con
   Value current = Value::coexpr(pipe);
 
   const std::size_t piped = lastInline && !stages_.empty() ? stages_.size() - 1 : stages_.size();
+  if (obs::metricsEnabled()) [[unlikely]] {
+    obs::ParStats::get().stages.add(static_cast<std::uint64_t>(piped + 1));  // + the source stage
+  }
   for (std::size_t i = 0; i < piped; ++i) {
     // Stage i: |> f_i(! previous). The body factory captures the upstream
     // pipe by value; no locals are shared, so no shadowing is needed.

@@ -17,6 +17,14 @@
 //                                       (a hung pipeline fails fast with
 //                                       diagnostics instead of eating a
 //                                       CI job limit)
+//   congen-run --stats ...              enable the metrics registry and
+//                                       print a human-readable snapshot
+//                                       to stderr when the run ends
+//   congen-run --metrics-json <f> ...   enable metrics and write the
+//                                       snapshot as JSON to <f> at exit
+//   congen-run --trace-out <f> ...      collect a Chrome-trace-format
+//                                       JSON of the run (per-thread
+//                                       generator spans) into <f>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -29,6 +37,9 @@
 #include "frontend/lexer.hpp"
 #include "interp/interpreter.hpp"
 #include "kernel/trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_adapter.hpp"
+#include "obs/trace_sink.hpp"
 #include "runtime/collections.hpp"
 #include "runtime/error.hpp"
 
@@ -82,12 +93,73 @@ int repl(congen::interp::Interpreter& interp) {
   return 0;
 }
 
+/// Observability options collected from the prefix flags; the snapshot /
+/// trace emission happens once, after the run body finishes (on every
+/// path, including errors — a failing script's metrics are exactly the
+/// interesting ones).
+struct ObsOptions {
+  bool stats = false;
+  std::string metricsJsonPath;
+  std::string traceOutPath;
+};
+
+void emitObservability(const ObsOptions& obs) {
+  if (obs.stats) {
+    congen::obs::Registry::global().snapshot().writeText(std::cerr);
+  }
+  if (!obs.metricsJsonPath.empty()) {
+    std::ofstream out(obs.metricsJsonPath);
+    if (!out) {
+      std::cerr << "congen-run: cannot write " << obs.metricsJsonPath << "\n";
+    } else {
+      congen::obs::Registry::global().snapshot().writeJson(out);
+    }
+  }
+  if (!obs.traceOutPath.empty()) {
+    std::ofstream out(obs.traceOutPath);
+    if (!out) {
+      std::cerr << "congen-run: cannot write " << obs.traceOutPath << "\n";
+    } else {
+      congen::obs::writeTraceJson(out);
+    }
+    congen::obs::removeChromeTraceHook();
+  }
+}
+
+int run(int argc, char** argv, congen::interp::Interpreter& interp) {
+  if (argc >= 3 && std::string(argv[1]) == "-e") {
+    printResults(interp.eval(argv[2]), kReplResultLimit);
+    return 0;
+  }
+  if (argc >= 2 && std::string(argv[1]) == "-i") return repl(interp);
+  if (argc >= 2) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "congen-run: cannot open " << argv[1] << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    interp.load(buffer.str());
+    if (interp.global("main") && interp.global("main")->isProc()) {
+      auto args = congen::ListImpl::create();
+      for (int i = 2; i < argc; ++i) args->put(congen::Value::string(argv[i]));
+      interp.call("main", {congen::Value::list(args)})->last();
+    }
+    return 0;
+  }
+  return repl(interp);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   congen::interp::Interpreter interp;
+  ObsOptions obs;
   // Prefix options, in any order: --timeout <sec> arms the watchdog,
-  // --trace enables iterator-protocol monitoring.
+  // --trace enables iterator-protocol monitoring, --stats /
+  // --metrics-json / --trace-out wire the metrics registry and the
+  // structured trace sink.
   for (;;) {
     if (argc >= 3 && std::string(argv[1]) == "--timeout") {
       const long seconds = std::strtol(argv[2], nullptr, 10);
@@ -101,6 +173,9 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_for(std::chrono::seconds(seconds));
         std::cerr << "congen-run: watchdog expired after " << seconds << "s\n";
         congen::Pipe::dumpAll(std::cerr);
+        if (congen::obs::metricsEnabled()) {
+          congen::obs::Registry::global().snapshot().writeText(std::cerr);
+        }
         std::_Exit(3);
       }).detach();
       argc -= 2;
@@ -117,33 +192,36 @@ int main(int argc, char** argv) {
       ++argv;
       continue;
     }
+    if (argc >= 2 && std::string(argv[1]) == "--stats") {
+      obs.stats = true;
+      congen::obs::enableMetrics();
+      --argc;
+      ++argv;
+      continue;
+    }
+    if (argc >= 3 && std::string(argv[1]) == "--metrics-json") {
+      obs.metricsJsonPath = argv[2];
+      congen::obs::enableMetrics();
+      argc -= 2;
+      argv += 2;
+      continue;
+    }
+    if (argc >= 3 && std::string(argv[1]) == "--trace-out") {
+      obs.traceOutPath = argv[2];
+      congen::obs::installChromeTraceHook();
+      argc -= 2;
+      argv += 2;
+      continue;
+    }
     break;
   }
+  int code = 0;
   try {
-    if (argc >= 3 && std::string(argv[1]) == "-e") {
-      printResults(interp.eval(argv[2]), kReplResultLimit);
-      return 0;
-    }
-    if (argc >= 2 && std::string(argv[1]) == "-i") return repl(interp);
-    if (argc >= 2) {
-      std::ifstream in(argv[1]);
-      if (!in) {
-        std::cerr << "congen-run: cannot open " << argv[1] << "\n";
-        return 2;
-      }
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      interp.load(buffer.str());
-      if (interp.global("main") && interp.global("main")->isProc()) {
-        auto args = congen::ListImpl::create();
-        for (int i = 2; i < argc; ++i) args->put(congen::Value::string(argv[i]));
-        interp.call("main", {congen::Value::list(args)})->last();
-      }
-      return 0;
-    }
-    return repl(interp);
+    code = run(argc, argv, interp);
   } catch (const std::exception& e) {
     std::cerr << "congen-run: " << e.what() << "\n";
-    return 1;
+    code = 1;
   }
+  emitObservability(obs);
+  return code;
 }

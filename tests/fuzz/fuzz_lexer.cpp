@@ -1,0 +1,24 @@
+// fuzz_lexer.cpp — libFuzzer harness for the Junicon scanner.
+//
+// Contract under test: tokenize() either returns a token stream or
+// throws SyntaxError — on ANY byte sequence. Every other escape
+// (crash, hang, UB caught by ASan, std::bad_alloc from a pathological
+// literal, an unexpected exception type) is a finding. The seed corpus
+// is the shipped example scripts plus the hand-written edge cases in
+// tests/fuzz/corpus/.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "frontend/lexer.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view source(reinterpret_cast<const char*>(data), size);
+  try {
+    const auto tokens = congen::frontend::tokenize(source);
+    (void)tokens;
+  } catch (const congen::frontend::SyntaxError&) {
+    // Rejecting malformed input is the lexer doing its job.
+  }
+  return 0;
+}

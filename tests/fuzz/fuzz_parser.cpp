@@ -1,0 +1,35 @@
+// fuzz_parser.cpp — libFuzzer harness for the Junicon parser.
+//
+// Both grammar entry points run over every input: a buffer that parses
+// as neither a program nor an expression must fail with SyntaxError in
+// both, never crash. BigInt literal construction can legitimately throw
+// std::invalid_argument/out_of_range through the parser for unhinged
+// radix literals; those are tolerated here, anything else is a finding.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+
+namespace {
+
+void tryParse(congen::ast::NodePtr (*entry)(std::string_view), std::string_view source) {
+  try {
+    const auto tree = entry(source);
+    (void)tree;
+  } catch (const congen::frontend::SyntaxError&) {
+  } catch (const std::invalid_argument&) {
+  } catch (const std::out_of_range&) {
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view source(reinterpret_cast<const char*>(data), size);
+  tryParse(&congen::frontend::parseProgram, source);
+  tryParse(&congen::frontend::parseExpression, source);
+  return 0;
+}

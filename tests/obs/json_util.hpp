@@ -1,0 +1,266 @@
+// json_util.hpp — a minimal JSON reader for the observability tests.
+//
+// The repo deliberately has no JSON dependency; the metrics/trace
+// emitters build their documents by hand. These tests therefore need an
+// independent parser to prove the output is *actually* well-formed JSON
+// (not merely the same string the emitter produced). Parses the full
+// JSON grammar the emitters can produce: objects (insertion order
+// preserved), arrays, strings with escapes, integers/doubles, booleans,
+// null. Throws std::runtime_error with an offset on malformed input.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace congen::testjson {
+
+struct Json;
+using JsonPtr = std::shared_ptr<Json>;
+
+struct Json {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonPtr> items;                            // Array
+  std::vector<std::pair<std::string, JsonPtr>> members;  // Object, in document order
+
+  [[nodiscard]] bool isObject() const { return kind == Kind::Object; }
+  [[nodiscard]] bool isArray() const { return kind == Kind::Array; }
+  [[nodiscard]] bool isString() const { return kind == Kind::String; }
+  [[nodiscard]] bool isNumber() const { return kind == Kind::Number; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    if (kind != Kind::Object) return nullptr;
+    for (const auto& [k, v] : members) {
+      if (k == key) return v.get();
+    }
+    return nullptr;
+  }
+
+  /// Object member lookup that throws on absence (test assertions read
+  /// better when the failure names the missing key).
+  [[nodiscard]] const Json& at(const std::string& key) const {
+    const Json* v = find(key);
+    if (v == nullptr) throw std::runtime_error("json: missing key '" + key + "'");
+    return *v;
+  }
+
+  [[nodiscard]] std::int64_t asInt() const {
+    if (kind != Kind::Number) throw std::runtime_error("json: not a number");
+    return static_cast<std::int64_t>(number);
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skipWs();
+    if (i_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " + std::to_string(i_));
+  }
+
+  void skipWs() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  char peek() {
+    if (i_ >= s_.size()) fail("unexpected end");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+
+  bool consumeLiteral(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(i_, n, lit) != 0) return false;
+    i_ += n;
+    return true;
+  }
+
+  Json value() {
+    skipWs();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Json v;
+        v.kind = Json::Kind::String;
+        v.str = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        Json v;
+        v.kind = Json::Kind::Bool;
+        if (consumeLiteral("true")) {
+          v.boolean = true;
+        } else if (consumeLiteral("false")) {
+          v.boolean = false;
+        } else {
+          fail("bad literal");
+        }
+        return v;
+      }
+      case 'n': {
+        if (!consumeLiteral("null")) fail("bad literal");
+        return Json{};
+      }
+      default: return numberValue();
+    }
+  }
+
+  Json object() {
+    Json v;
+    v.kind = Json::Kind::Object;
+    expect('{');
+    skipWs();
+    if (peek() == '}') {
+      ++i_;
+      return v;
+    }
+    for (;;) {
+      skipWs();
+      std::string key = string();
+      skipWs();
+      expect(':');
+      v.members.emplace_back(std::move(key), std::make_shared<Json>(value()));
+      skipWs();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    Json v;
+    v.kind = Json::Kind::Array;
+    expect('[');
+    skipWs();
+    if (peek() == ']') {
+      ++i_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(std::make_shared<Json>(value()));
+      skipWs();
+      if (peek() == ',') {
+        ++i_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (i_ >= s_.size()) fail("unterminated string");
+      const char c = s_[i_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (i_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[i_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (i_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s_[i_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode (no surrogate-pair support: the emitters only
+          // \u-escape control characters, which are all < 0x80).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json numberValue() {
+    const std::size_t start = i_;
+    if (peek() == '-') ++i_;
+    while (i_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 ||
+                              s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '+' ||
+                              s_[i_] == '-')) {
+      ++i_;
+    }
+    if (i_ == start || (i_ == start + 1 && s_[start] == '-')) fail("bad number");
+    Json v;
+    v.kind = Json::Kind::Number;
+    try {
+      v.number = std::stod(s_.substr(start, i_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace detail
+
+inline Json parse(const std::string& text) { return detail::Parser(text).parse(); }
+
+}  // namespace congen::testjson

@@ -1,0 +1,194 @@
+// trace_export_test.cpp — the Chrome-trace sink and its kernel-hook
+// adapter: structural validity of the emitted JSON (parseable, matched
+// B/E pairs, per-thread monotonic timestamps) both for hand-emitted
+// events and for a full example script run in-process.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "interp/interpreter.hpp"
+#include "obs/trace_adapter.hpp"
+#include "obs/trace_sink.hpp"
+#include "runtime/collections.hpp"
+
+#include "json_util.hpp"
+
+namespace congen {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Structural validation shared by every test: the document parses, each
+/// event carries the required fields, timestamps are non-decreasing per
+/// thread track, and every 'E' closes the innermost open 'B' of the same
+/// name on its track. Unclosed 'B's may remain (the buffer is a snapshot
+/// of a possibly-live process); returns them per tid so callers that
+/// know the process is quiescent can assert emptiness.
+std::map<std::int64_t, std::vector<std::string>> validateTrace(const testjson::Json& doc) {
+  const testjson::Json& events = doc.at("traceEvents");
+  EXPECT_TRUE(events.isArray());
+  std::map<std::int64_t, std::vector<std::string>> stacks;
+  std::map<std::int64_t, std::int64_t> lastTs;
+  for (const auto& ep : events.items) {
+    const testjson::Json& e = *ep;
+    const std::string ph = e.at("ph").str;
+    const std::string name = e.at("name").str;
+    EXPECT_FALSE(name.empty());
+    EXPECT_FALSE(e.at("cat").str.empty());
+    EXPECT_EQ(e.at("pid").asInt(), 1);
+    const std::int64_t tid = e.at("tid").asInt();
+    EXPECT_GE(tid, 1) << "tids are small dense integers from 1";
+    const std::int64_t ts = e.at("ts").asInt();
+    EXPECT_GE(ts, 0);
+    const auto it = lastTs.find(tid);
+    if (it != lastTs.end()) {
+      EXPECT_GE(ts, it->second) << "per-track timestamps must be monotonic";
+    }
+    lastTs[tid] = ts;
+    if (ph == "B") {
+      stacks[tid].push_back(name);
+    } else if (ph == "E") {
+      auto& stack = stacks[tid];
+      EXPECT_FALSE(stack.empty()) << "'E' for " << name << " with no open span on tid " << tid;
+      if (!stack.empty()) {
+        EXPECT_EQ(stack.back(), name) << "'E' must close the innermost open 'B'";
+        stack.pop_back();
+      }
+    } else {
+      EXPECT_EQ(ph, "i") << "only B/E/i events are emitted";
+      EXPECT_EQ(e.at("s").str, "t") << "instants are thread-scoped";
+    }
+  }
+  return stacks;
+}
+
+TEST(TraceSink, DisabledByDefaultAndCheapToQuery) {
+  EXPECT_FALSE(obs::traceEnabled());
+  // Emitting while disabled is a no-op, not an error.
+  obs::traceBegin("x", "test");
+  obs::traceEnd("x", "test");
+  EXPECT_EQ(obs::traceEventCount(), 0u);
+}
+
+TEST(TraceSink, HandEmittedSpansRenderAsBalancedTracks) {
+  obs::installTraceSink();
+  obs::traceBegin("outer", "test");
+  obs::traceBegin("inner", "test");
+  obs::traceInstant("tick", "test", R"({"n": 1})");
+  obs::traceEnd("inner", "test", R"({"result": "ok"})");
+  std::thread other([] {
+    obs::TraceSpan span("worker", "test");
+  });
+  other.join();
+  obs::traceEnd("outer", "test");
+
+  std::ostringstream os;
+  obs::writeTraceJson(os);
+  obs::removeTraceSink();
+
+  const auto doc = testjson::parse(os.str());
+  const auto stacks = validateTrace(doc);
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "tid " << tid << " left an unclosed span";
+  }
+  const testjson::Json& events = doc.at("traceEvents");
+  ASSERT_EQ(events.items.size(), 7u);  // 3 B + 3 E + 1 instant
+  EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+  // Two distinct tracks: this thread and the helper.
+  std::int64_t mainTid = events.items.front()->at("tid").asInt();
+  bool sawOtherTid = false;
+  for (const auto& e : events.items) sawOtherTid |= e->at("tid").asInt() != mainTid;
+  EXPECT_TRUE(sawOtherTid);
+  // The instant carries its args object through verbatim.
+  bool sawInstant = false;
+  for (const auto& e : events.items) {
+    if (e->at("ph").str == "i") {
+      sawInstant = true;
+      EXPECT_EQ(e->at("args").at("n").asInt(), 1);
+    }
+  }
+  EXPECT_TRUE(sawInstant);
+}
+
+TEST(TraceSink, ReinstallClearsThePreviousBuffer) {
+  obs::installTraceSink();
+  obs::traceInstant("old", "test");
+  EXPECT_EQ(obs::traceEventCount(), 1u);
+  obs::installTraceSink();
+  EXPECT_EQ(obs::traceEventCount(), 0u) << "install restarts collection";
+  obs::removeTraceSink();
+  EXPECT_FALSE(obs::traceEnabled());
+}
+
+TEST(TraceExport, TimeoutScriptProducesAWellFormedChromeTrace) {
+  // The acceptance-criteria script: run examples/scripts/timeout.jn
+  // in-process with the kernel hook feeding the Chrome sink, then
+  // validate the rendered document structurally.
+  obs::installChromeTraceHook();
+  {
+    interp::Interpreter interp;
+    interp.load(readFile(std::string(CONGEN_SOURCE_DIR) + "/examples/scripts/timeout.jn"));
+    auto args = ListImpl::create();
+    interp.call("main", {Value::list(args)})->last();
+    // Interpreter destruction closes every pipe; producers retire on the
+    // global pool within one queue operation.
+  }
+  // Producer tasks finish asynchronously; wait for the event stream to
+  // quiesce before snapshotting so their closing 'E' events are present.
+  std::size_t last = obs::traceEventCount();
+  for (int spins = 0; spins < 100; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::size_t now = obs::traceEventCount();
+    if (now == last && spins >= 2) break;
+    last = now;
+  }
+
+  std::ostringstream os;
+  obs::writeTraceJson(os);
+  obs::removeChromeTraceHook();
+
+  const auto doc = testjson::parse(os.str());
+  const auto stacks = validateTrace(doc);
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "tid " << tid << " left " << stack.size() << " unclosed spans";
+  }
+  const testjson::Json& events = doc.at("traceEvents");
+  EXPECT_GT(events.items.size(), 20u) << "a real run produces a dense trace";
+  EXPECT_EQ(doc.at("otherData").at("droppedEvents").asInt(), 0);
+
+  // The trace interleaves consumer-side generator spans with producer
+  // stage spans on separate tracks.
+  bool sawProducerSpan = false;
+  bool sawGenSpan = false;
+  std::int64_t producerTid = 0;
+  std::int64_t genTid = 0;
+  for (const auto& e : events.items) {
+    if (e->at("name").str == "pipe.producer") {
+      sawProducerSpan = true;
+      producerTid = e->at("tid").asInt();
+    }
+    if (e->at("cat").str == "gen" && e->at("ph").str == "B") {
+      sawGenSpan = true;
+      if (genTid == 0) genTid = e->at("tid").asInt();
+    }
+  }
+  EXPECT_TRUE(sawProducerSpan) << "pipe stage spans must be present";
+  EXPECT_TRUE(sawGenSpan) << "kernel next() spans must be present";
+  EXPECT_NE(producerTid, genTid) << "producer and consumer run on distinct tracks";
+}
+
+}  // namespace
+}  // namespace congen
