@@ -1,0 +1,112 @@
+// channel.hpp — transport selection for the pipe's output channel.
+//
+// Every `|> e` has exactly one producer (the pool task driving the body)
+// and one consumer (the activation site), so `Pipe` can almost always
+// run on the lock-free SpscRing. `Channel<T>` is the thin facade that
+// makes the choice: it holds either a ring or a BlockingQueue behind the
+// identical operation set, decided once at construction and immutable
+// thereafter (one branch per call, no virtual dispatch, both arms
+// inlineable).
+//
+// Selection policy (kAuto):
+//   * SpscRing  — bounded capacity in (0, kMaxSpscCapacity]. This is
+//     every real pipe: futures (capacity 1), default pipes (1024), and
+//     pipeline stages.
+//   * BlockingQueue — unbounded channels (capacity 0 = unbounded is a
+//     queue-only concept; a ring must pre-size its slot array) and
+//     absurd capacities whose pow2 slot array would be all committed
+//     memory up front. Callers that genuinely multiplex one channel
+//     across several producers or consumers (fan-in/fan-out built on
+//     `pipe->queue()`) must request kMutex explicitly — the ring's
+//     1P/1C contract is a threading precondition the facade cannot
+//     verify at runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "concur/blocking_queue.hpp"
+#include "concur/cancel.hpp"
+#include "concur/spsc_ring.hpp"
+
+namespace congen {
+
+/// Which transport a Channel (and so a Pipe) runs on.
+enum class ChannelTransport : std::uint8_t {
+  kAuto,  ///< SPSC ring when the capacity permits, else BlockingQueue
+  kSpsc,  ///< force the lock-free ring (capacity is clamped to >= 1)
+  kMutex, ///< force the mutex queue (required for shared fan-in/fan-out)
+};
+
+template <class T>
+class Channel {
+ public:
+  /// Rings above this capacity would commit a >8M-slot array up front;
+  /// such channels are effectively unbounded and take the queue.
+  static constexpr std::size_t kMaxSpscCapacity = std::size_t{1} << 20;
+
+  explicit Channel(std::size_t capacity, ChannelTransport transport = ChannelTransport::kAuto) {
+    const bool spsc = transport == ChannelTransport::kSpsc ||
+                      (transport == ChannelTransport::kAuto && capacity != 0 &&
+                       capacity <= kMaxSpscCapacity);
+    if (spsc) {
+      ring_ = std::make_unique<SpscRing<T>>(capacity);
+    } else {
+      queue_ = std::make_unique<BlockingQueue<T>>(capacity);
+    }
+  }
+
+  /// True when the lock-free path was selected.
+  [[nodiscard]] bool lockFree() const noexcept { return ring_ != nullptr; }
+
+  bool put(T v) { return ring_ ? ring_->put(std::move(v)) : queue_->put(std::move(v)); }
+  std::optional<T> take() { return ring_ ? ring_->take() : queue_->take(); }
+  std::size_t putAll(std::vector<T>& batch) {
+    return ring_ ? ring_->putAll(batch) : queue_->putAll(batch);
+  }
+  std::vector<T> takeUpTo(std::size_t max) {
+    return ring_ ? ring_->takeUpTo(max) : queue_->takeUpTo(max);
+  }
+
+  QueueOpStatus putFor(T v, const CancelToken& token, QueueDeadline deadline = {}) {
+    return ring_ ? ring_->putFor(std::move(v), token, deadline)
+                 : queue_->putFor(std::move(v), token, deadline);
+  }
+  QueueOpStatus putAllFor(std::vector<T>& batch, std::size_t& accepted, const CancelToken& token,
+                          QueueDeadline deadline = {}) {
+    return ring_ ? ring_->putAllFor(batch, accepted, token, deadline)
+                 : queue_->putAllFor(batch, accepted, token, deadline);
+  }
+  QueueOpStatus takeFor(std::optional<T>& out, const CancelToken& token,
+                        QueueDeadline deadline = {}) {
+    return ring_ ? ring_->takeFor(out, token, deadline) : queue_->takeFor(out, token, deadline);
+  }
+  QueueOpStatus takeUpToFor(std::vector<T>& out, std::size_t max, const CancelToken& token,
+                            QueueDeadline deadline = {}) {
+    return ring_ ? ring_->takeUpToFor(out, max, token, deadline)
+                 : queue_->takeUpToFor(out, max, token, deadline);
+  }
+
+  bool tryPut(T v) { return ring_ ? ring_->tryPut(std::move(v)) : queue_->tryPut(std::move(v)); }
+  std::optional<T> tryTake() { return ring_ ? ring_->tryTake() : queue_->tryTake(); }
+
+  void close() { ring_ ? ring_->close() : queue_->close(); }
+  [[nodiscard]] bool closed() const noexcept { return ring_ ? ring_->closed() : queue_->closed(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ring_ ? ring_->size() : queue_->size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_ ? ring_->capacity() : queue_->capacity();
+  }
+  [[nodiscard]] std::size_t waitingConsumers() const noexcept {
+    return ring_ ? ring_->waitingConsumers() : queue_->waitingConsumers();
+  }
+
+ private:
+  // Exactly one of these is set, for the Channel's whole lifetime.
+  std::unique_ptr<SpscRing<T>> ring_;
+  std::unique_ptr<BlockingQueue<T>> queue_;
+};
+
+}  // namespace congen

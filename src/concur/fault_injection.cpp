@@ -32,6 +32,7 @@ const char* faultSiteName(FaultSite site) noexcept {
     case FaultSite::PipeBatchFlush: return "Pipe::batchFlush";
     case FaultSite::QueueTimedWait: return "BlockingQueue::timedWait";
     case FaultSite::CancelSignal: return "StopSource::requestStop";
+    case FaultSite::PoolSteal: return "ThreadPool::steal";
     case FaultSite::kCount: break;
   }
   return "unknown";

@@ -40,6 +40,7 @@ enum class FaultSite : std::uint8_t {
   PipeBatchFlush, // Pipe producer about to publish a batch (delay only)
   QueueTimedWait, // timed/cancellable queue op (putFor family) entry (delay only)
   CancelSignal,   // StopSource::requestStop entry (delay only)
+  PoolSteal,      // worker about to sweep sibling deques for work (delay only)
   kCount,
 };
 

@@ -54,7 +54,7 @@ void unregisterPipe(const Pipe* p) {
 /// (one relaxed load) and every flush waits cancellably, so a cancelled
 /// pipe's producer returns within one queue operation even with the
 /// queue full.
-void runBatchedProducer(const std::shared_ptr<BlockingQueue<Value>>& queue, Gen& body,
+void runBatchedProducer(const std::shared_ptr<Channel<Value>>& queue, Gen& body,
                         std::size_t cap, const CancelToken& token) {
   std::vector<Value> buffer;
   std::size_t accepted = 0;
@@ -113,9 +113,10 @@ void countErrorStored() {
 
 }  // namespace
 
-Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool, std::size_t batchCap)
+Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool, std::size_t batchCap,
+           ChannelTransport transport)
     : CoExpression(std::move(factory)),
-      state_(std::make_shared<State>(capacity)),
+      state_(std::make_shared<State>(capacity, transport)),
       capacity_(capacity),
       pool_(&pool),
       // Capacity <= 1 pipes are futures/mailboxes: latency-sensitive and
@@ -124,7 +125,8 @@ Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool, std::size
       // could never publish in one flush anyway.
       batchCap_(state_->queue->capacity() <= 1 || batchCap <= 1
                     ? 1
-                    : std::min(batchCap, state_->queue->capacity())) {
+                    : std::min(batchCap, state_->queue->capacity())),
+      transport_(transport) {
   // A pipe created inside a producer body (the ambient CancelScope is
   // that producer's token) hangs itself under it, so cancelling the
   // downstream consumer reaches lazily-created inner pipes too.
@@ -271,7 +273,9 @@ bool Pipe::producerErrorPending() const {
   return state_->error != nullptr;
 }
 
-CoExprPtr Pipe::refreshed() const { return Pipe::create(factory(), capacity_, *pool_, batchCap_); }
+CoExprPtr Pipe::refreshed() const {
+  return Pipe::create(factory(), capacity_, *pool_, batchCap_, transport_);
+}
 
 void Pipe::dumpAll(std::ostream& os) {
   // Take the registry snapshot BEFORE the per-pipe walk: snapshot() only
@@ -306,16 +310,17 @@ void Pipe::dumpAll(std::ostream& os) {
        << " cancelled=" << (p->cancelRequested() ? 1 : 0)
        << " finished=" << (p->finished_.load(std::memory_order_relaxed) ? 1 : 0)
        << " delivered=" << p->produced_.load(std::memory_order_relaxed)
-       << " pendingError=" << (hasError ? 1 : 0) << " batchCap=" << p->batchCap_ << "\n";
+       << " pendingError=" << (hasError ? 1 : 0) << " batchCap=" << p->batchCap_
+       << " transport=" << (q.lockFree() ? "spsc" : "mutex") << "\n";
   }
 }
 
 GenPtr makePipeCreateGen(GenFactory bodyFactory, std::size_t capacity, ThreadPool& pool,
-                         std::size_t batchCap) {
-  return CoExprCreateGen::create(std::move(bodyFactory),
-                                 [capacity, &pool, batchCap](GenFactory f) -> CoExprPtr {
-                                   return Pipe::create(std::move(f), capacity, pool, batchCap);
-                                 });
+                         std::size_t batchCap, ChannelTransport transport) {
+  return CoExprCreateGen::create(
+      std::move(bodyFactory), [capacity, &pool, batchCap, transport](GenFactory f) -> CoExprPtr {
+        return Pipe::create(std::move(f), capacity, pool, batchCap, transport);
+      });
 }
 
 FutureValue::FutureValue(GenFactory factory, ThreadPool& pool)

@@ -41,8 +41,8 @@
 #include <iosfwd>
 #include <vector>
 
-#include "concur/blocking_queue.hpp"
 #include "concur/cancel.hpp"
+#include "concur/channel.hpp"
 #include "concur/thread_pool.hpp"
 #include "kernel/coexpression.hpp"
 
@@ -58,16 +58,23 @@ class Pipe final : public CoExpression {
   /// always unbatched regardless of the cap.
   static constexpr std::size_t kDefaultBatch = 64;
 
-  /// Create and immediately start producing on a pool thread.
+  /// Create and immediately start producing on a pool thread. The
+  /// transport defaults to kAuto: a bounded pipe (every future, default
+  /// pipe, and pipeline stage) rides the lock-free SPSC ring; unbounded
+  /// capacities fall back to the mutex queue. Pass kMutex when the
+  /// channel will be shared across threads beyond the pipe's own 1P/1C
+  /// pair (fan-in/fan-out built on queue()).
   Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool,
-       std::size_t batchCap = kDefaultBatch);
+       std::size_t batchCap = kDefaultBatch,
+       ChannelTransport transport = ChannelTransport::kAuto);
   ~Pipe() override;
 
   static std::shared_ptr<Pipe> create(GenFactory factory,
                                       std::size_t capacity = kDefaultCapacity,
                                       ThreadPool& pool = ThreadPool::global(),
-                                      std::size_t batchCap = kDefaultBatch) {
-    return std::make_shared<Pipe>(std::move(factory), capacity, pool, batchCap);
+                                      std::size_t batchCap = kDefaultBatch,
+                                      ChannelTransport transport = ChannelTransport::kAuto) {
+    return std::make_shared<Pipe>(std::move(factory), capacity, pool, batchCap, transport);
   }
 
   /// Activation = take from the output channel. A run-time error raised
@@ -105,10 +112,15 @@ class Pipe final : public CoExpression {
   [[nodiscard]] CoExprPtr refreshed() const override;
 
   /// The output channel, "exposed as a public field to permit further
-  /// manipulation" (Section III.B).
-  [[nodiscard]] const std::shared_ptr<BlockingQueue<Value>>& queue() const noexcept {
+  /// manipulation" (Section III.B). NOTE: on the default transport this
+  /// is a 1-producer/1-consumer ring — manipulation from extra threads
+  /// requires constructing the pipe with ChannelTransport::kMutex.
+  [[nodiscard]] const std::shared_ptr<Channel<Value>>& queue() const noexcept {
     return state_->queue;
   }
+
+  /// True when this pipe's channel runs on the lock-free SPSC ring.
+  [[nodiscard]] bool lockFree() const noexcept { return state_->queue->lockFree(); }
 
   /// Effective batch cap after clamping to the queue capacity (1 means
   /// the pipe runs the unbatched per-element protocol).
@@ -124,8 +136,9 @@ class Pipe final : public CoExpression {
   /// State shared with the producer task; outlives the Pipe if the
   /// consumer abandons it mid-stream.
   struct State {
-    explicit State(std::size_t capacity) : queue(std::make_shared<BlockingQueue<Value>>(capacity)) {}
-    std::shared_ptr<BlockingQueue<Value>> queue;
+    State(std::size_t capacity, ChannelTransport transport)
+        : queue(std::make_shared<Channel<Value>>(capacity, transport)) {}
+    std::shared_ptr<Channel<Value>> queue;
     StopSource source;              // the pipe's cancellation channel
     std::exception_ptr error;       // producer-side run-time error
     std::mutex errorMutex;
@@ -138,6 +151,7 @@ class Pipe final : public CoExpression {
   std::size_t capacity_;
   ThreadPool* pool_;
   std::size_t batchCap_;
+  ChannelTransport transport_;
   // produced_/finished_ are relaxed atomics solely so the watchdog's
   // dumpAll can read them from another thread; there is no ordering
   // requirement (single consumer).
@@ -153,7 +167,8 @@ class Pipe final : public CoExpression {
 /// Kernel node for `|> e`: yields a started pipe once per cycle.
 GenPtr makePipeCreateGen(GenFactory bodyFactory, std::size_t capacity = Pipe::kDefaultCapacity,
                          ThreadPool& pool = ThreadPool::global(),
-                         std::size_t batchCap = Pipe::kDefaultBatch);
+                         std::size_t batchCap = Pipe::kDefaultBatch,
+                         ChannelTransport transport = ChannelTransport::kAuto);
 
 /// A future: a capacity-1 pipe computing a single value in the
 /// background; get() blocks for the result.

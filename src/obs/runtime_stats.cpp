@@ -39,7 +39,19 @@ PoolStats& PoolStats::get() {
       r.counter("pool.tasks_run"),
       r.counter("pool.threads_created"),
       r.gauge("pool.threads_live"),
+      r.counter("pool.tasks_stolen"),
       r.histogram("pool.queue_latency_micros", latencyBoundsMicros()),
+  };
+  return *s;
+}
+
+RingStats& RingStats::get() {
+  auto& r = Registry::global();
+  static RingStats* s = new RingStats{
+      r.counter("ring.created"),
+      r.counter("ring.producer_parks"),
+      r.counter("ring.consumer_parks"),
+      r.counter("ring.wakes"),
   };
   return *s;
 }

@@ -14,9 +14,11 @@
 //   put.elements + put.batch_elements ==
 //       take.elements + take.batch_elements + depth + dropped_on_close
 //
-// and put.batch_size histogram sum == put.batch_elements. Every queue
-// operation updates its counters under the queue lock on the transfer
-// path, so the identities hold exactly, not just statistically.
+// and put.batch_size histogram sum == put.batch_elements. BlockingQueue
+// updates its counters under the queue lock; SpscRing updates the same
+// counters lock-free from its owning sides. Either way every transferred
+// element is counted exactly once, so the identities hold exactly at
+// quiescence — the stress Environment polls teardown until they settle.
 #pragma once
 
 #include "obs/metrics.hpp"
@@ -55,8 +57,23 @@ struct PoolStats {
   Counter& tasksRun;      ///< tasks completed by workers
   Counter& threadsCreated;
   Gauge& threadsLive;     ///< workers currently running
+  Counter& tasksStolen;   ///< tasks a worker took from a sibling's deque
   Histogram& queueLatencyMicros;  ///< submit() -> dequeue wait
   static PoolStats& get();
+};
+
+/// SpscRing<T> — the lock-free pipe transport. Transfer counters live in
+/// QueueStats (the conservation ledger is transport-agnostic); these
+/// cover what only the ring has: futex parking instead of CV waits. The
+/// ring updates the shared QueueStats OUTSIDE any lock (it has none) via
+/// the same striped relaxed atomics — exact at quiescence, which is all
+/// the conservation Environment's polled teardown requires.
+struct RingStats {
+  Counter& created;        ///< rings constructed (vs. mutex-queue pipes)
+  Counter& producerParks;  ///< producer futex-park episodes (ring full)
+  Counter& consumerParks;  ///< consumer futex-park episodes (ring empty)
+  Counter& wakes;          ///< cross-side wakeups issued (parked flag seen)
+  static RingStats& get();
 };
 
 /// DataParallel / Pipeline.

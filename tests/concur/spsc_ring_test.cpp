@@ -1,0 +1,316 @@
+// spsc_ring_test.cpp — the lock-free SPSC pipe transport.
+//
+// Single-threaded tests exercise the index arithmetic (wrap-around,
+// exact capacity, close/drain ordering); two-thread tests pin down the
+// blocking contract the ring shares with BlockingQueue — QueueOpStatus
+// precedence, timed expiry, and the register-then-recheck cancel path.
+#include "concur/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "concur/cancel.hpp"
+#include "concur/channel.hpp"
+
+namespace congen {
+namespace {
+
+using namespace std::chrono_literals;
+
+QueueDeadline after(std::chrono::milliseconds d) {
+  return QueueDeadline{std::chrono::steady_clock::now() + d};
+}
+
+TEST(SpscRingBasics, FifoOrderAndExhaustion) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.tryPut(i));
+  EXPECT_EQ(ring.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto v = ring.tryTake();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.tryTake().has_value());
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(SpscRingBasics, ExactCapacityEvenWhenRoundedToPow2) {
+  // Capacity 5 rounds the slot array to 8, but the bound stays 5: a
+  // bounded pipe must throttle at its requested capacity exactly.
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 5u);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.tryPut(i));
+  EXPECT_FALSE(ring.tryPut(99)) << "slot 6 exists but the bound is 5";
+  EXPECT_EQ(ring.size(), 5u);
+}
+
+TEST(SpscRingWrap, IndicesWrapAcrossTheMaskBoundary) {
+  // A capacity-3 ring (4 slots) cycled many times: every element must
+  // cross the mask wrap intact and in order.
+  SpscRing<int> ring(3);
+  int next = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring.tryPut(next + i));
+    for (int i = 0; i < 3; ++i) {
+      auto v = ring.tryTake();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, next + i);
+    }
+    next += 3;
+  }
+}
+
+TEST(SpscRingWrap, BulkOpsWrapAcrossTheMaskBoundary) {
+  SpscRing<int> ring(4);
+  int next = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> batch{next, next + 1, next + 2};
+    EXPECT_EQ(ring.putAll(batch), 3u);
+    EXPECT_TRUE(batch.empty()) << "accepted prefix is erased";
+    const auto got = ring.takeUpTo(8);
+    ASSERT_EQ(got.size(), 3u);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], next + i);
+    next += 3;
+  }
+}
+
+TEST(SpscRingWrap, CapacityOneMailbox) {
+  // The future/mailbox shape: every transfer crosses the wrap.
+  SpscRing<int> ring(1);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(ring.tryPut(i));
+    EXPECT_FALSE(ring.tryPut(i)) << "capacity 1 is full after one put";
+    auto v = ring.tryTake();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(SpscRingClose, FullRingDrainsAfterClose) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.tryPut(i));
+  ring.close();
+  EXPECT_FALSE(ring.tryPut(99)) << "closed ring rejects new elements";
+  for (int i = 0; i < 4; ++i) {
+    auto v = ring.take();
+    ASSERT_TRUE(v.has_value()) << "elements published before close() survive it";
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.take().has_value()) << "then end-of-stream";
+}
+
+TEST(SpscRingClose, CloseUnblocksAParkedConsumer) {
+  SpscRing<int> ring(4);
+  std::atomic<bool> gotEnd{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(ring.take().has_value());
+    gotEnd = true;
+  });
+  std::this_thread::sleep_for(20ms);  // let it park
+  ring.close();
+  consumer.join();
+  EXPECT_TRUE(gotEnd.load());
+}
+
+TEST(SpscRingClose, CloseUnblocksAParkedProducerMidBatch) {
+  SpscRing<int> ring(2);
+  ASSERT_TRUE(ring.tryPut(0));
+  ASSERT_TRUE(ring.tryPut(1));
+  std::atomic<std::size_t> accepted{~std::size_t{0}};
+  std::thread producer([&] {
+    std::vector<int> batch{2, 3, 4};
+    accepted = ring.putAll(batch);  // parks: ring is full
+    EXPECT_EQ(batch.size(), 3u - accepted.load()) << "unaccepted suffix stays in the batch";
+  });
+  std::this_thread::sleep_for(20ms);
+  ring.close();
+  producer.join();
+  EXPECT_LT(accepted.load(), 3u) << "close interrupted the bulk publication";
+  // Whatever was accepted before the close is still deliverable.
+  std::size_t drained = 0;
+  while (ring.take()) ++drained;
+  EXPECT_EQ(drained, 2u + accepted.load());
+}
+
+TEST(SpscRingTimed, TakeForExpiresOnEmpty) {
+  SpscRing<int> ring(4);
+  std::optional<int> out;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(ring.takeFor(out, CancelToken{}, after(30ms)), QueueOpStatus::kTimedOut);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 25ms);
+  EXPECT_FALSE(out.has_value());
+  // Expiry does not poison the ring: a later element still flows.
+  ASSERT_TRUE(ring.tryPut(7));
+  EXPECT_EQ(ring.takeFor(out, CancelToken{}, after(1000ms)), QueueOpStatus::kOk);
+  EXPECT_EQ(out, 7);
+}
+
+TEST(SpscRingTimed, PutForExpiresOnFull) {
+  SpscRing<int> ring(1);
+  ASSERT_TRUE(ring.tryPut(1));
+  EXPECT_EQ(ring.putFor(2, CancelToken{}, after(30ms)), QueueOpStatus::kTimedOut);
+  EXPECT_EQ(ring.size(), 1u) << "a timed-out put publishes nothing";
+  ASSERT_TRUE(ring.tryTake().has_value());
+  EXPECT_EQ(ring.putFor(2, CancelToken{}, after(1000ms)), QueueOpStatus::kOk);
+}
+
+TEST(SpscRingTimed, ElementBeatsDeadline) {
+  // Precedence: a transfer that is possible happens, even with an
+  // already-expired deadline.
+  SpscRing<int> ring(4);
+  ASSERT_TRUE(ring.tryPut(5));
+  std::optional<int> out;
+  EXPECT_EQ(ring.takeFor(out, CancelToken{}, after(-10ms)), QueueOpStatus::kOk);
+  EXPECT_EQ(out, 5);
+}
+
+TEST(SpscRingCancel, CancelledBeatsEverything) {
+  // kCancelled > transfer > kClosed: the full precedence order.
+  SpscRing<int> ring(4);
+  ASSERT_TRUE(ring.tryPut(1));
+  ring.close();
+  StopSource source;
+  source.requestStop();
+  std::optional<int> out;
+  EXPECT_EQ(ring.takeFor(out, source.token(), {}), QueueOpStatus::kCancelled);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(ring.putFor(9, source.token(), {}), QueueOpStatus::kCancelled);
+}
+
+TEST(SpscRingCancel, ClosedBeatsTimedOut) {
+  SpscRing<int> ring(4);
+  ring.close();
+  std::optional<int> out;
+  EXPECT_EQ(ring.takeFor(out, CancelToken{}, after(-10ms)), QueueOpStatus::kClosed);
+}
+
+TEST(SpscRingCancel, CancelUnparksABlockedConsumer) {
+  // The register-then-recheck race: the consumer must observe a cancel
+  // that lands at any point relative to its park, never deadlocking.
+  // Many short rounds to sample different interleavings.
+  for (int round = 0; round < 50; ++round) {
+    SpscRing<int> ring(2);
+    StopSource source;
+    std::atomic<bool> done{false};
+    std::thread consumer([&] {
+      std::optional<int> out;
+      EXPECT_EQ(ring.takeFor(out, source.token(), {}), QueueOpStatus::kCancelled);
+      done = true;
+    });
+    if (round % 2 == 0) std::this_thread::sleep_for(1ms);  // likely parked
+    source.requestStop();
+    consumer.join();
+    EXPECT_TRUE(done.load());
+  }
+}
+
+TEST(SpscRingCancel, CancelUnparksABlockedProducer) {
+  for (int round = 0; round < 50; ++round) {
+    SpscRing<int> ring(1);
+    ASSERT_TRUE(ring.tryPut(0));
+    StopSource source;
+    std::thread producer([&] {
+      EXPECT_EQ(ring.putFor(1, source.token(), {}), QueueOpStatus::kCancelled);
+    });
+    if (round % 2 == 0) std::this_thread::sleep_for(1ms);
+    source.requestStop();
+    producer.join();
+    EXPECT_EQ(ring.size(), 1u);
+  }
+}
+
+TEST(SpscRingHandoff, BlockingHandoffAcrossThreads) {
+  // The real pipe shape: one producer thread, one consumer thread, a
+  // ring far smaller than the stream, so both sides park and wake
+  // repeatedly (and every element crosses the wrap many times).
+  constexpr int kItems = 20000;
+  SpscRing<int> ring(8);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(ring.put(i));
+    ring.close();
+  });
+  long long sum = 0;
+  int count = 0;
+  while (auto v = ring.take()) {
+    EXPECT_EQ(*v, count);
+    sum += *v;
+    ++count;
+  }
+  producer.join();
+  EXPECT_EQ(count, kItems);
+  EXPECT_EQ(sum, static_cast<long long>(kItems) * (kItems - 1) / 2);
+}
+
+TEST(SpscRingHandoff, BulkHandoffAcrossThreads) {
+  constexpr int kItems = 20000;
+  SpscRing<int> ring(64);
+  std::thread producer([&] {
+    int next = 0;
+    while (next < kItems) {
+      std::vector<int> batch;
+      for (int i = 0; i < 17 && next + i < kItems; ++i) batch.push_back(next + i);
+      next += static_cast<int>(batch.size());
+      while (!batch.empty()) ring.putAll(batch);
+    }
+    ring.close();
+  });
+  int expect = 0;
+  for (;;) {
+    const auto got = ring.takeUpTo(32);
+    if (got.empty()) break;
+    for (int v : got) EXPECT_EQ(v, expect++);
+  }
+  producer.join();
+  EXPECT_EQ(expect, kItems);
+}
+
+TEST(SpscRingChannel, AutoSelectsRingForBoundedCapacity) {
+  Channel<int> bounded(8);
+  EXPECT_TRUE(bounded.lockFree());
+  EXPECT_EQ(bounded.capacity(), 8u);
+  Channel<int> future(1);
+  EXPECT_TRUE(future.lockFree()) << "futures are capacity-1 pipes";
+}
+
+TEST(SpscRingChannel, AutoFallsBackToMutexQueue) {
+  Channel<int> unbounded(0);
+  EXPECT_FALSE(unbounded.lockFree()) << "a ring cannot be unbounded";
+  Channel<int> huge(Channel<int>::kMaxSpscCapacity + 1);
+  EXPECT_FALSE(huge.lockFree()) << "absurd capacities skip the pre-sized slot array";
+}
+
+TEST(SpscRingChannel, ExplicitTransportWins) {
+  Channel<int> forcedMutex(8, ChannelTransport::kMutex);
+  EXPECT_FALSE(forcedMutex.lockFree());
+  Channel<int> forcedRing(16, ChannelTransport::kSpsc);
+  EXPECT_TRUE(forcedRing.lockFree());
+}
+
+TEST(SpscRingChannel, ForwardsTheFullContract) {
+  // One pass over every forwarded operation on the ring arm.
+  Channel<int> ch(4);
+  EXPECT_TRUE(ch.put(1));
+  EXPECT_TRUE(ch.tryPut(2));
+  std::vector<int> batch{3, 4};
+  EXPECT_EQ(ch.putAll(batch), 2u);
+  EXPECT_EQ(ch.size(), 4u);
+  EXPECT_EQ(ch.waitingConsumers(), 0u);
+  EXPECT_EQ(ch.take(), 1);
+  EXPECT_EQ(ch.tryTake(), 2);
+  EXPECT_EQ(ch.takeUpTo(4), (std::vector<int>{3, 4}));
+  std::optional<int> out;
+  EXPECT_EQ(ch.putFor(5, CancelToken{}, {}), QueueOpStatus::kOk);
+  EXPECT_EQ(ch.takeFor(out, CancelToken{}, {}), QueueOpStatus::kOk);
+  EXPECT_EQ(out, 5);
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+  std::vector<int> rest;
+  EXPECT_EQ(ch.takeUpToFor(rest, 4, CancelToken{}, {}), QueueOpStatus::kClosed);
+}
+
+}  // namespace
+}  // namespace congen
