@@ -115,6 +115,9 @@ class Pipe final : public CoExpression {
   /// manipulation" (Section III.B). NOTE: on the default transport this
   /// is a 1-producer/1-consumer ring — manipulation from extra threads
   /// requires constructing the pipe with ChannelTransport::kMutex.
+  /// Debug builds enforce this: concurrent same-side ring ops trip an
+  /// assert naming the kMutex escape hatch (size/closed/capacity stay
+  /// any-thread safe).
   [[nodiscard]] const std::shared_ptr<Channel<Value>>& queue() const noexcept {
     return state_->queue;
   }

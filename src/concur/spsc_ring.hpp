@@ -41,6 +41,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -124,6 +125,36 @@ inline bool waitUntil(std::atomic<std::uint32_t>& w, std::uint32_t expected,
 #endif
 }
 
+#ifndef NDEBUG
+/// Debug-build guard for the ring's 1P/1C contract: each side's ops
+/// flip a busy flag for the duration of the call, so two threads
+/// concurrently inside the same side — the UB `Pipe::queue()` warns
+/// about — trip an assert with a pointed message instead of racing
+/// silently. Relaxed on purpose: the guard must not add happens-before
+/// edges that could hide the underlying race from TSan. Legal side
+/// migration (external happens-before between old and new thread)
+/// never overlaps, so the guard cannot misfire on it.
+class SideGuard {
+ public:
+  explicit SideGuard(std::atomic<bool>& busy) noexcept : busy_(busy) {
+    const bool wasBusy = busy_.exchange(true, std::memory_order_relaxed);
+    assert(!wasBusy &&
+           "SpscRing: concurrent calls on one side; build the Pipe/Channel with "
+           "ChannelTransport::kMutex to share a side across threads");
+    (void)wasBusy;
+  }
+  ~SideGuard() { busy_.store(false, std::memory_order_relaxed); }
+  SideGuard(const SideGuard&) = delete;
+  SideGuard& operator=(const SideGuard&) = delete;
+
+ private:
+  std::atomic<bool>& busy_;
+};
+#define CONGEN_SPSC_SIDE_GUARD(flag) ::congen::spsc_detail::SideGuard spscSideGuard_(flag)
+#else
+#define CONGEN_SPSC_SIDE_GUARD(flag) ((void)0)
+#endif
+
 }  // namespace spsc_detail
 
 template <class T>
@@ -164,6 +195,7 @@ class SpscRing {
   /// Blocking put; returns false if the ring is (or becomes) closed.
   bool put(T v) {
     CONGEN_FAULT_POINT(QueuePut);
+    CONGEN_SPSC_SIDE_GUARD(putBusy_);
     const bool metrics = obs::metricsEnabled();
     for (;;) {
       if (closed_.load(std::memory_order_acquire)) return false;
@@ -183,6 +215,7 @@ class SpscRing {
   /// Blocking take; drains remaining elements after close, then fails.
   std::optional<T> take() {
     CONGEN_FAULT_POINT(QueueTake);
+    CONGEN_SPSC_SIDE_GUARD(takeBusy_);
     const bool metrics = obs::metricsEnabled();
     for (;;) {
       const std::uint64_t h = head_.load(std::memory_order_relaxed);
@@ -210,6 +243,7 @@ class SpscRing {
   /// mid-batch, and the accepted prefix is erased from `batch`.
   std::size_t putAll(std::vector<T>& batch) {
     CONGEN_FAULT_POINT(QueuePutAll);
+    CONGEN_SPSC_SIDE_GUARD(putBusy_);
     if (batch.empty()) return 0;
     const bool metrics = obs::metricsEnabled();
     std::size_t accepted = 0;
@@ -234,6 +268,7 @@ class SpscRing {
   /// result means closed-and-drained.
   std::vector<T> takeUpTo(std::size_t max) {
     CONGEN_FAULT_POINT(QueueTakeUpTo);
+    CONGEN_SPSC_SIDE_GUARD(takeBusy_);
     std::vector<T> out;
     if (max == 0) return out;
     const bool metrics = obs::metricsEnabled();
@@ -265,6 +300,7 @@ class SpscRing {
   QueueOpStatus putFor(T v, const CancelToken& token, QueueDeadline deadline = {}) {
     CONGEN_FAULT_POINT(QueuePut);
     CONGEN_FAULT_POINT(QueueTimedWait);
+    CONGEN_SPSC_SIDE_GUARD(putBusy_);
     const bool metrics = obs::metricsEnabled();
     std::optional<CancelCallback> wake;
     bool timedOut = false;
@@ -291,6 +327,7 @@ class SpscRing {
                           QueueDeadline deadline = {}) {
     CONGEN_FAULT_POINT(QueuePutAll);
     CONGEN_FAULT_POINT(QueueTimedWait);
+    CONGEN_SPSC_SIDE_GUARD(putBusy_);
     accepted = 0;
     if (batch.empty()) return QueueOpStatus::kOk;
     const bool metrics = obs::metricsEnabled();
@@ -332,6 +369,7 @@ class SpscRing {
                         QueueDeadline deadline = {}) {
     CONGEN_FAULT_POINT(QueueTake);
     CONGEN_FAULT_POINT(QueueTimedWait);
+    CONGEN_SPSC_SIDE_GUARD(takeBusy_);
     out.reset();
     const bool metrics = obs::metricsEnabled();
     std::optional<CancelCallback> wake;
@@ -361,6 +399,7 @@ class SpscRing {
                             QueueDeadline deadline = {}) {
     CONGEN_FAULT_POINT(QueueTakeUpTo);
     CONGEN_FAULT_POINT(QueueTimedWait);
+    CONGEN_SPSC_SIDE_GUARD(takeBusy_);
     out.clear();
     if (max == 0) return QueueOpStatus::kOk;
     const bool metrics = obs::metricsEnabled();
@@ -389,6 +428,7 @@ class SpscRing {
   /// Non-blocking put; false when full or closed.
   bool tryPut(T v) {
     CONGEN_FAULT_POINT(QueueTryPut);
+    CONGEN_SPSC_SIDE_GUARD(putBusy_);
     if (closed_.load(std::memory_order_acquire)) return false;
     const std::uint64_t t = tail_.load(std::memory_order_relaxed);
     if (spaceFor(t) == 0) return false;
@@ -402,6 +442,7 @@ class SpscRing {
   /// Non-blocking take; nullopt when empty.
   std::optional<T> tryTake() {
     CONGEN_FAULT_POINT(QueueTryTake);
+    CONGEN_SPSC_SIDE_GUARD(takeBusy_);
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
     if (availableAt(h) == 0) return std::nullopt;
     T v = std::move(slots_[h & mask_]);
@@ -537,7 +578,13 @@ class SpscRing {
     const std::uint32_t s = notFullSeq_.load(std::memory_order_acquire);
     producerParked_.store(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    cachedHead_ = head_.load(std::memory_order_relaxed);
+    // The counterpart index must be loaded acquire: when the re-check
+    // sees space, the caller's spaceFor() trusts this cached value and
+    // skips its own acquire reload, so this load is the only edge
+    // ordering the subsequent slot overwrite after the consumer's take
+    // (the seq_cst fence *precedes* the load and grants it no acquire
+    // semantics).
+    cachedHead_ = head_.load(std::memory_order_acquire);
     const std::uint64_t t = tail_.load(std::memory_order_relaxed);
     if (t - cachedHead_ < bound_ || closed_.load(std::memory_order_relaxed) ||
         token.cancelled()) {
@@ -561,7 +608,11 @@ class SpscRing {
     const std::uint32_t s = notEmptySeq_.load(std::memory_order_acquire);
     consumerParked_.store(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    cachedTail_ = tail_.load(std::memory_order_relaxed);
+    // Acquire for the same reason as parkProducerFor: a re-check that
+    // sees data feeds availableAt() through the cache, skipping its
+    // acquire reload, and the slot read needs this load to order after
+    // the producer's release publication.
+    cachedTail_ = tail_.load(std::memory_order_acquire);
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
     if (cachedTail_ != h || closed_.load(std::memory_order_relaxed) || token.cancelled()) {
       consumerParked_.store(0, std::memory_order_relaxed);
@@ -634,6 +685,15 @@ class SpscRing {
   std::vector<T> slots_;
   std::size_t mask_ = 0;
   std::size_t bound_;
+
+#ifndef NDEBUG
+  // Debug 1P/1C guard flags (see spsc_detail::SideGuard); off the hot
+  // lines above so release layout is unaffected by their absence.
+  std::atomic<bool> putBusy_{false};
+  std::atomic<bool> takeBusy_{false};
+#endif
 };
+
+#undef CONGEN_SPSC_SIDE_GUARD
 
 }  // namespace congen

@@ -62,6 +62,18 @@ void ThreadPool::submit(Task task) {
   if (needWorker && workers_.size() >= maxThreads_) {
     throw std::runtime_error("ThreadPool: thread cap reached");
   }
+  // Spawn before enqueueing: if thread creation throws (std::system_error
+  // on resource exhaustion), the pool is left exactly as found. The
+  // reverse order would strand an already-queued task with no grown
+  // worker — a silently-broken submit that can deadlock a blocked
+  // producer chain. If the enqueue below throws instead, the surplus
+  // worker just parks idle, which is harmless.
+  if (needWorker) {
+    const std::size_t home = homeShardFor(created_);
+    workers_.emplace_back([this, home] { workerLoop(home); });
+    ++created_;
+    if (metrics) obs::PoolStats::get().threadsCreated.add(1);
+  }
   Entry entry{std::move(task), {}};
   if (metrics) entry.enqueued = std::chrono::steady_clock::now();
   {
@@ -69,12 +81,6 @@ void ThreadPool::submit(Task task) {
     shards_[target]->tasks.push_back(std::move(entry));
   }
   pending_.fetch_add(1, std::memory_order_relaxed);
-  if (needWorker) {
-    const std::size_t home = homeShardFor(created_);
-    workers_.emplace_back([this, home] { workerLoop(home); });
-    ++created_;
-    if (metrics) obs::PoolStats::get().threadsCreated.add(1);
-  }
   lock.unlock();
   cv_.notify_one();
 }
