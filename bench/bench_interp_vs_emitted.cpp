@@ -25,6 +25,21 @@ void interpreterPath(benchmark::State& state) {
   }
 }
 
+void interpreterVmPath(benchmark::State& state) {
+  // Same search, bytecode VM backend: one chunk, inline-cached loads,
+  // native cut-through for isprime.
+  interp::Interpreter::Options options;
+  options.backend = interp::Backend::kVm;
+  interp::Interpreter interp(options);
+  auto gen = interp.eval("(1 to 50) * isprime(4 to 100)");
+  for (auto _ : state) {
+    std::int64_t count = 0;
+    gen->restart();
+    while (gen->next()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+}
+
 void kernelPath(benchmark::State& state) {
   // The tree congenc would emit for the same expression.
   auto gen = makeBinaryOpGen(
@@ -72,11 +87,23 @@ void interpreterCompileCost(benchmark::State& state) {
   }
 }
 
+void interpreterVmCompileCost(benchmark::State& state) {
+  // Parse + normalize + chunk compilation per evaluation.
+  interp::Interpreter::Options options;
+  options.backend = interp::Backend::kVm;
+  interp::Interpreter interp(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.eval("(1 to 50) * isprime(4 to 100)"));
+  }
+}
+
 }  // namespace
 
 BENCHMARK(interpreterPath)->Name("refine/interpreter");
+BENCHMARK(interpreterVmPath)->Name("refine/interpreter_vm");
 BENCHMARK(kernelPath)->Name("refine/kernel_emitted");
 BENCHMARK(nativePath)->Name("refine/native_cpp");
 BENCHMARK(interpreterCompileCost)->Name("refine/interpreter_compile");
+BENCHMARK(interpreterVmCompileCost)->Name("refine/interpreter_vm_compile");
 
 BENCHMARK_MAIN();

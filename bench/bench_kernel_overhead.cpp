@@ -144,6 +144,43 @@ void goalDirectedSearch(benchmark::State& state) {
   }
 }
 
+// --- bytecode VM legs -------------------------------------------------------
+
+void vmGoalDirectedSearch(benchmark::State& state) {
+  // The same Section II search as goalDirectedSearch, run through the
+  // bytecode VM backend (compiled once, restarted per iteration).
+  interp::Interpreter::Options options;
+  options.backend = interp::Backend::kVm;
+  interp::Interpreter interp(options);
+  auto g = interp.eval("(1 to 10) * isprime(4 to 200)");
+  for (auto _ : state) {
+    g->restart();
+    std::int64_t count = 0;
+    while (g->nextValue()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+}
+
+void vmProcInvoke(benchmark::State& state) {
+  // VM counterpart of the method-body-cache rows: 1000 calls of a
+  // chunk-compiled procedure, bodies parked and rebound via BodyPool.
+  interp::Interpreter::Options options;
+  options.backend = interp::Backend::kVm;
+  interp::Interpreter interp(options);
+  interp.load("procedure bump(i)\n  return i + 1\nend");
+  const ProcPtr proc = interp.global("bump")->proc();
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+      auto g = proc->invoke({Value::integer(i)});
+      sum += g->nextValue()->smallInt();
+      g->nextValue();  // completion parks the body in the procedure pool
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
 void tracedRange(benchmark::State& state) {
   // The cost of monitoring: a counting hook on every next() (the paper's
   // future-work instrumentation). Compare with range_bare for the
@@ -171,5 +208,7 @@ BENCHMARK(methodBodyCacheOff)->Name("kernel/method_body_cache_off");
 BENCHMARK(methodBodyCacheOn)->Name("kernel/method_body_cache_on");
 BENCHMARK(productDepth)->Name("kernel/product_depth")->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 BENCHMARK(goalDirectedSearch)->Name("kernel/goal_directed_search");
+BENCHMARK(vmGoalDirectedSearch)->Name("kernel/goal_directed_search_vm");
+BENCHMARK(vmProcInvoke)->Name("kernel/proc_invoke_vm");
 
 BENCHMARK_MAIN();

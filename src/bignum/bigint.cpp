@@ -536,7 +536,13 @@ std::uint64_t powModU64(std::uint64_t base, std::uint64_t e, std::uint64_t m) no
 }  // namespace
 
 bool BigInt::isPrimeU64(std::uint64_t n) noexcept {
-  if (n < 2) return false;
+  if (n < 128) {
+    // Bitmask over the primes below 128: trial division and Miller-Rabin
+    // are both overkill down here, and small arguments dominate
+    // goal-directed search workloads.
+    static constexpr std::uint64_t kSmall[2] = {0x28208a20a08a28acull, 0x800228a202088288ull};
+    return (kSmall[n >> 6] >> (n & 63u)) & 1u;
+  }
   for (const std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
                                 29ull, 31ull, 37ull}) {
     if (n == p) return true;

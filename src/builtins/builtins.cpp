@@ -293,14 +293,15 @@ Table buildTable() {
 
   // ---- number theory (heavyweight hash components) --------------------
   addNative(t, "isprime", [](std::vector<Value>& args) -> std::optional<Value> {
-    const Value v = argOr(args, 0, Value::null());
     // Goal-directed: produce the argument if prime, otherwise fail
-    // (matches isprime() in the paper's Section II example).
-    if (v.isSmallInt()) {  // native path: no BigInt materialization
-      const auto n = v.smallInt();
+    // (matches isprime() in the paper's Section II example). Reads the
+    // argument in place: this sits on the interpreters' hot search path.
+    if (!args.empty() && args[0].isSmallInt()) {  // no BigInt materialization
+      const auto n = args[0].smallInt();
       if (n < 2 || !BigInt::isPrimeU64(static_cast<std::uint64_t>(n))) return std::nullopt;
-      return v;
+      return args[0];
     }
+    const Value v = argOr(args, 0, Value::null());
     if (!v.requireBigInt("isprime").isProbablePrime()) return std::nullopt;
     return v;
   });
@@ -557,9 +558,13 @@ const Table& table() {
 
 ProcPtr makeNative(std::string name,
                    std::function<std::optional<Value>(std::vector<Value>&)> fn) {
-  return ProcImpl::create(name, [fn = std::move(fn)](std::vector<Value> args) -> GenPtr {
+  auto proc = ProcImpl::create(name, [fn](std::vector<Value> args) -> GenPtr {
     return singleton(fn(args));
   });
+  // Expose the direct form too: the VM invokes simple natives without
+  // the singleton-generator wrapper (same fn, so same semantics).
+  proc->setNative(std::move(fn));
+  return proc;
 }
 
 ProcPtr makeNativeGen(std::string name, std::function<GenPtr(std::vector<Value>&)> fn) {

@@ -1,0 +1,144 @@
+// chunk.hpp — the compact bytecode form of a resolved procedure body.
+//
+// The third execution path (ROADMAP item 1): where the tree-walker
+// re-enters a chain of virtual doNext() calls per produced element, the
+// VM re-enters a flat dispatch loop at a saved pc. A Chunk is the static
+// half of that: fixed-width instructions, a constant table that reuses
+// the process-wide interned atoms and builtin constants, a line map for
+// diagnostics, and the side tables the resumable machine needs —
+// loop shapes, escape sites (subtrees that still run on the tree
+// kernel), and the &error conversion-handler map.
+//
+// Goal-directed failure is a jump target here: `kMark` opens a bounded
+// region with a failure continuation pc, and `kEfail` either resumes the
+// innermost suspension above the current mark or pops the mark and jumps
+// to its failure pc (the paper's outcome protocol, flattened).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "kernel/ops.hpp"  // BinKind / UnKind — shared with the tree kernel
+#include "runtime/value.hpp"
+
+namespace congen::interp::vm {
+
+using congen::BinKind;
+using congen::UnKind;
+
+enum class Op : std::uint8_t {
+  // -- values ----------------------------------------------------------
+  kConst,     // a: constant index — push {value}
+  kLoadVar,   // a: var-table index — push {var->get(), var}; b=1: ref-stripped
+  kLoadSlot,  // a: frame slot — push {cell->get(), cell}; b=1: ref-stripped
+  kLoadLate,  // a: frame slot (a LateBoundVar), b: inline-cache index
+  kPop,       // discard the top stack entry
+
+  // -- control ---------------------------------------------------------
+  kMark,      // a: failure pc — open a bounded region
+  kUnmark,    // close the innermost region, dropping its suspensions
+  kJump,      // a: target pc
+  kEfail,     // goal-directed failure: resume or unwind
+  kYield,     // top-level expression result (scope-mode chunks)
+  kSuspend,   // `suspend e`: yield the top entry flagged kSuspend
+  kReturn,    // `return e`: yield flagged kReturn, then terminate
+  kFailBody,  // `fail`: yield {&null, kFailBody}, then terminate
+
+  // -- operators (b = bracket start pc: the &error conversion span) ----
+  kBinOp,      // a: BinKind — pop r, l; push fn(l,r) or efail
+  kUnOp,       // a: UnKind — pop r; push fn(r) or efail
+  kAssign,     // pop r, l; l.ref->set(r.value); push {r.value, l.ref}
+  kAugAssign,  // a: BinKind — pop r, l; combine-and-store
+  kSwap,       // pop r, l; exchange; push {old r, l.ref}
+  kIndex,      // pop i, c; push element (trapped var) or efail
+  kField,      // a: field-name constant index — pop o; push field var
+  kSlice,      // pop to, from, c; push section or efail
+  kListLit,    // a: element count — pop n entries; push the list
+  kInvoke,     // a: argc — pop args and callee; drive the call
+  kToBy,       // pop by, to, from; inline int range or drive a RangeGen
+
+  // -- generators ------------------------------------------------------
+  kPromote,    // !e — pop v; drive PromoteGen::makeElementGen(v)
+  kIn,         // (x in e) — a: slot or var index, b: 1 = frame slot;
+               // assign the top value to the var, re-ref the top entry
+  kAltBegin,   // a: pc of the second branch — push an Alt suspension
+  kRaltBegin,  // |e — a: static ralt depth — push a Ralt record
+  kRaltNote,   // a: ralt depth — mark the pass as productive
+  kLimitBegin, // e1\e2 — a: static limit depth, b: pc of e1 — pop the
+               // bound, push a Limit record, jump to e1
+  kLimitExit,  // a: limit depth — count one value through the limit
+
+  // -- loops -----------------------------------------------------------
+  kLoopBegin,    // a: loop-shape index — push a loop record
+  kLoopBodyMark, // a: failure pc — body-bounded mark, registered on the
+                 // innermost loop record (the `next` re-entry point)
+  kLoopEnd,      // pop the innermost loop record
+  kBreak,        // a: static loop depth — unwind to the loop entry, efail
+  kNext,         // a: loop depth, b: 1 = body position
+  kThrowBreak,   // break with no enclosing loop in this chunk
+  kThrowNext,    // next with no enclosing loop in this chunk
+
+  // -- tree escapes ----------------------------------------------------
+  kEscape,  // a: escape-site index — drive a tree-compiled subtree
+};
+
+/// Fixed-width instruction. Two operands cover every op; the bracket
+/// operand of convertible ops rides in `b` uniformly.
+struct Insn {
+  Op op;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+};
+
+/// A subtree that still executes on the tree kernel (scanning, case,
+/// co-expression creation, keyword variables, reversible assignment):
+/// the machine drives the compiled Gen through the same next() protocol
+/// the tree uses, so exactness is inherited rather than re-proven.
+/// Subgens are built eagerly at machine construction — the same moment
+/// the tree compiler would build them.
+struct EscapeSite {
+  ast::NodePtr node;
+  bool stmtPos = false;       // compile via statement() vs expr()
+  std::int32_t loopDepth = -1; // innermost chunk loop at the site (-1: none)
+  bool inLoopBody = false;     // body vs control position of that loop
+};
+
+struct LoopShape {
+  enum class Kind : std::uint8_t { Every, While, Until, Repeat };
+  Kind kind;
+  std::int32_t topPc = -1;  // control re-entry pc (While/Until/Repeat)
+};
+
+/// One compiled body or expression.
+struct Chunk {
+  std::string name;                 // procedure name or "<expr>"
+  std::vector<Insn> code;
+  std::vector<std::int32_t> lines;  // per-insn source line (diagnostics)
+  std::vector<Value> consts;        // interned atoms / builtin constants
+  std::vector<VarPtr> vars;         // compile-time-resolved variables
+  std::vector<std::string> varNames;
+  std::vector<EscapeSite> escapes;
+  std::vector<LoopShape> loops;
+  /// convHandler[pc]: pc of the innermost enclosing convertible op whose
+  /// operand span contains pc, or -1. An IconError raised at pc converts
+  /// (under &error credit) by failing exactly that op's node — the
+  /// flattened equivalent of the UnOp/BinOp/Delegate catch clauses.
+  std::vector<std::int32_t> convHandler;
+  std::int32_t nCaches = 0;  // inline-cache slots (kLoadLate sites)
+  std::int32_t nSlots = 0;   // frame slots (0 for scope-mode chunks)
+  bool scopeMode = false;    // resolved against a Scope, not a Frame
+  bool poolable = false;     // carried over from FrameLayout (PR 3)
+};
+
+using ChunkPtr = std::shared_ptr<const Chunk>;
+
+/// Human-readable listing (congen-dis, the dis_golden tests).
+std::string disassemble(const Chunk& chunk);
+
+/// Op mnemonic (stable: golden disassembly depends on these spellings).
+const char* opName(Op op);
+
+}  // namespace congen::interp::vm

@@ -1,0 +1,670 @@
+#include "interp/compiler.hpp"
+
+#include <stdexcept>
+
+#include "builtins/builtins.hpp"
+#include "runtime/atom.hpp"
+#include "runtime/error.hpp"
+
+namespace congen::interp::vm {
+
+using ast::Kind;
+using ast::NodePtr;
+
+namespace {
+
+// Same literal syntax as the tree compiler (interpreter.cpp): optional
+// NrDIGITS radix prefix, arbitrary precision.
+Value parseIntLiteral(const std::string& text) {
+  const auto r = text.find_first_of("rR");
+  if (r != std::string::npos) {
+    const unsigned radix = static_cast<unsigned>(std::stoul(text.substr(0, r)));
+    return Value::integer(BigInt::fromString(text.substr(r + 1), radix));
+  }
+  return Value::integer(BigInt::fromString(text, 10));
+}
+
+/// Ops whose node is an &error conversion point — exactly the tree nodes
+/// built on UnOpGen/BinOpGen/DelegateGen, which carry the convert-to-
+/// failure catch in the tree backend.
+bool isConvertible(Op op) {
+  switch (op) {
+    case Op::kBinOp:
+    case Op::kUnOp:
+    case Op::kAssign:
+    case Op::kAugAssign:
+    case Op::kSwap:
+    case Op::kIndex:
+    case Op::kField:
+    case Op::kSlice:
+    case Op::kListLit:
+    case Op::kInvoke:
+    case Op::kToBy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Emission plumbing
+// ---------------------------------------------------------------------
+
+std::int32_t ChunkCompiler::emit(Op op, std::int32_t a, std::int32_t b) {
+  chunk_.code.push_back(Insn{op, a, b});
+  chunk_.lines.push_back(curLine_);
+  return static_cast<std::int32_t>(chunk_.code.size()) - 1;
+}
+
+std::int32_t ChunkCompiler::constIdx(const Value& v) {
+  // Scalars and interned atoms/builtins dedup by rendered identity; the
+  // only non-scalar constants are the process-interned builtin values
+  // (one per name), for which the image is unique.
+  const std::string key = v.typeName() + '\x1f' + v.image();
+  const auto [it, inserted] =
+      constKeys_.try_emplace(key, static_cast<std::int32_t>(chunk_.consts.size()));
+  if (inserted) chunk_.consts.push_back(v);
+  return it->second;
+}
+
+std::int32_t ChunkCompiler::varIdx(const VarPtr& var, const std::string& name) {
+  const auto [it, inserted] =
+      varKeys_.try_emplace(var.get(), static_cast<std::int32_t>(chunk_.vars.size()));
+  if (inserted) {
+    chunk_.vars.push_back(var);
+    chunk_.varNames.push_back(name);
+  }
+  return it->second;
+}
+
+ChunkPtr ChunkCompiler::finish() {
+  chunk_.nSlots = layout_ ? static_cast<std::int32_t>(layout_->slotCount()) : 0;
+  chunk_.scopeMode = layout_ == nullptr;
+  chunk_.poolable = layout_ && layout_->poolable;
+  // Innermost-enclosing-convertible-op table: process ops in emission
+  // order (operands emit before their op, so inner ops come first) and
+  // claim each pc of the op's bracket span only where unclaimed.
+  chunk_.convHandler.assign(chunk_.code.size(), -1);
+  for (std::size_t pc = 0; pc < chunk_.code.size(); ++pc) {
+    const Insn& ins = chunk_.code[pc];
+    if (!isConvertible(ins.op)) continue;
+    for (std::int32_t q = ins.b; q <= static_cast<std::int32_t>(pc); ++q) {
+      if (chunk_.convHandler[static_cast<std::size_t>(q)] == -1) {
+        chunk_.convHandler[static_cast<std::size_t>(q)] = static_cast<std::int32_t>(pc);
+      }
+    }
+  }
+  return std::make_shared<Chunk>(std::move(chunk_));
+}
+
+ChunkPtr ChunkCompiler::compileBody(const std::string& name, const NodePtr& body) {
+  chunk_.name = name;
+  statement(body);
+  // A Block never falls through (its trailing kEfail is the body-mode
+  // fail-at-end); for any other body shape, drain plain results exactly
+  // like BodyRootGen: discard and resume until exhaustion.
+  emit(Op::kPop);
+  emit(Op::kEfail);
+  return finish();
+}
+
+ChunkPtr ChunkCompiler::compileExpr(const NodePtr& e) {
+  chunk_.name = "<expr>";
+  expr(e);
+  emit(Op::kYield);
+  return finish();
+}
+
+ChunkPtr ChunkCompiler::compileStmt(const NodePtr& s) {
+  chunk_.name = "<stmt>";
+  statement(s);
+  emit(Op::kYield);
+  return finish();
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+/// Compile an operand whose consumer never reads the variable reference
+/// (invoke callees/args, to-by bounds, subscripts, …). When the operand
+/// is a bare variable load, the ref push is stripped (b=1): suspension
+/// slices spanning the operand then skip the VarPtr refcount churn on
+/// every backtracking restore.
+void ChunkCompiler::valueOperand(const NodePtr& n) {
+  const std::int32_t from = here();
+  expr(n);
+  if (here() != from + 1) return;  // not a single-instruction operand
+  Insn& ins = chunk_.code.back();
+  if (ins.op == Op::kLoadVar || ins.op == Op::kLoadSlot) ins.b = 1;
+}
+
+void ChunkCompiler::expr(const NodePtr& n) {
+  if (n->line > 0) curLine_ = n->line;
+  switch (n->kind) {
+    case Kind::IntLit: emit(Op::kConst, constIdx(parseIntLiteral(n->text))); return;
+    case Kind::RealLit: emit(Op::kConst, constIdx(Value::real(std::stod(n->text)))); return;
+    case Kind::StrLit: emit(Op::kConst, constIdx(atomString(n->text))); return;
+    case Kind::NullLit: emit(Op::kConst, constIdx(Value::null())); return;
+    case Kind::FailLit: emit(Op::kEfail); return;
+    case Kind::Ident:
+    case Kind::TempRef: identifier(n); return;
+    case Kind::KeywordVar: escape(n, /*stmtPos=*/false); return;
+    case Kind::ListLit: {
+      const std::int32_t bracket = here();
+      for (const auto& k : n->kids) valueOperand(k);
+      emit(Op::kListLit, static_cast<std::int32_t>(n->kids.size()), bracket);
+      return;
+    }
+    case Kind::Binary: binary(n); return;
+    case Kind::Unary: unary(n); return;
+    case Kind::Assign: {
+      if (n->text == "<-") { escape(n, /*stmtPos=*/false); return; }
+      const std::int32_t bracket = here();
+      expr(n->kids[0]);
+      expr(n->kids[1]);
+      if (n->text == ":=") {
+        emit(Op::kAssign, 0, bracket);
+      } else {
+        const auto op = std::string_view(n->text).substr(0, n->text.size() - 2);
+        const auto k = binKindOf(op);
+        if (!k) throw std::invalid_argument("unknown binary operator: " + std::string(op));
+        emit(Op::kAugAssign, static_cast<std::int32_t>(*k), bracket);
+      }
+      return;
+    }
+    case Kind::Swap: {
+      if (n->text == "<->") { escape(n, /*stmtPos=*/false); return; }
+      const std::int32_t bracket = here();
+      expr(n->kids[0]);
+      expr(n->kids[1]);
+      emit(Op::kSwap, 0, bracket);
+      return;
+    }
+    case Kind::ToBy: {
+      const std::int32_t bracket = here();
+      valueOperand(n->kids[0]);
+      valueOperand(n->kids[1]);
+      if (n->kids.size() > 2) {
+        valueOperand(n->kids[2]);
+      } else {
+        emit(Op::kConst, constIdx(Value::integer(1)));
+      }
+      emit(Op::kToBy, 0, bracket);
+      return;
+    }
+    case Kind::Limit: {
+      // Compile order matches the tree (e1 before the bound — temp
+      // declarations are compile-time effects); evaluation order matches
+      // LimitGen (bound first, bounded): hop over e1 to the bound, then
+      // kLimitBegin jumps back.
+      const std::int32_t jOver = emit(Op::kJump);
+      const std::int32_t depth = limitDepth_++;
+      const std::int32_t exprPc = here();
+      expr(n->kids[0]);
+      emit(Op::kLimitExit, depth);
+      const std::int32_t jEnd = emit(Op::kJump);
+      patchA(jOver, here());
+      const std::int32_t mark = emit(Op::kMark);
+      valueOperand(n->kids[1]);
+      emit(Op::kUnmark);
+      emit(Op::kLimitBegin, depth, exprPc);
+      patchA(mark, here());
+      emit(Op::kEfail);  // bound failed: the limit fails
+      patchA(jEnd, here());
+      --limitDepth_;
+      return;
+    }
+    case Kind::Index: {
+      const std::int32_t bracket = here();
+      valueOperand(n->kids[0]);
+      valueOperand(n->kids[1]);
+      emit(Op::kIndex, 0, bracket);
+      return;
+    }
+    case Kind::Slice: {
+      const std::int32_t bracket = here();
+      valueOperand(n->kids[0]);
+      valueOperand(n->kids[1]);
+      valueOperand(n->kids[2]);
+      emit(Op::kSlice, 0, bracket);
+      return;
+    }
+    case Kind::Field: {
+      const std::int32_t bracket = here();
+      valueOperand(n->kids[0]);
+      emit(Op::kField, constIdx(atomString(n->text)), bracket);
+      return;
+    }
+    case Kind::Invoke: {
+      const std::int32_t bracket = here();
+      for (const auto& k : n->kids) valueOperand(k);
+      emit(Op::kInvoke, static_cast<std::int32_t>(n->kids.size()) - 1, bracket);
+      return;
+    }
+    case Kind::NativeInvoke: {
+      // recv::name(args): this::f(x) calls f(x); anything else calls
+      // f(recv, x...). The callee name's resolution rides on the node.
+      const std::int32_t bracket = here();
+      const NodePtr& recv = n->kids[0];
+      const bool isThis = recv->kind == Kind::Ident && recv->text == "this";
+      {
+        const std::int32_t calleeFrom = here();
+        identifier(n);
+        if (here() == calleeFrom + 1) {
+          Insn& callee = chunk_.code.back();
+          if (callee.op == Op::kLoadVar || callee.op == Op::kLoadSlot) callee.b = 1;
+        }
+      }
+      std::int32_t argc = 0;
+      if (!isThis) {
+        valueOperand(recv);
+        ++argc;
+      }
+      for (std::size_t i = 1; i < n->kids.size(); ++i) {
+        valueOperand(n->kids[i]);
+        ++argc;
+      }
+      emit(Op::kInvoke, argc, bracket);
+      return;
+    }
+    case Kind::ExprSeq: {
+      if (n->kids.empty()) {
+        emit(Op::kConst, constIdx(Value::null()));
+        return;
+      }
+      for (std::size_t i = 0; i + 1 < n->kids.size(); ++i) {
+        const std::int32_t mark = emit(Op::kMark);
+        statement(n->kids[i]);
+        emit(Op::kUnmark);
+        emit(Op::kPop);
+        patchA(mark, here());
+      }
+      statement(n->kids.back());  // last term delegates (Expression mode)
+      return;
+    }
+    case Kind::Not: {
+      const std::int32_t mark = emit(Op::kMark);
+      expr(n->kids[0]);
+      emit(Op::kUnmark);
+      emit(Op::kPop);
+      emit(Op::kEfail);  // e succeeded: not e fails
+      patchA(mark, here());
+      emit(Op::kConst, constIdx(Value::null()));
+      return;
+    }
+    case Kind::BoundIter: {
+      valueOperand(n->kids[0]);
+      if (layout_ && n->slot >= 0) {
+        emit(Op::kIn, n->slot, 1);
+      } else {
+        emit(Op::kIn, varIdx(scope_->declare(n->text), n->text), 0);
+      }
+      return;
+    }
+    case Kind::IfStmt:
+    case Kind::Block:
+    case Kind::EveryStmt:
+    case Kind::WhileStmt:
+    case Kind::UntilStmt:
+    case Kind::RepeatStmt:
+    case Kind::CaseStmt:
+    case Kind::SuspendStmt:
+      statement(n);
+      return;
+    default:
+      throw IconError(600, "cannot evaluate node in expression position: " + ast::dump(n));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+void ChunkCompiler::statement(const NodePtr& n) {
+  if (n->line > 0) curLine_ = n->line;
+  switch (n->kind) {
+    case Kind::Block: {
+      for (const auto& k : n->kids) {
+        const std::int32_t mark = emit(Op::kMark);
+        statement(k);
+        emit(Op::kUnmark);
+        emit(Op::kPop);
+        patchA(mark, here());
+      }
+      emit(Op::kEfail);  // body mode: fail at the end
+      return;
+    }
+    case Kind::ExprStmt: expr(n->kids[0]); return;
+    case Kind::DeclList: {
+      bool anyInit = false;
+      for (const auto& decl : n->kids) {
+        const bool slotted = layout_ && decl->slot >= 0;
+        VarPtr var;
+        if (!slotted) var = scope_->declare(decl->text);  // compile-time, like the tree
+        if (decl->kids.empty()) continue;
+        anyInit = true;
+        const std::int32_t mark = emit(Op::kMark);
+        const std::int32_t bracket = here();
+        if (slotted) {
+          slotLoad(decl->slot);
+        } else {
+          emit(Op::kLoadVar, varIdx(var, decl->text));
+        }
+        expr(decl->kids[0]);
+        emit(Op::kAssign, 0, bracket);
+        emit(Op::kUnmark);
+        emit(Op::kPop);
+        patchA(mark, here());
+      }
+      if (anyInit) {
+        emit(Op::kEfail);  // SeqGen body mode over the inits
+      } else {
+        emit(Op::kConst, constIdx(Value::null()));
+      }
+      return;
+    }
+    case Kind::EveryStmt: loop(n, LoopShape::Kind::Every); return;
+    case Kind::WhileStmt: loop(n, LoopShape::Kind::While); return;
+    case Kind::UntilStmt: loop(n, LoopShape::Kind::Until); return;
+    case Kind::RepeatStmt: loop(n, LoopShape::Kind::Repeat); return;
+    case Kind::IfStmt: {
+      const std::int32_t mark = emit(Op::kMark);
+      expr(n->kids[0]);
+      emit(Op::kUnmark);  // condition is bounded; the branch decides
+      emit(Op::kPop);
+      statement(n->kids[1]);
+      const std::int32_t jEnd = emit(Op::kJump);
+      patchA(mark, here());
+      if (n->kids.size() > 2) {
+        statement(n->kids[2]);
+      } else {
+        emit(Op::kEfail);  // no else: if fails with the condition
+      }
+      patchA(jEnd, here());
+      return;
+    }
+    case Kind::SuspendStmt: {
+      if (n->kids.empty()) {
+        emit(Op::kConst, constIdx(Value::null()));
+      } else {
+        expr(n->kids[0]);
+      }
+      emit(Op::kSuspend);
+      return;
+    }
+    case Kind::ReturnStmt: {
+      const std::int32_t mark = emit(Op::kMark);
+      if (n->kids.empty()) {
+        emit(Op::kConst, constIdx(Value::null()));
+      } else {
+        expr(n->kids[0]);
+      }
+      emit(Op::kReturn);
+      patchA(mark, here());
+      emit(Op::kFailBody);  // `return e` with failing e fails the body
+      return;
+    }
+    case Kind::FailStmt: emit(Op::kFailBody); return;
+    case Kind::BreakStmt: {
+      if (loopCtx_.empty()) {
+        emit(Op::kThrowBreak);  // signal an enclosing tree loop, if any
+      } else {
+        emit(Op::kBreak, static_cast<std::int32_t>(loopCtx_.size()) - 1);
+      }
+      return;
+    }
+    case Kind::NextStmt: {
+      if (loopCtx_.empty()) {
+        emit(Op::kThrowNext);
+      } else {
+        emit(Op::kNext, static_cast<std::int32_t>(loopCtx_.size()) - 1,
+             loopCtx_.back().inBody ? 1 : 0);
+      }
+      return;
+    }
+    case Kind::CaseStmt: escape(n, /*stmtPos=*/true); return;
+    case Kind::RecordDecl: {
+      interp_.globalScope()->declare(n->text, Value::proc(Interpreter::makeRecordConstructor(n)));
+      emit(Op::kConst, constIdx(Value::null()));
+      return;
+    }
+    case Kind::GlobalDecl: {
+      const ScopePtr& globals = interp_.globalScope();
+      for (const auto& name : n->kids) {
+        if (!globals->lookup(name->text)) globals->declare(name->text);
+      }
+      emit(Op::kConst, constIdx(Value::null()));
+      return;
+    }
+    case Kind::Def: {
+      interp_.globalScope()->declare(n->text, Value::proc(interp_.makeProcedure(n)));
+      emit(Op::kConst, constIdx(Value::null()));
+      return;
+    }
+    default: expr(n); return;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Identifiers — the exact tree-compiler fallback chain
+// ---------------------------------------------------------------------
+
+void ChunkCompiler::slotLoad(std::int32_t slot) {
+  if (layout_->late[static_cast<std::size_t>(slot)]) {
+    emit(Op::kLoadLate, slot, chunk_.nCaches++);
+  } else {
+    emit(Op::kLoadSlot, slot);
+  }
+}
+
+void ChunkCompiler::identifier(const NodePtr& n) {
+  if (layout_) {
+    switch (n->res) {
+      case ast::Res::Slot:
+      case ast::Res::Late:
+        slotLoad(n->slot);
+        return;
+      case ast::Res::Global:
+        if (auto var = interp_.globalScope()->lookup(n->text)) {
+          emit(Op::kLoadVar, varIdx(var, n->text));
+          return;
+        }
+        break;  // resolved-away global: fall back by name
+      case ast::Res::Builtin:
+        if (const Value* b = builtins::lookupConst(n->text)) {
+          emit(Op::kConst, constIdx(*b));
+          return;
+        }
+        break;
+      case ast::Res::Unresolved:
+        if (const auto slot = layout_->slotOf(n->text); slot >= 0) {
+          slotLoad(slot);
+          return;
+        }
+        break;
+    }
+  }
+  if (auto var = scope_->lookup(n->text)) {
+    emit(Op::kLoadVar, varIdx(var, n->text));
+    return;
+  }
+  if (const Value* b = builtins::lookupConst(n->text)) {
+    emit(Op::kConst, constIdx(*b));
+    return;
+  }
+  // Undeclared: implicitly local to the compile scope (Unicon default).
+  emit(Op::kLoadVar, varIdx(scope_->declare(n->text), n->text));
+}
+
+// ---------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------
+
+void ChunkCompiler::binary(const NodePtr& n) {
+  if (n->text == "&") {  // product: left's value is discarded, kept as a
+    expr(n->kids[0]);    // backtrack point by its suspensions
+    emit(Op::kPop);
+    expr(n->kids[1]);
+    return;
+  }
+  if (n->text == "|") {
+    const std::int32_t alt = emit(Op::kAltBegin);
+    expr(n->kids[0]);
+    const std::int32_t jEnd = emit(Op::kJump);
+    patchA(alt, here());
+    expr(n->kids[1]);
+    patchA(jEnd, here());
+    return;
+  }
+  if (n->text == "?") {  // string scanning: tree-kernel escape
+    escape(n, /*stmtPos=*/false);
+    return;
+  }
+  const std::int32_t bracket = here();
+  const auto k = binKindOf(n->text);
+  if (!k) throw std::invalid_argument("unknown binary operator: " + n->text);
+  valueOperand(n->kids[0]);
+  valueOperand(n->kids[1]);
+  emit(Op::kBinOp, static_cast<std::int32_t>(*k), bracket);
+}
+
+void ChunkCompiler::unary(const NodePtr& n) {
+  const std::string& op = n->text;
+  if (op == "!") {
+    valueOperand(n->kids[0]);
+    emit(Op::kPromote);
+    return;
+  }
+  if (op == "@" || op == "^" || op == "<>" || op == "|<>" || op == "|>") {
+    escape(n, /*stmtPos=*/false);
+    return;
+  }
+  if (op == "|") {  // repeated alternation
+    const std::int32_t depth = raltDepth_++;
+    emit(Op::kRaltBegin, depth);
+    expr(n->kids[0]);
+    emit(Op::kRaltNote, depth);
+    --raltDepth_;
+    return;
+  }
+  const std::int32_t bracket = here();
+  const auto k = unKindOf(op);
+  if (!k) throw std::invalid_argument("unknown unary operator: " + op);
+  // \e and /e pass the operand's variable reference through; every other
+  // unary operator reads the value only.
+  if (*k == UnKind::NonNull || *k == UnKind::IfNull) {
+    expr(n->kids[0]);
+  } else {
+    valueOperand(n->kids[0]);
+  }
+  emit(Op::kUnOp, static_cast<std::int32_t>(*k), bracket);
+}
+
+// ---------------------------------------------------------------------
+// Loops
+// ---------------------------------------------------------------------
+
+void ChunkCompiler::loop(const NodePtr& n, LoopShape::Kind kind) {
+  const std::int32_t shapeIdx = static_cast<std::int32_t>(chunk_.loops.size());
+  chunk_.loops.push_back(LoopShape{kind, -1});
+  emit(Op::kLoopBegin, shapeIdx);
+  loopCtx_.push_back(LoopCtx{shapeIdx, false});
+  const bool hasBody = n->kids.size() > 1 && n->kids[1] != nullptr;
+
+  switch (kind) {
+    case LoopShape::Kind::Every: {
+      const std::int32_t mExh = emit(Op::kMark);
+      expr(n->kids[0]);  // control generator: NOT bounded
+      emit(Op::kPop);
+      if (hasBody) {
+        const std::int32_t mBody = emit(Op::kLoopBodyMark);  // → resume point
+        loopCtx_.back().inBody = true;
+        statement(n->kids[1]);
+        emit(Op::kUnmark);
+        emit(Op::kPop);
+        patchA(mBody, here());
+      }
+      emit(Op::kEfail);  // resume the control generator
+      patchA(mExh, here());
+      emit(Op::kLoopEnd);
+      emit(Op::kEfail);
+      break;
+    }
+    case LoopShape::Kind::While: {
+      const std::int32_t top = here();
+      chunk_.loops[static_cast<std::size_t>(shapeIdx)].topPc = top;
+      const std::int32_t mExh = emit(Op::kMark);
+      expr(n->kids[0]);
+      emit(Op::kUnmark);  // condition bounded per iteration
+      emit(Op::kPop);
+      if (hasBody) {
+        const std::int32_t mBody = emit(Op::kLoopBodyMark, top);
+        loopCtx_.back().inBody = true;
+        statement(n->kids[1]);
+        emit(Op::kUnmark);
+        emit(Op::kPop);
+        (void)mBody;
+      }
+      emit(Op::kJump, top);
+      patchA(mExh, here());
+      emit(Op::kLoopEnd);
+      emit(Op::kEfail);
+      break;
+    }
+    case LoopShape::Kind::Until: {
+      const std::int32_t top = here();
+      chunk_.loops[static_cast<std::size_t>(shapeIdx)].topPc = top;
+      const std::int32_t mBody = emit(Op::kMark);  // condition FAILS → body
+      expr(n->kids[0]);
+      emit(Op::kUnmark);
+      emit(Op::kPop);
+      emit(Op::kLoopEnd);  // condition succeeded: loop over (and fails)
+      emit(Op::kEfail);
+      patchA(mBody, here());
+      if (hasBody) {
+        const std::int32_t mb = emit(Op::kLoopBodyMark, top);
+        loopCtx_.back().inBody = true;
+        statement(n->kids[1]);
+        emit(Op::kUnmark);
+        emit(Op::kPop);
+        (void)mb;
+      }
+      emit(Op::kJump, top);
+      break;
+    }
+    case LoopShape::Kind::Repeat: {
+      const std::int32_t top = here();
+      chunk_.loops[static_cast<std::size_t>(shapeIdx)].topPc = top;
+      emit(Op::kLoopBodyMark, top);  // body failure restarts the body
+      loopCtx_.back().inBody = true;
+      statement(n->kids[0]);
+      emit(Op::kUnmark);
+      emit(Op::kPop);
+      emit(Op::kJump, top);
+      break;
+    }
+  }
+  loopCtx_.pop_back();
+}
+
+// ---------------------------------------------------------------------
+// Escapes
+// ---------------------------------------------------------------------
+
+void ChunkCompiler::escape(const NodePtr& n, bool stmtPos) {
+  EscapeSite site;
+  site.node = n;
+  site.stmtPos = stmtPos;
+  if (!loopCtx_.empty()) {
+    site.loopDepth = static_cast<std::int32_t>(loopCtx_.size()) - 1;
+    site.inLoopBody = loopCtx_.back().inBody;
+  }
+  const std::int32_t idx = static_cast<std::int32_t>(chunk_.escapes.size());
+  chunk_.escapes.push_back(std::move(site));
+  emit(Op::kEscape, idx);
+}
+
+}  // namespace congen::interp::vm

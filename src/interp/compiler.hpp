@@ -1,0 +1,87 @@
+// compiler.hpp — resolver-annotated AST → bytecode chunk.
+//
+// The same two modes as the tree compiler (interpreter.cpp):
+//  - scope mode (top-level statements, eval): identifiers resolve against
+//    a Scope chain at COMPILE time and bake as direct VarPtr loads, with
+//    implicit declaration on first use;
+//  - frame mode (procedure bodies): the PR 3 resolution pass has already
+//    classified every name, so identifiers compile to kLoadSlot /
+//    kLoadLate against the activation frame, and poolability/slot counts
+//    carry over from the FrameLayout unchanged.
+//
+// Compile order equals tree-compile order node for node (declarations
+// and temp bindings are compile-time side effects), even where the
+// emitted layout differs (e1\e2 emits e1 first but jumps to evaluate the
+// bound first, exactly as LimitGen does).
+#pragma once
+
+#include <string>
+
+#include "interp/chunk.hpp"
+#include "interp/interpreter.hpp"
+#include "interp/resolver.hpp"
+
+namespace congen::interp::vm {
+
+class ChunkCompiler {
+ public:
+  /// Scope mode.
+  ChunkCompiler(Interpreter& interp, ScopePtr scope)
+      : interp_(interp), scope_(std::move(scope)) {}
+
+  /// Frame mode: `scope` is the global scope (the fallback chain the
+  /// tree compiler uses for resolved-away names).
+  ChunkCompiler(Interpreter& interp, ScopePtr scope, const FrameLayout* layout)
+      : interp_(interp), scope_(std::move(scope)), layout_(layout) {}
+
+  /// One chunk per procedure body (frame mode).
+  ChunkPtr compileBody(const std::string& name, const ast::NodePtr& body);
+
+  /// Expression chunk ending in kYield (eval).
+  ChunkPtr compileExpr(const ast::NodePtr& e);
+
+  /// Top-level statement chunk ending in kYield (loadProgram).
+  ChunkPtr compileStmt(const ast::NodePtr& s);
+
+ private:
+  struct LoopCtx {
+    std::int32_t shapeIdx;
+    bool inBody = false;
+  };
+
+  // -- emission ---------------------------------------------------------
+  std::int32_t emit(Op op, std::int32_t a = 0, std::int32_t b = 0);
+  [[nodiscard]] std::int32_t here() const noexcept {
+    return static_cast<std::int32_t>(chunk_.code.size());
+  }
+  void patchA(std::int32_t pc, std::int32_t v) { chunk_.code[static_cast<std::size_t>(pc)].a = v; }
+  void patchB(std::int32_t pc, std::int32_t v) { chunk_.code[static_cast<std::size_t>(pc)].b = v; }
+
+  std::int32_t constIdx(const Value& v);
+  std::int32_t varIdx(const VarPtr& var, const std::string& name);
+  ChunkPtr finish();
+
+  // -- per-node emitters (mirror the tree compiler's switch) ------------
+  void expr(const ast::NodePtr& n);
+  void valueOperand(const ast::NodePtr& n);
+  void statement(const ast::NodePtr& n);
+  void identifier(const ast::NodePtr& n);
+  void slotLoad(std::int32_t slot);
+  void binary(const ast::NodePtr& n);
+  void unary(const ast::NodePtr& n);
+  void loop(const ast::NodePtr& n, LoopShape::Kind kind);
+  void escape(const ast::NodePtr& n, bool stmtPos);
+
+  Interpreter& interp_;
+  ScopePtr scope_;
+  const FrameLayout* layout_ = nullptr;  // frame mode only
+  Chunk chunk_;
+  std::int32_t curLine_ = 0;
+  std::vector<LoopCtx> loopCtx_;
+  std::int32_t limitDepth_ = 0;
+  std::int32_t raltDepth_ = 0;
+  std::unordered_map<std::string, std::int32_t> constKeys_;
+  std::unordered_map<const Var*, std::int32_t> varKeys_;
+};
+
+}  // namespace congen::interp::vm

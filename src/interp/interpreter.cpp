@@ -1,13 +1,17 @@
 #include "interp/interpreter.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <mutex>
+#include <string_view>
 
 #include "builtins/builtins.hpp"
 #include "concur/pipe.hpp"
 #include "frontend/parser.hpp"
+#include "interp/compiler.hpp"
 #include "interp/frame.hpp"
 #include "interp/resolver.hpp"
+#include "interp/vm.hpp"
 #include "kernel/basic.hpp"
 #include "kernel/compose.hpp"
 #include "kernel/control.hpp"
@@ -39,6 +43,14 @@ Value parseIntLiteral(const std::string& text) {
 }
 
 }  // namespace
+
+Backend defaultBackend() {
+  static const Backend b = [] {
+    const char* env = std::getenv("CONGEN_BACKEND");
+    return env != nullptr && std::string_view(env) == "vm" ? Backend::kVm : Backend::kTree;
+  }();
+  return b;
+}
 
 /// Compiles AST nodes to kernel generator trees. Two modes:
 ///  - scope mode (top-level, eval, co-expression bodies): names resolve
@@ -218,7 +230,9 @@ class Compiler {
         return NullGen::create();
       }
       case Kind::Def: {
-        interp_.globals_->declare(n->text, Value::proc(makeProc(n)));
+        // Nested definitions honour the configured backend, like
+        // top-level ones.
+        interp_.globals_->declare(n->text, Value::proc(interp_.makeProcedure(n)));
         return NullGen::create();
       }
       default: return expr(n);
@@ -481,10 +495,12 @@ void Interpreter::load(const std::string& source) {
 void Interpreter::loadProgram(const ast::NodePtr& program) {
   if (obs::metricsEnabled()) [[unlikely]] obs::KernelStats::get().interpLoads.add(1);
   ast::NodePtr prog = options_.normalize ? transform::normalizeProgram(program) : program;
-  Compiler compiler(*this, globals_);
   for (const auto& item : prog->kids) {
     if (item->kind == Kind::Def) {
-      globals_->declare(item->text, Value::proc(compiler.makeProc(item)));
+      globals_->declare(item->text, Value::proc(makeProcedure(item)));
+    } else if (options_.backend == Backend::kVm) {
+      vm::ChunkCompiler cc(*this, globals_);
+      vm::VmGen::create(*this, cc.compileStmt(item), globals_, nullptr, nullptr)->next();
     } else {
       // Top-level statements run immediately, bounded, like Icon's
       // outermost level of iteration.
@@ -500,6 +516,10 @@ GenPtr Interpreter::eval(const std::string& source) {
   if (options_.normalize) {
     transform::TempNames names;
     tree = transform::normalize(tree, names);
+  }
+  if (options_.backend == Backend::kVm) {
+    vm::ChunkCompiler cc(*this, globals_);
+    return vm::VmGen::create(*this, cc.compileExpr(tree), globals_, nullptr, nullptr);
   }
   return compileExpr(tree, globals_);
 }
@@ -542,6 +562,81 @@ std::optional<Value> Interpreter::global(const std::string& name) const {
 GenPtr Interpreter::compileExpr(const ast::NodePtr& node, const ScopePtr& scope) {
   Compiler c(*this, scope);
   return c.expr(node);
+}
+
+namespace {
+
+/// VM analogue of Compiler::ProcState: resolve the layout and compile
+/// the chunk once (under call_once — pool threads can race the first
+/// invocation), then pool whole VmGen-rooted bodies exactly the way the
+/// tree backend pools its body trees.
+struct VmProcState {
+  Interpreter* interp;
+  std::string name;
+  NodePtr params, body;
+  std::once_flag once;
+  FrameLayout layout;
+  vm::ChunkPtr chunk;
+  std::shared_ptr<BodyPool> pool = std::make_shared<BodyPool>();
+};
+
+ProcPtr vmMakeProc(Interpreter& interp, const NodePtr& def) {
+  auto state = std::make_shared<VmProcState>();
+  state->interp = &interp;
+  state->name = def->text;
+  state->params = def->kids[0];
+  state->body = def->kids[1];
+  return ProcImpl::create(def->text, [state](std::vector<Value> args) -> GenPtr {
+    Interpreter& in = *state->interp;
+    std::call_once(state->once, [&] {
+      state->layout = resolve(state->params, state->body, *in.globalScope());
+      vm::ChunkCompiler cc(in, in.globalScope(), &state->layout);
+      state->chunk = cc.compileBody(state->name, state->body);
+    });
+    if (state->layout.poolable) {
+      if (auto parked = state->pool->take()) {
+        if (obs::metricsEnabled()) [[unlikely]] obs::VmStats::get().framesPooled.add(1);
+        std::static_pointer_cast<BodyRootGen>(parked)->unpackArgs(args);
+        return parked;
+      }
+    }
+    auto frame = std::make_shared<Frame>(state->layout, in.globalScope());
+    frame->rebind(args);
+    auto root = BodyRootGen::create(
+        vm::VmGen::create(in, state->chunk, in.globalScope(), &state->layout, frame));
+    root->setUnpackClosure([frame](const std::vector<Value>& a) { frame->rebind(a); });
+    if (state->layout.poolable) {
+      // Weak for the same reason as the tree recycler above: the pool
+      // must not keep itself alive through its parked bodies.
+      root->setRecycler(
+          [weakPool = std::weak_ptr<BodyPool>(state->pool)](std::shared_ptr<BodyRootGen> b) {
+            if (auto pool = weakPool.lock()) pool->put(std::move(b));
+          });
+    }
+    return root;
+  });
+}
+
+}  // namespace
+
+ProcPtr Interpreter::makeProcedure(const ast::NodePtr& def) {
+  if (options_.backend == Backend::kVm) return vmMakeProc(*this, def);
+  Compiler c(*this, globals_);
+  return c.makeProc(def);
+}
+
+ProcPtr Interpreter::makeRecordConstructor(const ast::NodePtr& decl) {
+  return Compiler::makeRecordConstructor(decl);
+}
+
+GenPtr Interpreter::compileSubtree(const ast::NodePtr& node, const ScopePtr& scope,
+                                   const FrameLayout* layout, Frame* frame, bool statementPos) {
+  if (layout != nullptr && frame != nullptr) {
+    Compiler c(*this, scope, layout, frame);
+    return statementPos ? c.statement(node) : c.expr(node);
+  }
+  Compiler c(*this, scope);
+  return statementPos ? c.statement(node) : c.expr(node);
 }
 
 }  // namespace congen::interp

@@ -7,6 +7,7 @@
 // through, giving the mixed-language story without a compile step.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,23 @@ class ThreadPool;
 
 namespace congen::interp {
 
+class Frame;
+struct FrameLayout;
+
+/// Execution backend for procedure bodies and eval'd expressions.
+///  - kTree: the original kernel-iterator trees (one Gen per AST node);
+///  - kVm:   resolved ASTs compile to bytecode chunks (interp/chunk.hpp)
+///    executed by a resumable stack machine (interp/vm.hpp). Constructs
+///    the machine does not flatten (scanning, case, co-expression
+///    creation, ...) run as embedded tree subtrees, so the two backends
+///    share semantics where they share code and are differentially
+///    tested where they don't (tests/interp, tests/conformance).
+enum class Backend : std::uint8_t { kTree, kVm };
+
+/// Default backend for new Interpreters: CONGEN_BACKEND=vm|tree if set
+/// (read once per process), else kTree.
+[[nodiscard]] Backend defaultBackend();
+
 class Interpreter {
  public:
   /// Options mostly matter to benchmarks (pipe sizing / pool choice).
@@ -28,6 +46,11 @@ class Interpreter {
     std::size_t pipeCapacity = 1024;
     std::size_t pipeBatch = 64;  // adaptive batch cap for |> transport (1 = unbatched)
     bool normalize = true;       // run the Section V.A flattening pass first
+    Backend backend = defaultBackend();
+    /// VM dispatch budget per machine, 0 = unlimited. When exhausted the
+    /// machine raises IconError 316 — the fuzz harness's bounded-step
+    /// run (tests/fuzz/fuzz_compile_run.cpp).
+    std::uint64_t vmStepLimit = 0;
   };
 
   Interpreter() : Interpreter(Options{}) {}
@@ -61,10 +84,26 @@ class Interpreter {
   [[nodiscard]] std::optional<Value> global(const std::string& name) const;
 
   /// Compile an AST expression over a scope (exposed for the transform
-  /// equivalence tests).
+  /// equivalence tests). Always the tree backend.
   [[nodiscard]] GenPtr compileExpr(const ast::NodePtr& node, const ScopePtr& scope);
 
+  /// Build a procedure value from a Def node under the configured
+  /// backend (the chunk compiler uses this for nested definitions).
+  [[nodiscard]] ProcPtr makeProcedure(const ast::NodePtr& def);
+
+  /// `record name(f1, ..., fn)` constructor procedure (backend-neutral).
+  [[nodiscard]] static ProcPtr makeRecordConstructor(const ast::NodePtr& decl);
+
+  /// Tree-compile one subtree in a frame or scope context — the VM's
+  /// escape hatch for constructs it embeds rather than flattens. With a
+  /// layout/frame pair the frame-mode tree compiler runs (slot-resolved
+  /// identifiers); otherwise names resolve against `scope`. `frame` must
+  /// outlive the returned generator.
+  [[nodiscard]] GenPtr compileSubtree(const ast::NodePtr& node, const ScopePtr& scope,
+                                      const FrameLayout* layout, Frame* frame, bool statementPos);
+
   [[nodiscard]] const ScopePtr& globalScope() const noexcept { return globals_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
 
  private:
   friend class Compiler;

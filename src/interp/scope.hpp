@@ -1,6 +1,8 @@
 // scope.hpp — lexical scopes mapping names to reified variables.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -50,14 +52,28 @@ class Scope : public std::enable_shared_from_this<Scope> {
     auto [it, inserted] = vars_.try_emplace(name, nullptr);
     if (inserted) {
       it->second = CellVar::create(std::move(initial));
+      version_.fetch_add(1, std::memory_order_release);  // new binding: lookups change
     } else {
-      it->second->set(std::move(initial));
+      it->second->set(std::move(initial));  // keep-and-rebind: same cell, no bump
     }
     return it->second;
   }
 
   /// Bind an existing variable in this scope.
-  void bind(const std::string& name, VarPtr var) { vars_[name] = std::move(var); }
+  void bind(const std::string& name, VarPtr var) {
+    vars_[name] = std::move(var);
+    version_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Binding-set generation, bumped whenever a lookup's answer could
+  /// change (new declaration, rebind, clear) — never on plain value
+  /// assignment through an existing cell. The VM's inline caches pair a
+  /// resolved VarPtr with the version they observed; a stale version
+  /// falls back to the full re-check (LateBoundVar::target), so a racing
+  /// bump costs a miss, never a wrong binding.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
 
   /// Drop every binding. Co-expression refresh factories capture their
   /// enclosing ScopePtr, so a co-expression (or pipe) *stored in* that
@@ -71,6 +87,7 @@ class Scope : public std::enable_shared_from_this<Scope> {
   void clear() noexcept {
     for (auto& [name, var] : vars_) var->set(Value::null());
     vars_.clear();
+    version_.fetch_add(1, std::memory_order_release);
   }
 
   [[nodiscard]] bool isGlobal() const noexcept { return global_; }
@@ -83,6 +100,7 @@ class Scope : public std::enable_shared_from_this<Scope> {
   std::unordered_map<std::string, VarPtr> vars_;
   ScopePtr parent_;
   bool global_;
+  std::atomic<std::uint64_t> version_{0};
 };
 
 }  // namespace congen::interp

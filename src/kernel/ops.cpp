@@ -13,6 +13,209 @@
 namespace congen {
 
 // ---------------------------------------------------------------------
+// Shared per-tuple semantics (see ops.hpp: one implementation for the
+// tree kernel and the bytecode VM)
+// ---------------------------------------------------------------------
+
+std::optional<BinKind> binKindOf(std::string_view op) {
+  if (op == "+") return BinKind::Add;
+  if (op == "-") return BinKind::Sub;
+  if (op == "*") return BinKind::Mul;
+  if (op == "/") return BinKind::Div;
+  if (op == "%") return BinKind::Mod;
+  if (op == "^") return BinKind::Pow;
+  if (op == "||") return BinKind::Concat;
+  if (op == "|||") return BinKind::ListConcat;
+  if (op == "<") return BinKind::NumLT;
+  if (op == "<=") return BinKind::NumLE;
+  if (op == ">") return BinKind::NumGT;
+  if (op == ">=") return BinKind::NumGE;
+  if (op == "=") return BinKind::NumEQ;
+  if (op == "~=") return BinKind::NumNE;
+  if (op == "==") return BinKind::ValEQ;
+  if (op == "~==") return BinKind::ValNE;
+  if (op == "!=") return BinKind::ValNE;
+  if (op == "===") return BinKind::ValEQ;
+  if (op == "~===") return BinKind::ValNE;
+  return std::nullopt;
+}
+
+std::optional<UnKind> unKindOf(std::string_view op) {
+  if (op == "-") return UnKind::Negate;
+  if (op == "+") return UnKind::Plus;
+  if (op == "*") return UnKind::Size;
+  if (op == ".") return UnKind::Deref;
+  if (op == "\\") return UnKind::NonNull;
+  if (op == "/") return UnKind::IfNull;
+  return std::nullopt;
+}
+
+const char* binKindName(BinKind k) {
+  switch (k) {
+    case BinKind::Add: return "add";
+    case BinKind::Sub: return "sub";
+    case BinKind::Mul: return "mul";
+    case BinKind::Div: return "div";
+    case BinKind::Mod: return "mod";
+    case BinKind::Pow: return "pow";
+    case BinKind::Concat: return "concat";
+    case BinKind::ListConcat: return "lconcat";
+    case BinKind::NumLT: return "numlt";
+    case BinKind::NumLE: return "numle";
+    case BinKind::NumGT: return "numgt";
+    case BinKind::NumGE: return "numge";
+    case BinKind::NumEQ: return "numeq";
+    case BinKind::NumNE: return "numne";
+    case BinKind::ValEQ: return "valeq";
+    case BinKind::ValNE: return "valne";
+  }
+  return "?";
+}
+
+const char* unKindName(UnKind k) {
+  switch (k) {
+    case UnKind::Negate: return "neg";
+    case UnKind::Plus: return "plus";
+    case UnKind::Size: return "size";
+    case UnKind::Deref: return "deref";
+    case UnKind::NonNull: return "nonnull";
+    case UnKind::IfNull: return "ifnull";
+  }
+  return "?";
+}
+
+std::optional<Value> applyBinary(BinKind k, const Value& a, const Value& b) {
+  switch (k) {
+    case BinKind::Add: return ops::add(a, b);
+    case BinKind::Sub: return ops::sub(a, b);
+    case BinKind::Mul: return ops::mul(a, b);
+    case BinKind::Div: return ops::div(a, b);
+    case BinKind::Mod: return ops::mod(a, b);
+    case BinKind::Pow: return ops::power(a, b);
+    case BinKind::Concat: return ops::concat(a, b);
+    case BinKind::ListConcat: return ops::listConcat(a, b);
+    case BinKind::NumLT: return ops::numLT(a, b);
+    case BinKind::NumLE: return ops::numLE(a, b);
+    case BinKind::NumGT: return ops::numGT(a, b);
+    case BinKind::NumGE: return ops::numGE(a, b);
+    case BinKind::NumEQ: return ops::numEQ(a, b);
+    case BinKind::NumNE: return ops::numNE(a, b);
+    case BinKind::ValEQ: return ops::valEQ(a, b);
+    case BinKind::ValNE: return ops::valNE(a, b);
+  }
+  return std::nullopt;
+}
+
+std::optional<Result> applyUnary(UnKind k, Result& r) {
+  switch (k) {
+    case UnKind::Negate: return Result{ops::negate(r.value)};
+    case UnKind::Plus: {
+      auto n = r.value.toNumeric();
+      if (!n) throw errNumericExpected("operand of unary +: " + r.value.image());
+      return Result{std::move(*n)};
+    }
+    case UnKind::Size: return Result{Value::integer(r.value.size())};
+    case UnKind::Deref: return Result{r.value};
+    case UnKind::NonNull:
+      if (r.value.isNull()) return std::nullopt;
+      return r;
+    case UnKind::IfNull:
+      if (!r.value.isNull()) return std::nullopt;
+      return r;
+  }
+  return std::nullopt;
+}
+
+std::optional<Result> indexTuple(Result& c, Result& i) {
+  const Value& v = c.value;
+  if (v.isList()) {
+    const std::int64_t idx = i.value.requireInt64("list subscript");
+    auto elem = v.list()->at(idx);
+    if (!elem) return std::nullopt;  // out of range: fail, don't error
+    return Result{std::move(*elem), ListElemVar::create(v.list(), idx)};
+  }
+  if (v.isTable()) {
+    return Result{v.table()->lookup(i.value), TableElemVar::create(v.table(), i.value)};
+  }
+  if (v.isRecord()) {
+    const std::int64_t idx = i.value.requireInt64("record subscript");
+    auto elem = v.record()->at(idx);
+    if (!elem) return std::nullopt;
+    return Result{std::move(*elem), RecordElemVar::create(v.record(), idx)};
+  }
+  if (v.isString()) {
+    const std::int64_t idx = i.value.requireInt64("string subscript");
+    const auto& s = v.str();
+    const std::int64_t n = static_cast<std::int64_t>(s.size());
+    std::int64_t off = -1;
+    if (idx >= 1 && idx <= n) off = idx - 1;
+    else if (idx < 0 && -idx <= n) off = n + idx;
+    if (off < 0) return std::nullopt;
+    return Result{Value::string(std::string(1, s[static_cast<std::size_t>(off)]))};
+  }
+  throw errInvalidValue("subscript applied to " + v.typeName());
+}
+
+std::optional<Result> fieldTuple(Result& o, const std::string& name) {
+  if (o.value.isRecord()) {
+    auto v = o.value.record()->field(name);
+    if (!v) throw IconError(207, "record " + o.value.typeName() + " has no field " + name);
+    return Result{std::move(*v), RecordFieldVar::create(o.value.record(), name)};
+  }
+  if (o.value.isTable()) {
+    const Value key = Value::string(name);
+    return Result{o.value.table()->lookup(key), TableElemVar::create(o.value.table(), key)};
+  }
+  throw errInvalidValue("field ." + name + " applied to " + o.value.typeName());
+}
+
+std::optional<Value> sliceTuple(const Value& v, const Value& from, const Value& to) {
+  const std::int64_t n = v.isString() ? static_cast<std::int64_t>(v.str().size())
+                         : v.isList() ? v.list()->size()
+                                      : throw errInvalidValue("slice of " + v.typeName());
+  // Icon positions: 1..n+1 from the left, 0 and negatives from the right.
+  auto resolve = [n](std::int64_t p) -> std::optional<std::int64_t> {
+    if (p <= 0) p = n + 1 + p;
+    if (p < 1 || p > n + 1) return std::nullopt;
+    return p;
+  };
+  auto i = resolve(from.requireInt64("slice from"));
+  auto j = resolve(to.requireInt64("slice to"));
+  if (!i || !j) return std::nullopt;
+  if (*i > *j) std::swap(*i, *j);
+  if (v.isString()) {
+    return Value::string(
+        v.str().substr(static_cast<std::size_t>(*i - 1), static_cast<std::size_t>(*j - *i)));
+  }
+  auto out = ListImpl::create();
+  for (std::int64_t k = *i; k < *j; ++k) out->put(*v.list()->at(k));
+  return Value::list(std::move(out));
+}
+
+std::optional<Result> assignTuple(Result& l, Result& r) {
+  if (!l.ref) throw errInvalidValue("assignment to a non-variable");
+  l.ref->set(r.value);
+  return Result{r.value, l.ref};
+}
+
+std::optional<Result> swapTuple(Result& l, Result& r) {
+  if (!l.ref || !r.ref) throw errInvalidValue("swap of a non-variable");
+  const Value lv = l.ref->get();
+  const Value rv = r.ref->get();
+  l.ref->set(rv);
+  r.ref->set(lv);
+  return Result{rv, l.ref};
+}
+
+std::optional<Result> augAssignTuple(BinKind k, Result& l, Result& r) {
+  if (!l.ref) throw errInvalidValue("augmented assignment to a non-variable");
+  auto v = applyBinary(k, l.ref->get(), r.value);
+  if (!v) return std::nullopt;  // comparison-augmented ops can fail
+  l.ref->set(*v);
+  return Result{std::move(*v), l.ref};
+}
+
+// ---------------------------------------------------------------------
 // UnOpGen / BinOpGen
 // ---------------------------------------------------------------------
 //
@@ -163,51 +366,12 @@ GenPtr makeToByGen(GenPtr from, GenPtr to, GenPtr by) {
 }
 
 GenPtr makeIndexGen(GenPtr collection, GenPtr index) {
-  return BinOpGen::create(std::move(collection), std::move(index),
-                          [](Result& c, Result& i) -> std::optional<Result> {
-    const Value& v = c.value;
-    if (v.isList()) {
-      const std::int64_t idx = i.value.requireInt64("list subscript");
-      auto elem = v.list()->at(idx);
-      if (!elem) return std::nullopt;  // out of range: fail, don't error
-      return Result{std::move(*elem), ListElemVar::create(v.list(), idx)};
-    }
-    if (v.isTable()) {
-      return Result{v.table()->lookup(i.value), TableElemVar::create(v.table(), i.value)};
-    }
-    if (v.isRecord()) {
-      const std::int64_t idx = i.value.requireInt64("record subscript");
-      auto elem = v.record()->at(idx);
-      if (!elem) return std::nullopt;
-      return Result{std::move(*elem), RecordElemVar::create(v.record(), idx)};
-    }
-    if (v.isString()) {
-      const std::int64_t idx = i.value.requireInt64("string subscript");
-      const auto& s = v.str();
-      const std::int64_t n = static_cast<std::int64_t>(s.size());
-      std::int64_t off = -1;
-      if (idx >= 1 && idx <= n) off = idx - 1;
-      else if (idx < 0 && -idx <= n) off = n + idx;
-      if (off < 0) return std::nullopt;
-      return Result{Value::string(std::string(1, s[static_cast<std::size_t>(off)]))};
-    }
-    throw errInvalidValue("subscript applied to " + v.typeName());
-  });
+  return BinOpGen::create(std::move(collection), std::move(index), &indexTuple);
 }
 
 GenPtr makeFieldGen(GenPtr object, std::string name) {
-  return UnOpGen::create(std::move(object), [name = std::move(name)](Result& o) -> std::optional<Result> {
-    if (o.value.isRecord()) {
-      auto v = o.value.record()->field(name);
-      if (!v) throw IconError(207, "record " + o.value.typeName() + " has no field " + name);
-      return Result{std::move(*v), RecordFieldVar::create(o.value.record(), name)};
-    }
-    if (o.value.isTable()) {
-      const Value key = Value::string(name);
-      return Result{o.value.table()->lookup(key), TableElemVar::create(o.value.table(), key)};
-    }
-    throw errInvalidValue("field ." + name + " applied to " + o.value.typeName());
-  });
+  return UnOpGen::create(std::move(object),
+                         [name = std::move(name)](Result& o) { return fieldTuple(o, name); });
 }
 
 GenPtr makeSliceGen(GenPtr collection, GenPtr from, GenPtr to) {
@@ -216,49 +380,18 @@ GenPtr makeSliceGen(GenPtr collection, GenPtr from, GenPtr to) {
   operands.push_back(std::move(from));
   operands.push_back(std::move(to));
   return DelegateGen::create(std::move(operands), [](const std::vector<Result>& t) -> GenPtr {
-    const Value& v = t[0].value;
-    const std::int64_t n = v.isString() ? static_cast<std::int64_t>(v.str().size())
-                           : v.isList() ? v.list()->size()
-                                        : throw errInvalidValue("slice of " + v.typeName());
-    // Icon positions: 1..n+1 from the left, 0 and negatives from the right.
-    auto resolve = [n](std::int64_t p) -> std::optional<std::int64_t> {
-      if (p <= 0) p = n + 1 + p;
-      if (p < 1 || p > n + 1) return std::nullopt;
-      return p;
-    };
-    auto i = resolve(t[1].value.requireInt64("slice from"));
-    auto j = resolve(t[2].value.requireInt64("slice to"));
-    if (!i || !j) return FailGen::create();
-    if (*i > *j) std::swap(*i, *j);
-    if (v.isString()) {
-      return ConstGen::create(Value::string(
-          v.str().substr(static_cast<std::size_t>(*i - 1), static_cast<std::size_t>(*j - *i))));
-    }
-    auto out = ListImpl::create();
-    for (std::int64_t k = *i; k < *j; ++k) out->put(*v.list()->at(k));
-    return ConstGen::create(Value::list(std::move(out)));
+    auto v = sliceTuple(t[0].value, t[1].value, t[2].value);
+    if (!v) return FailGen::create();
+    return ConstGen::create(std::move(*v));
   });
 }
 
 GenPtr makeAssignGen(GenPtr lhs, GenPtr rhs) {
-  return BinOpGen::create(std::move(lhs), std::move(rhs),
-                          [](Result& l, Result& r) -> std::optional<Result> {
-    if (!l.ref) throw errInvalidValue("assignment to a non-variable");
-    l.ref->set(r.value);
-    return Result{r.value, l.ref};
-  });
+  return BinOpGen::create(std::move(lhs), std::move(rhs), &assignTuple);
 }
 
 GenPtr makeSwapGen(GenPtr lhs, GenPtr rhs) {
-  return BinOpGen::create(std::move(lhs), std::move(rhs),
-                          [](Result& l, Result& r) -> std::optional<Result> {
-    if (!l.ref || !r.ref) throw errInvalidValue("swap of a non-variable");
-    const Value lv = l.ref->get();
-    const Value rv = r.ref->get();
-    l.ref->set(rv);
-    r.ref->set(lv);
-    return Result{rv, l.ref};
-  });
+  return BinOpGen::create(std::move(lhs), std::move(rhs), &swapTuple);
 }
 
 GenPtr makeListLitGen(std::vector<GenPtr> elements) {
@@ -378,96 +511,28 @@ GenPtr makeRevSwapGen(GenPtr lhs, GenPtr rhs) {
   return std::make_shared<RevSwapGen>(std::move(lhs), std::move(rhs));
 }
 
-namespace {
-
-using ValueBinFn = std::function<std::optional<Value>(const Value&, const Value&)>;
-
-ValueBinFn lookupValueBinary(std::string_view op) {
-  auto total = [](Value (*f)(const Value&, const Value&)) -> ValueBinFn {
-    return [f](const Value& a, const Value& b) -> std::optional<Value> { return f(a, b); };
-  };
-  if (op == "+") return total(ops::add);
-  if (op == "-") return total(ops::sub);
-  if (op == "*") return total(ops::mul);
-  if (op == "/") return total(ops::div);
-  if (op == "%") return total(ops::mod);
-  if (op == "^") return total(ops::power);
-  if (op == "||") return total(ops::concat);
-  if (op == "|||") return total(ops::listConcat);
-  if (op == "<") return ops::numLT;
-  if (op == "<=") return ops::numLE;
-  if (op == ">") return ops::numGT;
-  if (op == ">=") return ops::numGE;
-  if (op == "=") return ops::numEQ;
-  if (op == "~=") return ops::numNE;
-  if (op == "==") return ops::valEQ;
-  if (op == "~==") return ops::valNE;
-  if (op == "!=") return ops::valNE;
-  if (op == "===") return ops::valEQ;
-  if (op == "~===") return ops::valNE;
-  throw std::invalid_argument("unknown binary operator: " + std::string(op));
-}
-
-}  // namespace
-
 GenPtr makeAugAssignGen(std::string_view op, GenPtr lhs, GenPtr rhs) {
-  ValueBinFn fn = lookupValueBinary(op);
+  const auto k = binKindOf(op);
+  if (!k) throw std::invalid_argument("unknown binary operator: " + std::string(op));
   return BinOpGen::create(std::move(lhs), std::move(rhs),
-                          [fn = std::move(fn)](Result& l, Result& r) -> std::optional<Result> {
-    if (!l.ref) throw errInvalidValue("augmented assignment to a non-variable");
-    auto v = fn(l.ref->get(), r.value);
-    if (!v) return std::nullopt;  // comparison-augmented ops can fail
-    l.ref->set(*v);
-    return Result{std::move(*v), l.ref};
-  });
+                          [k = *k](Result& l, Result& r) { return augAssignTuple(k, l, r); });
 }
 
 GenPtr makeBinaryOpGen(std::string_view op, GenPtr left, GenPtr right) {
-  ValueBinFn fn = lookupValueBinary(op);
+  const auto k = binKindOf(op);
+  if (!k) throw std::invalid_argument("unknown binary operator: " + std::string(op));
   return BinOpGen::create(std::move(left), std::move(right),
-                          [fn = std::move(fn)](Result& l, Result& r) -> std::optional<Result> {
-    auto v = fn(l.value, r.value);
+                          [k = *k](Result& l, Result& r) -> std::optional<Result> {
+    auto v = applyBinary(k, l.value, r.value);
     if (!v) return std::nullopt;
     return Result{std::move(*v)};
   });
 }
 
 GenPtr makeUnaryOpGen(std::string_view op, GenPtr operand) {
-  if (op == "-") {
-    return UnOpGen::create(std::move(operand), [](Result& r) -> std::optional<Result> {
-      return Result{ops::negate(r.value)};
-    });
-  }
-  if (op == "+") {
-    return UnOpGen::create(std::move(operand), [](Result& r) -> std::optional<Result> {
-      auto n = r.value.toNumeric();
-      if (!n) throw errNumericExpected("operand of unary +: " + r.value.image());
-      return Result{std::move(*n)};
-    });
-  }
-  if (op == "*") {
-    return UnOpGen::create(std::move(operand), [](Result& r) -> std::optional<Result> {
-      return Result{Value::integer(r.value.size())};
-    });
-  }
-  if (op == ".") {  // dereference: strip the variable reference
-    return UnOpGen::create(std::move(operand), [](Result& r) -> std::optional<Result> {
-      return Result{r.value};
-    });
-  }
-  if (op == "\\") {  // \x: succeeds with x (as a variable) iff non-null
-    return UnOpGen::create(std::move(operand), [](Result& r) -> std::optional<Result> {
-      if (r.value.isNull()) return std::nullopt;
-      return r;
-    });
-  }
-  if (op == "/") {  // /x: succeeds with x iff null
-    return UnOpGen::create(std::move(operand), [](Result& r) -> std::optional<Result> {
-      if (!r.value.isNull()) return std::nullopt;
-      return r;
-    });
-  }
-  throw std::invalid_argument("unknown unary operator: " + std::string(op));
+  const auto k = unKindOf(op);
+  if (!k) throw std::invalid_argument("unknown unary operator: " + std::string(op));
+  return UnOpGen::create(std::move(operand), [k = *k](Result& r) { return applyUnary(k, r); });
 }
 
 }  // namespace congen

@@ -8,13 +8,75 @@
 // (e.g. a comparison) resumes the search rather than producing false.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "kernel/gen.hpp"
 
 namespace congen {
+
+// ---------------------------------------------------------------------
+// Per-tuple operator semantics, shared between the tree kernel and the
+// bytecode VM (interp/vm). The Gen factories below wrap these; the VM
+// calls them directly from its dispatch loop. One implementation, two
+// backends — the differential harness checks the composition, not two
+// copies of the arithmetic.
+// ---------------------------------------------------------------------
+
+/// Value-level binary operators ("+", "<", "==", ...).
+enum class BinKind : std::uint8_t {
+  Add, Sub, Mul, Div, Mod, Pow, Concat, ListConcat,
+  NumLT, NumLE, NumGT, NumGE, NumEQ, NumNE, ValEQ, ValNE,
+};
+
+/// Value-level unary operators.
+enum class UnKind : std::uint8_t {
+  Negate,   // -e
+  Plus,     // +e (numeric coercion)
+  Size,     // *e
+  Deref,    // .e (strip the variable reference)
+  NonNull,  // \e
+  IfNull,   // /e
+};
+
+/// Operator spelling → kind (exact table the tree compiler uses; "!="
+/// and "===" family alias onto value equality). nullopt: unknown.
+std::optional<BinKind> binKindOf(std::string_view op);
+std::optional<UnKind> unKindOf(std::string_view op);
+
+/// Stable mnemonics (golden disassembly depends on these spellings).
+const char* binKindName(BinKind k);
+const char* unKindName(UnKind k);
+
+/// Apply a binary operator to one value tuple. nullopt = goal-directed
+/// failure (comparisons); errors throw IconError.
+std::optional<Value> applyBinary(BinKind k, const Value& a, const Value& b);
+
+/// Apply a unary operator to one operand result. Keeps the variable
+/// reference where the operator is transparent (\e, /e).
+std::optional<Result> applyUnary(UnKind k, Result& r);
+
+/// x[i] over one (collection, index) tuple: trapped variable for
+/// lists/tables/records, character for strings; nullopt = out of range.
+std::optional<Result> indexTuple(Result& c, Result& i);
+
+/// o.name over one object result.
+std::optional<Result> fieldTuple(Result& o, const std::string& name);
+
+/// x[i:j] over one (collection, from, to) tuple; nullopt = out of range.
+std::optional<Value> sliceTuple(const Value& v, const Value& from, const Value& to);
+
+/// lhs := rhs over one tuple (throws on a non-variable lhs).
+std::optional<Result> assignTuple(Result& l, Result& r);
+/// lhs :=: rhs over one tuple.
+std::optional<Result> swapTuple(Result& l, Result& r);
+/// lhs op:= rhs over one tuple; nullopt when a comparison-augmented op
+/// fails.
+std::optional<Result> augAssignTuple(BinKind k, Result& l, Result& r);
 
 /// Unary operation: for each operand result, apply fn; nullopt results
 /// are filtered (the search continues with the next operand result).

@@ -82,4 +82,15 @@ KernelStats& KernelStats::get() {
   return *s;
 }
 
+VmStats& VmStats::get() {
+  auto& r = Registry::global();
+  static VmStats* s = new VmStats{
+      r.counter("vm.dispatches"),
+      r.counter("vm.frames_pooled"),
+      r.counter("vm.icache_hits"),
+      r.counter("vm.icache_misses"),
+  };
+  return *s;
+}
+
 }  // namespace congen::obs

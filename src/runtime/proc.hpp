@@ -23,6 +23,13 @@ class ProcImpl {
   /// are &null per Unicon's variadic convention (the body pads).
   using Body = std::function<GenPtr(std::vector<Value>)>;
 
+  /// Direct form of a simple (at-most-one-result) native: args in,
+  /// value out, nullopt = failure. When present, callers that hold
+  /// argument *values* (the bytecode VM) may call this instead of
+  /// invoke(), skipping the generator wrapper; it must be semantically
+  /// identical to one next() of invoke()'s result.
+  using NativeFn = std::function<std::optional<Value>(std::vector<Value>&)>;
+
   ProcImpl(std::string name, Body body) : name_(std::move(name)), body_(std::move(body)) {}
 
   static ProcPtr create(std::string name, Body body) {
@@ -34,9 +41,14 @@ class ProcImpl {
   /// Invoke: returns the generator over the call's results.
   [[nodiscard]] GenPtr invoke(std::vector<Value> args) const { return body_(std::move(args)); }
 
+  /// Install / query the direct native form (builtins::makeNative).
+  void setNative(NativeFn fn) { native_ = std::move(fn); }
+  [[nodiscard]] const NativeFn& nativeFn() const noexcept { return native_; }
+
  private:
   std::string name_;
   Body body_;
+  NativeFn native_;
 };
 
 }  // namespace congen

@@ -25,6 +25,9 @@
 //   congen-run --trace-out <f> ...      collect a Chrome-trace-format
 //                                       JSON of the run (per-thread
 //                                       generator spans) into <f>
+//   congen-run --backend=vm|tree ...    pick the execution backend
+//                                       (default: CONGEN_BACKEND env,
+//                                       else the tree walker)
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -154,13 +157,27 @@ int run(int argc, char** argv, congen::interp::Interpreter& interp) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  congen::interp::Interpreter interp;
+  congen::interp::Interpreter::Options options;
   ObsOptions obs;
   // Prefix options, in any order: --timeout <sec> arms the watchdog,
   // --trace enables iterator-protocol monitoring, --stats /
   // --metrics-json / --trace-out wire the metrics registry and the
-  // structured trace sink.
+  // structured trace sink, --backend= picks the execution backend.
   for (;;) {
+    if (argc >= 2 && std::string(argv[1]).rfind("--backend=", 0) == 0) {
+      const std::string which = std::string(argv[1]).substr(10);
+      if (which == "vm") {
+        options.backend = congen::interp::Backend::kVm;
+      } else if (which == "tree") {
+        options.backend = congen::interp::Backend::kTree;
+      } else {
+        std::cerr << "congen-run: unknown backend '" << which << "' (want vm or tree)\n";
+        return 2;
+      }
+      --argc;
+      ++argv;
+      continue;
+    }
     if (argc >= 3 && std::string(argv[1]) == "--timeout") {
       const long seconds = std::strtol(argv[2], nullptr, 10);
       if (seconds <= 0) {
@@ -215,6 +232,7 @@ int main(int argc, char** argv) {
     }
     break;
   }
+  congen::interp::Interpreter interp(options);
   int code = 0;
   try {
     code = run(argc, argv, interp);

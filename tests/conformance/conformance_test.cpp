@@ -1,10 +1,10 @@
-// conformance_test.cpp — differential testing of the two execution
+// conformance_test.cpp — differential testing of the three execution
 // paths. Every shipped example (examples/scripts/*.jn and
-// examples/embedded/*.ccg) runs through BOTH the tree-walking
-// interpreter and the congenc-emitted C++ module, and the result
-// sequences must be identical. The paper's premise (Section VI) is that
-// the interactive and compiled harnesses execute the same semantics;
-// this suite keeps the two from drifting silently.
+// examples/embedded/*.ccg) runs through the tree-walking interpreter,
+// the bytecode VM, AND the congenc-emitted C++ module, and the result
+// sequences must be byte-identical. The paper's premise (Section VI) is
+// that the interactive and compiled harnesses execute the same
+// semantics; this suite keeps the three from drifting silently.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -45,11 +45,13 @@ std::string readFile(const std::string& path) {
 Value emptyArgs() { return Value::list(ListImpl::create()); }
 
 /// Drain main(args=[]) through the interpreter, capturing stdout.
-std::string interpMainOutput(const std::string& scriptPath) {
+std::string interpMainOutput(const std::string& scriptPath, interp::Backend backend) {
   const std::string src = readFile(scriptPath);
   ::testing::internal::CaptureStdout();
   {
-    interp::Interpreter interp;
+    interp::Interpreter::Options opts;
+    opts.backend = backend;
+    interp::Interpreter interp{opts};
     interp.load(src);
     auto gen = interp.call("main", {emptyArgs()});
     while (gen->nextValue()) {
@@ -74,10 +76,13 @@ std::string emittedMainOutput() {
 
 template <class Module>
 void expectScriptConformance(const std::string& name) {
-  const std::string viaInterp = interpMainOutput(kRoot + "/examples/scripts/" + name + ".jn");
+  const std::string path = kRoot + "/examples/scripts/" + name + ".jn";
+  const std::string viaTree = interpMainOutput(path, interp::Backend::kTree);
+  const std::string viaVm = interpMainOutput(path, interp::Backend::kVm);
   const std::string viaEmitted = emittedMainOutput<Module>();
-  EXPECT_FALSE(viaInterp.empty()) << name << " produced no output";
-  EXPECT_EQ(viaInterp, viaEmitted) << name << ": interpreter and emitted paths disagree";
+  EXPECT_FALSE(viaTree.empty()) << name << " produced no output";
+  EXPECT_EQ(viaTree, viaVm) << name << ": tree and VM backends disagree";
+  EXPECT_EQ(viaTree, viaEmitted) << name << ": interpreter and emitted paths disagree";
 }
 
 TEST(ConformanceScripts, Errors) { expectScriptConformance<Conf_errors>("errors"); }
@@ -128,17 +133,9 @@ TEST(ConformanceEmbedded, WordcountPipelineStreamAgrees) {
   const auto regions = meta::parseAnnotations(src);
   ASSERT_EQ(regions.size(), 2u);
 
-  interp::Interpreter interp;
-  interp.defineGlobal("lines", Value::list(wordcountLines()));
-  interp.load(regionText(src, regions[0]));
-  const auto viaInterp = drainImages(interp.eval(regionText(src, regions[1])));
-
   ConfEmbed_wordcount_embedded mod;
   mod.set("lines", Value::list(wordcountLines()));
   const auto viaEmitted = drainImages(mod.expr_0());
-
-  EXPECT_FALSE(viaInterp.empty());
-  EXPECT_EQ(viaInterp, viaEmitted) << "pipe-expression streams disagree";
 
   // The definition region's generators must agree too (hashWords is the
   // map-reduce mapper of the shipped example). The interpreter side is
@@ -149,7 +146,20 @@ TEST(ConformanceEmbedded, WordcountPipelineStreamAgrees) {
     const auto per = drainImages(mod.call("hashWords", {*line}));
     emittedHash.insert(emittedHash.end(), per.begin(), per.end());
   }
-  EXPECT_EQ(drainImages(interp.eval("hashWords(readLines())")), emittedHash);
+
+  for (const auto backend : {interp::Backend::kTree, interp::Backend::kVm}) {
+    SCOPED_TRACE(backend == interp::Backend::kVm ? "vm backend" : "tree backend");
+    interp::Interpreter::Options opts;
+    opts.backend = backend;
+    interp::Interpreter interp{opts};
+    interp.defineGlobal("lines", Value::list(wordcountLines()));
+    interp.load(regionText(src, regions[0]));
+    const auto viaInterp = drainImages(interp.eval(regionText(src, regions[1])));
+
+    EXPECT_FALSE(viaInterp.empty());
+    EXPECT_EQ(viaInterp, viaEmitted) << "pipe-expression streams disagree";
+    EXPECT_EQ(drainImages(interp.eval("hashWords(readLines())")), emittedHash);
+  }
 }
 
 ListPtr logstatsLog() {
@@ -167,34 +177,40 @@ TEST(ConformanceEmbedded, LogstatsStreamsAgree) {
   const auto regions = meta::parseAnnotations(src);
   ASSERT_EQ(regions.size(), 1u);
 
-  interp::Interpreter interp;
-  interp.defineGlobal("log", Value::list(logstatsLog()));
-  interp.load(regionText(src, regions[0]));
-
   ConfEmbed_logstats_embedded mod;
   mod.set("log", Value::list(logstatsLog()));
-
-  // Parsed-entry streams (records, scanning) must agree element-wise,
-  // and so must the derived severity stream.
-  const auto interpEntries = drainImages(interp.eval("entries()"));
   const auto emittedEntries = drainImages(mod.call("entries", {}));
-  EXPECT_FALSE(interpEntries.empty());
-  EXPECT_EQ(interpEntries, emittedEntries);
-
-  std::vector<std::string> interpSev, emittedSev;
-  for (auto gen = interp.eval("entries()"); auto e = gen->nextValue();) {
-    interpSev.push_back(interp.call("severity", {*e})->nextValue()->toDisplayString());
-  }
+  std::vector<std::string> emittedSev;
   for (auto gen = mod.call("entries", {}); auto e = gen->nextValue();) {
     emittedSev.push_back(mod.call("severity", {*e})->nextValue()->toDisplayString());
   }
-  EXPECT_EQ(interpSev, emittedSev);
 
-  for (const char* svc : {"auth", "db", "web", "absent"}) {
-    auto viaInterp = interp.call("worstLatency", {Value::string(svc)})->nextValue();
-    auto viaEmitted = mod.call("worstLatency", {Value::string(svc)})->nextValue();
-    ASSERT_EQ(viaInterp.has_value(), viaEmitted.has_value()) << svc;
-    if (viaInterp) EXPECT_EQ(viaInterp->toDisplayString(), viaEmitted->toDisplayString()) << svc;
+  for (const auto backend : {interp::Backend::kTree, interp::Backend::kVm}) {
+    SCOPED_TRACE(backend == interp::Backend::kVm ? "vm backend" : "tree backend");
+    interp::Interpreter::Options opts;
+    opts.backend = backend;
+    interp::Interpreter interp{opts};
+    interp.defineGlobal("log", Value::list(logstatsLog()));
+    interp.load(regionText(src, regions[0]));
+
+    // Parsed-entry streams (records, scanning) must agree element-wise,
+    // and so must the derived severity stream.
+    const auto interpEntries = drainImages(interp.eval("entries()"));
+    EXPECT_FALSE(interpEntries.empty());
+    EXPECT_EQ(interpEntries, emittedEntries);
+
+    std::vector<std::string> interpSev;
+    for (auto gen = interp.eval("entries()"); auto e = gen->nextValue();) {
+      interpSev.push_back(interp.call("severity", {*e})->nextValue()->toDisplayString());
+    }
+    EXPECT_EQ(interpSev, emittedSev);
+
+    for (const char* svc : {"auth", "db", "web", "absent"}) {
+      auto viaInterp = interp.call("worstLatency", {Value::string(svc)})->nextValue();
+      auto viaEmitted = mod.call("worstLatency", {Value::string(svc)})->nextValue();
+      ASSERT_EQ(viaInterp.has_value(), viaEmitted.has_value()) << svc;
+      if (viaInterp) EXPECT_EQ(viaInterp->toDisplayString(), viaEmitted->toDisplayString()) << svc;
+    }
   }
 }
 
