@@ -92,7 +92,7 @@ void manualSplitNative(benchmark::State& state) {
 void tabMoveStep(benchmark::State& state) {
   // Raw cost of one reversible tab step inside an installed environment.
   ScanEnv::State s;
-  s.subject = std::make_shared<const std::string>(makeText(50));
+  s.subject = Value::string(makeText(50));
   ScanEnv::push(s);
   for (auto _ : state) {
     ScanEnv::current().pos = 1;

@@ -185,7 +185,7 @@ Table buildTable() {
   addNative(t, "reverse", [](std::vector<Value>& args) -> std::optional<Value> {
     if (args.empty()) throw errInvalidValue("reverse with no arguments");
     if (args[0].isString()) {
-      std::string s = args[0].str();
+      std::string s(args[0].str());
       std::reverse(s.begin(), s.end());
       return Value::string(std::move(s));
     }
@@ -315,7 +315,7 @@ Table buildTable() {
     // haystack and i default to &subject and &pos.
     const std::string needle = argOr(args, 0, Value::null()).requireString("find needle");
     const std::string hay = args.size() >= 2 ? args[1].requireString("find haystack")
-                                             : *ScanEnv::current().subject;
+                                             : std::string(ScanEnv::current().subject.str());
     const std::int64_t start = args.size() >= 3 ? args[2].requireInt64("find position")
                                : args.size() >= 2 ? 1
                                                   : ScanEnv::current().pos;
@@ -409,7 +409,7 @@ Table buildTable() {
     // from i on. s and i default to &subject and &pos (Icon).
     const std::string cset = builtins::arg(args, 0).requireString("upto cset");
     const std::string s = args.size() >= 2 ? args[1].requireString("upto subject")
-                                           : *ScanEnv::current().subject;
+                                           : std::string(ScanEnv::current().subject.str());
     const std::int64_t start = args.size() >= 3 ? args[2].requireInt64("upto position")
                                : args.size() >= 2 ? 1
                                                   : ScanEnv::current().pos;
@@ -426,7 +426,7 @@ Table buildTable() {
     // default to the scanning environment.
     const std::string cset = builtins::arg(args, 0).requireString("any cset");
     const std::string s = args.size() >= 2 ? args[1].requireString("any subject")
-                                           : *ScanEnv::current().subject;
+                                           : std::string(ScanEnv::current().subject.str());
     const std::int64_t i = args.size() >= 3 ? args[2].requireInt64("any position")
                            : args.size() >= 2 ? 1
                                               : ScanEnv::current().pos;
@@ -439,7 +439,7 @@ Table buildTable() {
     // defaults to the scanning environment.
     const std::string cset = builtins::arg(args, 0).requireString("many cset");
     const std::string s = args.size() >= 2 ? args[1].requireString("many subject")
-                                           : *ScanEnv::current().subject;
+                                           : std::string(ScanEnv::current().subject.str());
     std::int64_t i = args.size() >= 3 ? args[2].requireInt64("many position")
                      : args.size() >= 2 ? 1
                                         : ScanEnv::current().pos;
@@ -457,7 +457,7 @@ Table buildTable() {
     // i; defaults to the scanning environment.
     const std::string needle = builtins::arg(args, 0).requireString("match needle");
     const std::string s = args.size() >= 2 ? args[1].requireString("match subject")
-                                           : *ScanEnv::current().subject;
+                                           : std::string(ScanEnv::current().subject.str());
     const std::int64_t i = args.size() >= 3 ? args[2].requireInt64("match position")
                            : args.size() >= 2 ? 1
                                               : ScanEnv::current().pos;
@@ -550,8 +550,18 @@ Table buildTable() {
 }
 
 const Table& table() {
-  static const Table t = buildTable();
-  return t;
+  // Never destroyed, and every registered procedure is immortalized:
+  // builtin procs are copied into Values on every compiled call site
+  // (kConst pushes one per invocation), and with the registry pinned for
+  // the process lifetime those copies need no refcount traffic at all
+  // (RcBase::kImmortalBit). The leaked map keeps the payloads reachable
+  // at exit, so leak checkers report nothing.
+  static const Table* t = [] {
+    auto* built = new Table(buildTable());
+    for (const auto& [name, proc] : *built) proc->makeImmortal();
+    return built;
+  }();
+  return *t;
 }
 
 }  // namespace
@@ -580,14 +590,16 @@ ProcPtr lookup(const std::string& name) {
 
 const Value* lookupConst(const std::string& name) {
   // One Value per builtin for the process lifetime: resolution-time
-  // lookups hand out stable pointers into this table.
-  static const auto consts = [] {
-    std::unordered_map<std::string, Value> m;
-    for (const auto& [n, proc] : table()) m.emplace(n, Value::proc(proc));
+  // lookups hand out stable pointers into this table. Never destroyed,
+  // like table() — the payloads are immortal, so the map must stay
+  // reachable for leak checkers.
+  static const auto* consts = [] {
+    auto* m = new std::unordered_map<std::string, Value>();
+    for (const auto& [n, proc] : table()) m->emplace(n, Value::proc(proc));
     return m;
   }();
-  const auto it = consts.find(name);
-  return it == consts.end() ? nullptr : &it->second;
+  const auto it = consts->find(name);
+  return it == consts->end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> names() {

@@ -69,12 +69,12 @@ class Pipe final : public CoExpression {
        ChannelTransport transport = ChannelTransport::kAuto);
   ~Pipe() override;
 
-  static std::shared_ptr<Pipe> create(GenFactory factory,
-                                      std::size_t capacity = kDefaultCapacity,
-                                      ThreadPool& pool = ThreadPool::global(),
-                                      std::size_t batchCap = kDefaultBatch,
-                                      ChannelTransport transport = ChannelTransport::kAuto) {
-    return std::make_shared<Pipe>(std::move(factory), capacity, pool, batchCap, transport);
+  static Rc<Pipe> create(GenFactory factory,
+                         std::size_t capacity = kDefaultCapacity,
+                         ThreadPool& pool = ThreadPool::global(),
+                         std::size_t batchCap = kDefaultBatch,
+                         ChannelTransport transport = ChannelTransport::kAuto) {
+    return makeRc<Pipe>(std::move(factory), capacity, pool, batchCap, transport);
   }
 
   /// Activation = take from the output channel. A run-time error raised
@@ -190,7 +190,7 @@ class FutureValue {
   std::optional<Value> get();
 
  private:
-  std::shared_ptr<Pipe> pipe_;
+  Rc<Pipe> pipe_;
   std::optional<Value> cached_;
   std::exception_ptr error_;
   bool resolved_ = false;

@@ -180,7 +180,7 @@ std::string disassemble(const Chunk& chunk) {
         break;
       case Operands::AB:
         os << " " << ins.a << " " << ins.b;
-        if (ins.op == Op::kIn && ins.b == 0) describeA(os, chunk, Op::kLoadVar, ins.a);
+        if (ins.op == Op::kIn && (ins.b & 1) == 0) describeA(os, chunk, Op::kLoadVar, ins.a);
         break;
       case Operands::ABracket:
         os << " [" << ins.b << "]";

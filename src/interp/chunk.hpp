@@ -85,6 +85,10 @@ enum class Op : std::uint8_t {
   kEscape,  // a: escape-site index — drive a tree-compiled subtree
 };
 
+/// Number of opcodes — sizes the VM's dispatch table (vm.cpp pins its
+/// label array to this with a static_assert).
+inline constexpr std::size_t kOpCount = static_cast<std::size_t>(Op::kEscape) + 1;
+
 /// Fixed-width instruction. Two operands cover every op; the bracket
 /// operand of convertible ops rides in `b` uniformly.
 struct Insn {

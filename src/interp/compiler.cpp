@@ -58,6 +58,22 @@ std::int32_t ChunkCompiler::emit(Op op, std::int32_t a, std::int32_t b) {
   return static_cast<std::int32_t>(chunk_.code.size()) - 1;
 }
 
+std::int32_t ChunkCompiler::emitPop() {
+  if (!chunk_.code.empty()) {
+    Insn& last = chunk_.code.back();
+    // The normalized conjunction `(x in e) & rest` discards the kIn
+    // result immediately: binding the doomed entry to the variable costs
+    // a shared_ptr copy per backtracking step on the hottest
+    // goal-directed search path.
+    if (last.op == Op::kIn) {
+      last.b |= 2;
+    } else if (last.op == Op::kLoadVar || last.op == Op::kLoadSlot) {
+      last.b = 1;
+    }
+  }
+  return emit(Op::kPop);
+}
+
 std::int32_t ChunkCompiler::constIdx(const Value& v) {
   // Scalars and interned atoms/builtins dedup by rendered identity; the
   // only non-scalar constants are the process-interned builtin values
@@ -105,7 +121,7 @@ ChunkPtr ChunkCompiler::compileBody(const std::string& name, const NodePtr& body
   // A Block never falls through (its trailing kEfail is the body-mode
   // fail-at-end); for any other body shape, drain plain results exactly
   // like BodyRootGen: discard and resume until exhaustion.
-  emit(Op::kPop);
+  emitPop();
   emit(Op::kEfail);
   return finish();
 }
@@ -279,7 +295,7 @@ void ChunkCompiler::expr(const NodePtr& n) {
         const std::int32_t mark = emit(Op::kMark);
         statement(n->kids[i]);
         emit(Op::kUnmark);
-        emit(Op::kPop);
+        emitPop();
         patchA(mark, here());
       }
       statement(n->kids.back());  // last term delegates (Expression mode)
@@ -289,7 +305,7 @@ void ChunkCompiler::expr(const NodePtr& n) {
       const std::int32_t mark = emit(Op::kMark);
       expr(n->kids[0]);
       emit(Op::kUnmark);
-      emit(Op::kPop);
+      emitPop();
       emit(Op::kEfail);  // e succeeded: not e fails
       patchA(mark, here());
       emit(Op::kConst, constIdx(Value::null()));
@@ -331,7 +347,7 @@ void ChunkCompiler::statement(const NodePtr& n) {
         const std::int32_t mark = emit(Op::kMark);
         statement(k);
         emit(Op::kUnmark);
-        emit(Op::kPop);
+        emitPop();
         patchA(mark, here());
       }
       emit(Op::kEfail);  // body mode: fail at the end
@@ -356,7 +372,7 @@ void ChunkCompiler::statement(const NodePtr& n) {
         expr(decl->kids[0]);
         emit(Op::kAssign, 0, bracket);
         emit(Op::kUnmark);
-        emit(Op::kPop);
+        emitPop();
         patchA(mark, here());
       }
       if (anyInit) {
@@ -374,7 +390,7 @@ void ChunkCompiler::statement(const NodePtr& n) {
       const std::int32_t mark = emit(Op::kMark);
       expr(n->kids[0]);
       emit(Op::kUnmark);  // condition is bounded; the branch decides
-      emit(Op::kPop);
+      emitPop();
       statement(n->kids[1]);
       const std::int32_t jEnd = emit(Op::kJump);
       patchA(mark, here());
@@ -506,7 +522,7 @@ void ChunkCompiler::identifier(const NodePtr& n) {
 void ChunkCompiler::binary(const NodePtr& n) {
   if (n->text == "&") {  // product: left's value is discarded, kept as a
     expr(n->kids[0]);    // backtrack point by its suspensions
-    emit(Op::kPop);
+    emitPop();
     expr(n->kids[1]);
     return;
   }
@@ -578,13 +594,13 @@ void ChunkCompiler::loop(const NodePtr& n, LoopShape::Kind kind) {
     case LoopShape::Kind::Every: {
       const std::int32_t mExh = emit(Op::kMark);
       expr(n->kids[0]);  // control generator: NOT bounded
-      emit(Op::kPop);
+      emitPop();
       if (hasBody) {
         const std::int32_t mBody = emit(Op::kLoopBodyMark);  // → resume point
         loopCtx_.back().inBody = true;
         statement(n->kids[1]);
         emit(Op::kUnmark);
-        emit(Op::kPop);
+        emitPop();
         patchA(mBody, here());
       }
       emit(Op::kEfail);  // resume the control generator
@@ -599,13 +615,13 @@ void ChunkCompiler::loop(const NodePtr& n, LoopShape::Kind kind) {
       const std::int32_t mExh = emit(Op::kMark);
       expr(n->kids[0]);
       emit(Op::kUnmark);  // condition bounded per iteration
-      emit(Op::kPop);
+      emitPop();
       if (hasBody) {
         const std::int32_t mBody = emit(Op::kLoopBodyMark, top);
         loopCtx_.back().inBody = true;
         statement(n->kids[1]);
         emit(Op::kUnmark);
-        emit(Op::kPop);
+        emitPop();
         (void)mBody;
       }
       emit(Op::kJump, top);
@@ -620,7 +636,7 @@ void ChunkCompiler::loop(const NodePtr& n, LoopShape::Kind kind) {
       const std::int32_t mBody = emit(Op::kMark);  // condition FAILS → body
       expr(n->kids[0]);
       emit(Op::kUnmark);
-      emit(Op::kPop);
+      emitPop();
       emit(Op::kLoopEnd);  // condition succeeded: loop over (and fails)
       emit(Op::kEfail);
       patchA(mBody, here());
@@ -629,7 +645,7 @@ void ChunkCompiler::loop(const NodePtr& n, LoopShape::Kind kind) {
         loopCtx_.back().inBody = true;
         statement(n->kids[1]);
         emit(Op::kUnmark);
-        emit(Op::kPop);
+        emitPop();
         (void)mb;
       }
       emit(Op::kJump, top);
@@ -642,7 +658,7 @@ void ChunkCompiler::loop(const NodePtr& n, LoopShape::Kind kind) {
       loopCtx_.back().inBody = true;
       statement(n->kids[0]);
       emit(Op::kUnmark);
-      emit(Op::kPop);
+      emitPop();
       emit(Op::kJump, top);
       break;
     }

@@ -51,6 +51,13 @@ class ChunkCompiler {
 
   // -- emission ---------------------------------------------------------
   std::int32_t emit(Op op, std::int32_t a = 0, std::int32_t b = 0);
+  /// Emit kPop, first stripping the variable-ness of the entry being
+  /// discarded when the producing instruction is statically the one just
+  /// emitted: a kIn keeps its cell assignment but skips binding the
+  /// stack entry to the variable (b bit 1), and a kLoadVar/kLoadSlot
+  /// pushes ref-free (b = 1). Paths that jump over the producer land on
+  /// the kPop itself, so only entries this kPop discards are affected.
+  std::int32_t emitPop();
   [[nodiscard]] std::int32_t here() const noexcept {
     return static_cast<std::int32_t>(chunk_.code.size());
   }

@@ -1,6 +1,5 @@
 // scope.hpp — lexical scopes mapping names to reified variables.
 #pragma once
-
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -85,7 +84,9 @@ class Scope : public std::enable_shared_from_this<Scope> {
   /// whose pooled bodies reference that very cell is a cycle the map
   /// clear alone cannot break.
   void clear() noexcept {
-    for (auto& [name, var] : vars_) var->set(Value::null());
+    for (auto& [name, var] : vars_) {
+      var->set(Value::null());
+    }
     vars_.clear();
     version_.fetch_add(1, std::memory_order_release);
   }

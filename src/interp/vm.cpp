@@ -78,21 +78,28 @@ void VmGen::doRestart() {
 }
 
 void VmGen::restoreAndPush(const Susp& s, Value v, VarPtr ref) {
-  shrinkStack(static_cast<std::size_t>(s.base));
-  appendSlice(s.slice);
+  restoreSlice(static_cast<std::size_t>(s.base), s.slice);
   stack_.emplace_back(std::move(v), std::move(ref));
 }
 
 VmGen::Susp& VmGen::pushSusp(Susp::Kind kind) {
-  Susp s;
+  // The record may be a retired one whose slice kept its capacity;
+  // every scalar field is reinitialized here (retire() already cleared
+  // slice and gen), so nothing of the previous occupant shows through.
+  Susp& s = resume_.push();
   s.kind = kind;
+  s.ascending = true;
+  s.produced = false;
   s.opPc = curPc_;
   s.base = markBase();
+  s.fastCur = s.fastLimit = s.fastStep = 0;
   s.prevAux = -1;
   s.escapeIdx = -1;
+  s.target = -1;
+  s.depth = -1;
+  s.remaining = 0;
   s.slice.assign(stack_.begin() + s.base, stack_.end());
-  resume_.push_back(std::move(s));
-  return resume_.back();
+  return s;
 }
 
 void VmGen::popSusp() {
@@ -111,7 +118,7 @@ void VmGen::performBreak(std::int32_t depth) {
   const LoopRec rec = loops_[static_cast<std::size_t>(depth)];
   marks_.resize(static_cast<std::size_t>(rec.marksH));
   truncResume(rec.suspH);
-  stack_.resize(static_cast<std::size_t>(rec.valH));
+  shrinkStack(static_cast<std::size_t>(rec.valH));
   loops_.resize(static_cast<std::size_t>(depth));
   // Caller efails: a broken loop contributes no value (LoopGen parity).
 }
@@ -125,7 +132,7 @@ VmGen::Flow VmGen::performNext(std::int32_t depth, bool inBody) {
     const MarkRec m = marks_[static_cast<std::size_t>(rec.bodyMarkIdx)];
     pc_ = m.failPc;
     truncResume(m.suspH);
-    stack_.resize(static_cast<std::size_t>(m.valH));
+    shrinkStack(static_cast<std::size_t>(m.valH));
     marks_.resize(static_cast<std::size_t>(rec.bodyMarkIdx));
     loops_.resize(static_cast<std::size_t>(depth) + 1);
     return Flow::Forward;
@@ -133,7 +140,7 @@ VmGen::Flow VmGen::performNext(std::int32_t depth, bool inBody) {
   // `next` from inside the control expression (via an escape subtree).
   marks_.resize(static_cast<std::size_t>(rec.marksH));
   truncResume(rec.suspH);
-  stack_.resize(static_cast<std::size_t>(rec.valH));
+  shrinkStack(static_cast<std::size_t>(rec.valH));
   const LoopShape& shape = chunk_->loops[static_cast<std::size_t>(rec.shapeIdx)];
   if (shape.topPc >= 0) {
     // while/until/repeat re-evaluate the control from the top.
@@ -211,6 +218,48 @@ bool VmGen::convertError(const IconError& e) {
   return true;
 }
 
+// Dispatch strategy. On GCC/Clang the forward loop is token-threaded:
+// every op body ends by fetching and computing `goto *kOpLabels[op]`
+// *inline* (VM_NEXT replicates the fetch), so each opcode gets its own
+// indirect branch and the predictor learns per-op successor patterns —
+// funnelling every transition through one shared fetch site would
+// alias them all onto a single branch, which is the switch loop's
+// exact weakness. Define CONGEN_VM_SWITCH_DISPATCH to force the
+// portable switch fallback (useful for debugging: every op body is
+// then reachable from one switch head, and a breakpoint on the fetch
+// label sees each dispatch). Both modes share the op bodies verbatim
+// via VM_OP/VM_NEXT/VM_FAIL, and both count exactly one steps_
+// increment per dispatched instruction.
+#if !defined(CONGEN_VM_SWITCH_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define CONGEN_VM_THREADED 1
+#else
+#define CONGEN_VM_THREADED 0
+#endif
+
+#if CONGEN_VM_THREADED
+#define VM_OP(name) op_##name:
+// Replicated fetch: identical to the vm_fetch site, one steps_ tick
+// per dispatch; the cold step-limit throw is shared via vm_step_limit.
+//
+// INVARIANT: no local with a non-trivial destructor may be in scope at
+// a VM_NEXT() — the computed goto is a GNU extension and does NOT run
+// destructors when it leaves their block (unlike the plain gotos behind
+// VM_FAIL() and vm_fetch, which do). An owning Result/Value local alive
+// at VM_NEXT leaks its reference silently. Op bodies therefore close an
+// inner brace over any such locals before dispatching.
+#define VM_NEXT()                                               \
+  do {                                                          \
+    curPc_ = pc_;                                               \
+    ins = &code[pc_++];                                         \
+    if (++steps_ >= stepLimitTrip_) goto vm_step_limit;         \
+    goto* kOpLabels[static_cast<std::size_t>(ins->op)];         \
+  } while (0)
+#else
+#define VM_OP(name) case Op::name:
+#define VM_NEXT() goto vm_fetch
+#endif
+#define VM_FAIL() goto vm_fail
+
 bool VmGen::run(Result& out) {
   Flow flow = Flow::Forward;
   switch (phase_) {
@@ -232,6 +281,24 @@ bool VmGen::run(Result& out) {
   }
 
   const Insn* code = chunk_->code.data();
+#if CONGEN_VM_THREADED
+  // Indexed by Op; order must mirror the enum (pinned by the assert).
+  static const void* const kOpLabels[] = {
+      &&op_kConst,      &&op_kLoadVar,  &&op_kLoadSlot,     &&op_kLoadLate,
+      &&op_kPop,        &&op_kMark,     &&op_kUnmark,       &&op_kJump,
+      &&op_kEfail,      &&op_kYield,    &&op_kSuspend,      &&op_kReturn,
+      &&op_kFailBody,   &&op_kBinOp,    &&op_kUnOp,         &&op_kAssign,
+      &&op_kAugAssign,  &&op_kSwap,     &&op_kIndex,        &&op_kField,
+      &&op_kSlice,      &&op_kListLit,  &&op_kInvoke,       &&op_kToBy,
+      &&op_kPromote,    &&op_kIn,       &&op_kAltBegin,     &&op_kRaltBegin,
+      &&op_kRaltNote,   &&op_kLimitBegin, &&op_kLimitExit,  &&op_kLoopBegin,
+      &&op_kLoopBodyMark, &&op_kLoopEnd, &&op_kBreak,       &&op_kNext,
+      &&op_kThrowBreak, &&op_kThrowNext, &&op_kEscape,
+  };
+  static_assert(sizeof(kOpLabels) / sizeof(kOpLabels[0]) == kOpCount,
+                "dispatch table out of sync with the Op enum");
+#endif
+  const Insn* ins = nullptr;
   for (;;) {
     try {
       for (;;) {
@@ -256,8 +323,7 @@ bool VmGen::run(Result& out) {
                   } else {
                     s.fastCur = nxt;
                     pc_ = s.opPc + 1;
-                    shrinkStack(static_cast<std::size_t>(s.base));
-                    appendSlice(s.slice);
+                    restoreSlice(static_cast<std::size_t>(s.base), s.slice);
                     stack_.emplace_back(Value::integer(nxt), nullptr);
                     resolved = true;
                   }
@@ -267,8 +333,7 @@ bool VmGen::run(Result& out) {
                   // One shot: jump to the right branch with the left's
                   // entry stack restored.
                   pc_ = s.target;
-                  shrinkStack(static_cast<std::size_t>(s.base));
-                  appendSlice(s.slice);
+                  restoreSlice(static_cast<std::size_t>(s.base), s.slice);
                   popSusp();
                   resolved = true;
                   break;
@@ -278,8 +343,7 @@ bool VmGen::run(Result& out) {
                     // Last pass produced something: run e again.
                     s.produced = false;
                     pc_ = s.opPc + 1;
-                    shrinkStack(static_cast<std::size_t>(s.base));
-                    appendSlice(s.slice);
+                    restoreSlice(static_cast<std::size_t>(s.base), s.slice);
                     resolved = true;
                   } else {
                     popSusp();
@@ -295,7 +359,7 @@ bool VmGen::run(Result& out) {
               const MarkRec m = marks_.back();
               marks_.pop_back();
               truncResume(m.suspH);
-              stack_.resize(static_cast<std::size_t>(m.valH));
+              shrinkStack(static_cast<std::size_t>(m.valH));
               pc_ = m.failPc;
               resolved = true;
             } else {
@@ -307,44 +371,54 @@ bool VmGen::run(Result& out) {
           continue;
         }
 
-        // Forward dispatch. Within the switch: `continue` executes the
-        // next instruction, `break` efails the current one, `return`
-        // yields. Jump ops assign pc_ directly.
-        for (;;) {
-          curPc_ = pc_;
-          const Insn& ins = code[pc_++];
-          if (++steps_ >= stepLimitTrip_) {
-            throw IconError(316, "VM step limit exceeded in " + chunk_->name);
-          }
-          switch (ins.op) {
-            case Op::kConst:
-              stack_.emplace_back(chunk_->consts[static_cast<std::size_t>(ins.a)], nullptr);
-              continue;
-            case Op::kLoadVar: {
-              const VarPtr& v = chunk_->vars[static_cast<std::size_t>(ins.a)];
-              if (ins.b != 0) {
-                stack_.emplace_back(v->get(), nullptr);  // consumer is ref-oblivious
+        // Forward dispatch. Within an op body: VM_NEXT() executes the
+        // next instruction, VM_FAIL() efails the current one, `return`
+        // yields. Jump ops assign pc_ directly. Both dispatch modes run
+        // this single fetch site, so steps_ counts dispatches exactly.
+#if CONGEN_VM_THREADED
+        VM_NEXT();
+      vm_step_limit:
+        throw IconError(316, "VM step limit exceeded in " + chunk_->name);
+#else
+      vm_fetch:
+        curPc_ = pc_;
+        ins = &code[pc_++];
+        if (++steps_ >= stepLimitTrip_) {
+          throw IconError(316, "VM step limit exceeded in " + chunk_->name);
+        }
+        switch (ins->op) {
+#endif
+            VM_OP(kConst)
+              stack_.emplace_back(chunk_->consts[static_cast<std::size_t>(ins->a)], nullptr);
+              VM_NEXT();
+            VM_OP(kLoadVar) {
+              const VarPtr& v = chunk_->vars[static_cast<std::size_t>(ins->a)];
+              const Value* c = v->cell();  // plain cells skip the virtual get
+              if (ins->b != 0) {
+                // Consumer is ref-oblivious.
+                stack_.emplace_back(c != nullptr ? *c : v->get(), nullptr);
               } else {
-                stack_.emplace_back(v->get(), v);
+                stack_.emplace_back(c != nullptr ? *c : v->get(), v);
               }
-              continue;
+              VM_NEXT();
             }
-            case Op::kLoadSlot: {
-              const VarPtr& v = frame_->var(static_cast<std::size_t>(ins.a));
-              if (ins.b != 0) {
-                stack_.emplace_back(v->get(), nullptr);
+            VM_OP(kLoadSlot) {
+              const VarPtr& v = frame_->var(static_cast<std::size_t>(ins->a));
+              const Value* c = v->cell();
+              if (ins->b != 0) {
+                stack_.emplace_back(c != nullptr ? *c : v->get(), nullptr);
               } else {
-                stack_.emplace_back(v->get(), v);
+                stack_.emplace_back(c != nullptr ? *c : v->get(), v);
               }
-              continue;
+              VM_NEXT();
             }
-            case Op::kLoadLate: {
+            VM_OP(kLoadLate) {
               // The yielded ref is always the LateBoundVar (assignment
               // through it re-resolves); the cache accelerates the value
               // read only. Version is read before resolving, so a racing
               // declare makes the entry stale, never wrong.
-              const VarPtr& lv = frame_->var(static_cast<std::size_t>(ins.a));
-              ICEntry& ic = ics_[static_cast<std::size_t>(ins.b)];
+              const VarPtr& lv = frame_->var(static_cast<std::size_t>(ins->a));
+              ICEntry& ic = ics_[static_cast<std::size_t>(ins->b)];
               const std::uint64_t ver = scope_->version();
               if (ic.ver != ver) {
                 ++icMissTally_;
@@ -354,29 +428,29 @@ bool VmGen::run(Result& out) {
                 ++icHitTally_;
               }
               stack_.emplace_back(ic.target->get(), lv);
-              continue;
+              VM_NEXT();
             }
-            case Op::kPop:
+            VM_OP(kPop)
               stack_.pop_back();
-              continue;
-            case Op::kMark:
-              marks_.push_back({ins.a, static_cast<std::int32_t>(resume_.size()),
+              VM_NEXT();
+            VM_OP(kMark)
+              marks_.push_back({ins->a, static_cast<std::int32_t>(resume_.size()),
                                 static_cast<std::int32_t>(stack_.size()), curPc_});
-              continue;
-            case Op::kUnmark: {
+              VM_NEXT();
+            VM_OP(kUnmark) {
               // Leave the bounded expression's single result; drop its
               // pending resumptions (the expression is bounded).
               const MarkRec m = marks_.back();
               marks_.pop_back();
               truncResume(m.suspH);
-              continue;
+              VM_NEXT();
             }
-            case Op::kJump:
-              pc_ = ins.a;
-              continue;
-            case Op::kEfail:
-              break;
-            case Op::kYield: {
+            VM_OP(kJump)
+              pc_ = ins->a;
+              VM_NEXT();
+            VM_OP(kEfail)
+              VM_FAIL();
+            VM_OP(kYield) {
               Entry& e = stack_.back();
               out.value = std::move(e.v);
               out.ref = std::move(e.ref);
@@ -385,7 +459,7 @@ bool VmGen::run(Result& out) {
               phase_ = Phase::Backtrack;
               return true;
             }
-            case Op::kSuspend: {
+            VM_OP(kSuspend) {
               Entry& e = stack_.back();
               out.value = std::move(e.v);
               out.ref = std::move(e.ref);
@@ -394,7 +468,7 @@ bool VmGen::run(Result& out) {
               phase_ = Phase::Backtrack;
               return true;
             }
-            case Op::kReturn: {
+            VM_OP(kReturn) {
               Entry& e = stack_.back();
               out.value = std::move(e.v);
               out.ref = std::move(e.ref);
@@ -403,11 +477,11 @@ bool VmGen::run(Result& out) {
               phase_ = Phase::Done;
               return true;
             }
-            case Op::kFailBody:
+            VM_OP(kFailBody)
               out.set(Value::null(), nullptr, Result::kFailBody);
               phase_ = Phase::Done;
               return true;
-            case Op::kBinOp: {
+            VM_OP(kBinOp) {
               const std::size_t n = stack_.size();
               Entry& ea = stack_[n - 2];
               Entry& eb = stack_[n - 1];
@@ -419,7 +493,7 @@ bool VmGen::run(Result& out) {
                 const std::int64_t x = ea.v.smallInt(), y = eb.v.smallInt();
                 std::int64_t r = 0;
                 bool handled = true, isCmp = false, cmp = false;
-                switch (static_cast<BinKind>(ins.a)) {
+                switch (static_cast<BinKind>(ins->a)) {
                   case BinKind::Add: handled = !__builtin_add_overflow(x, y, &r); break;
                   case BinKind::Sub: handled = !__builtin_sub_overflow(x, y, &r); break;
                   case BinKind::Mul: handled = !__builtin_mul_overflow(x, y, &r); break;
@@ -434,115 +508,129 @@ bool VmGen::run(Result& out) {
                 if (handled) {
                   if (isCmp) {
                     if (!cmp) {
-                      stack_.resize(n - 2);
-                      break;  // comparison failed: goal-directed failure
+                      shrinkStack(n - 2);
+                      VM_FAIL();  // comparison failed: goal-directed failure
                     }
                     r = y;
                   }
                   stack_.pop_back();
                   ea.v = Value::integer(r);
                   ea.ref = nullptr;
-                  continue;
+                  VM_NEXT();
                 }
               }
-              auto res = applyBinary(static_cast<BinKind>(ins.a), ea.v, eb.v);
-              if (!res) {
-                stack_.resize(n - 2);
-                break;
-              }
-              stack_.pop_back();
-              ea.v = std::move(*res);
-              ea.ref = nullptr;
-              continue;
-            }
-            case Op::kUnOp: {
-              Entry& t = stack_.back();
-              Result opnd(std::move(t.v), std::move(t.ref));
-              auto res = applyUnary(static_cast<UnKind>(ins.a), opnd);
-              if (!res) {
+              {
+                auto res = applyBinary(static_cast<BinKind>(ins->a), ea.v, eb.v);
+                if (!res) {
+                  shrinkStack(n - 2);
+                  VM_FAIL();
+                }
                 stack_.pop_back();
-                break;
+                ea.v = std::move(*res);
+                ea.ref = nullptr;
               }
-              t.v = std::move(res->value);
-              t.ref = std::move(res->ref);
-              continue;
+              VM_NEXT();
             }
-            case Op::kAssign:
-            case Op::kAugAssign:
-            case Op::kSwap: {
-              const std::size_t n = stack_.size();
-              Result l(std::move(stack_[n - 2].v), std::move(stack_[n - 2].ref));
-              Result r(std::move(stack_[n - 1].v), std::move(stack_[n - 1].ref));
-              std::optional<Result> res;
-              if (ins.op == Op::kAssign) {
-                res = assignTuple(l, r);
-              } else if (ins.op == Op::kSwap) {
-                res = swapTuple(l, r);
-              } else {
-                res = augAssignTuple(static_cast<BinKind>(ins.a), l, r);
+            VM_OP(kUnOp) {
+              {
+                Entry& t = stack_.back();
+                Result opnd(std::move(t.v), std::move(t.ref));
+                auto res = applyUnary(static_cast<UnKind>(ins->a), opnd);
+                if (!res) {
+                  stack_.pop_back();
+                  VM_FAIL();
+                }
+                t.v = std::move(res->value);
+                t.ref = std::move(res->ref);
               }
-              if (!res) {
-                stack_.resize(n - 2);
-                break;
-              }
-              stack_.pop_back();
-              Entry& dst = stack_.back();
-              dst.v = std::move(res->value);
-              dst.ref = std::move(res->ref);
-              continue;
+              VM_NEXT();
             }
-            case Op::kIndex: {
-              const std::size_t n = stack_.size();
-              Result c(std::move(stack_[n - 2].v), std::move(stack_[n - 2].ref));
-              Result i(std::move(stack_[n - 1].v), std::move(stack_[n - 1].ref));
-              auto res = indexTuple(c, i);
-              if (!res) {
-                stack_.resize(n - 2);
-                break;
-              }
-              stack_.pop_back();
-              Entry& dst = stack_.back();
-              dst.v = std::move(res->value);
-              dst.ref = std::move(res->ref);
-              continue;
-            }
-            case Op::kField: {
-              Entry& t = stack_.back();
-              Result o(std::move(t.v), std::move(t.ref));
-              auto res = fieldTuple(o, chunk_->consts[static_cast<std::size_t>(ins.a)].str());
-              if (!res) {
+            VM_OP(kAssign)
+            VM_OP(kAugAssign)
+            VM_OP(kSwap) {
+              {
+                const std::size_t n = stack_.size();
+                Result l(std::move(stack_[n - 2].v), std::move(stack_[n - 2].ref));
+                Result r(std::move(stack_[n - 1].v), std::move(stack_[n - 1].ref));
+                std::optional<Result> res;
+                if (ins->op == Op::kAssign) {
+                  res = assignTuple(l, r);
+                } else if (ins->op == Op::kSwap) {
+                  res = swapTuple(l, r);
+                } else {
+                  res = augAssignTuple(static_cast<BinKind>(ins->a), l, r);
+                }
+                if (!res) {
+                  shrinkStack(n - 2);
+                  VM_FAIL();
+                }
                 stack_.pop_back();
-                break;
+                Entry& dst = stack_.back();
+                dst.v = std::move(res->value);
+                dst.ref = std::move(res->ref);
               }
-              t.v = std::move(res->value);
-              t.ref = std::move(res->ref);
-              continue;
+              VM_NEXT();
             }
-            case Op::kSlice: {
-              const std::size_t n = stack_.size();
-              auto res = sliceTuple(stack_[n - 3].v, stack_[n - 2].v, stack_[n - 1].v);
-              if (!res) {
-                stack_.resize(n - 3);
-                break;
+            VM_OP(kIndex) {
+              {
+                const std::size_t n = stack_.size();
+                Result c(std::move(stack_[n - 2].v), std::move(stack_[n - 2].ref));
+                Result i(std::move(stack_[n - 1].v), std::move(stack_[n - 1].ref));
+                auto res = indexTuple(c, i);
+                if (!res) {
+                  shrinkStack(n - 2);
+                  VM_FAIL();
+                }
+                stack_.pop_back();
+                Entry& dst = stack_.back();
+                dst.v = std::move(res->value);
+                dst.ref = std::move(res->ref);
               }
-              stack_.resize(n - 2);
-              Entry& dst = stack_.back();
-              dst.v = std::move(*res);
-              dst.ref = nullptr;
-              continue;
+              VM_NEXT();
             }
-            case Op::kListLit: {
-              const std::size_t n = stack_.size();
-              const std::size_t first = n - static_cast<std::size_t>(ins.a);
-              auto list = ListImpl::create();
-              for (std::size_t i = first; i < n; ++i) list->put(stack_[i].v);
-              stack_.resize(first);
-              stack_.emplace_back(Value::list(std::move(list)), nullptr);
-              continue;
+            VM_OP(kField) {
+              {
+                Entry& t = stack_.back();
+                Result o(std::move(t.v), std::move(t.ref));
+                auto res = fieldTuple(o, chunk_->consts[static_cast<std::size_t>(ins->a)].str());
+                if (!res) {
+                  stack_.pop_back();
+                  VM_FAIL();
+                }
+                t.v = std::move(res->value);
+                t.ref = std::move(res->ref);
+              }
+              VM_NEXT();
             }
-            case Op::kInvoke: {
+            VM_OP(kSlice) {
+              {
+                const std::size_t n = stack_.size();
+                auto res = sliceTuple(stack_[n - 3].v, stack_[n - 2].v, stack_[n - 1].v);
+                if (!res) {
+                  shrinkStack(n - 3);
+                  VM_FAIL();
+                }
+                shrinkStack(n - 2);
+                Entry& dst = stack_.back();
+                dst.v = std::move(*res);
+                dst.ref = nullptr;
+              }
+              VM_NEXT();
+            }
+            VM_OP(kListLit) {
+              {
+                const std::size_t n = stack_.size();
+                const std::size_t first = n - static_cast<std::size_t>(ins->a);
+                auto list = ListImpl::create();
+                for (std::size_t i = first; i < n; ++i) list->put(stack_[i].v);
+                shrinkStack(first);
+                stack_.emplace_back(Value::list(std::move(list)), nullptr);
+              }
+              VM_NEXT();
+            }
+            VM_OP(kInvoke) {
               const std::size_t n = stack_.size();
-              const std::size_t nargs = static_cast<std::size_t>(ins.a);
+              const std::size_t nargs = static_cast<std::size_t>(ins->a);
               const std::size_t calleeIdx = n - 1 - nargs;
               // Borrow the callee in place — the resize below is what
               // destroys its stack entry, so every use of `f` must come
@@ -565,24 +653,35 @@ bool VmGen::run(Result& out) {
                 }
               }
               if (const auto& nf = f.proc()->nativeFn()) {
-                // At-most-one-result native: no suspension needed.
-                auto r = nf(argScratch_);
-                stack_.resize(calleeIdx);
-                if (!r) break;
-                stack_.emplace_back(std::move(*r), nullptr);
-                continue;
+                {
+                  // At-most-one-result native: no suspension needed.
+                  auto r = nf(argScratch_);
+                  if (!r) {
+                    // Keep the callee: the efail resolution truncates the
+                    // stack anyway, and a backtracking restore whose slice
+                    // holds this callee finds it in place (restoreSlice)
+                    // instead of re-copying the proc every candidate.
+                    shrinkStack(calleeIdx + 1);
+                    VM_FAIL();
+                  }
+                  shrinkStack(calleeIdx);
+                  stack_.emplace_back(std::move(*r), nullptr);
+                }
+                VM_NEXT();
               }
-              auto gen = f.proc()->invoke(std::move(argScratch_));
-              argScratch_ = {};
-              stack_.resize(calleeIdx);
-              Susp& s = pushSusp(Susp::Kind::Drive);
-              s.gen = std::move(gen);
               Flow fl = Flow::Forward;
-              if (driveTop(out, fl)) return true;
-              if (fl == Flow::Efail) break;
-              continue;
+              {
+                auto gen = f.proc()->invoke(std::move(argScratch_));
+                argScratch_ = {};
+                shrinkStack(calleeIdx);
+                Susp& s = pushSusp(Susp::Kind::Drive);
+                s.gen = std::move(gen);
+                if (driveTop(out, fl)) return true;
+              }
+              if (fl == Flow::Efail) VM_FAIL();
+              VM_NEXT();
             }
-            case Op::kToBy: {
+            VM_OP(kToBy) {
               const std::size_t n = stack_.size();
               const Value& fromV = stack_[n - 3].v;
               const Value& toV = stack_[n - 2].v;
@@ -593,85 +692,101 @@ bool VmGen::run(Result& out) {
                 const std::int64_t cur = fromV.smallInt();
                 const std::int64_t lim = toV.smallInt();
                 const bool asc = step > 0;
-                stack_.resize(n - 3);
-                if (asc ? cur > lim : cur < lim) break;  // empty range
+                shrinkStack(n - 3);
+                if (asc ? cur > lim : cur < lim) VM_FAIL();  // empty range
                 Susp& s = pushSusp(Susp::Kind::Range);
                 s.fastCur = cur;
                 s.fastLimit = lim;
                 s.fastStep = step;
                 s.ascending = asc;
                 stack_.emplace_back(Value::integer(cur), nullptr);
-                continue;
+                VM_NEXT();
               }
-              auto gen = RangeGen::create(fromV, toV, byV);  // may throw: type checks
-              stack_.resize(n - 3);
-              Susp& s = pushSusp(Susp::Kind::Drive);
-              s.gen = std::move(gen);
               Flow fl = Flow::Forward;
-              if (driveTop(out, fl)) return true;
-              if (fl == Flow::Efail) break;
-              continue;
+              {
+                auto gen = RangeGen::create(fromV, toV, byV);  // may throw: type checks
+                shrinkStack(n - 3);
+                Susp& s = pushSusp(Susp::Kind::Drive);
+                s.gen = std::move(gen);
+                if (driveTop(out, fl)) return true;
+              }
+              if (fl == Flow::Efail) VM_FAIL();
+              VM_NEXT();
             }
-            case Op::kPromote: {
-              Value v = std::move(stack_.back().v);
-              stack_.pop_back();
-              auto gen = PromoteGen::makeElementGen(v);  // may throw: !x on a non-sequence
-              Susp& s = pushSusp(Susp::Kind::Drive);
-              s.gen = std::move(gen);
+            VM_OP(kPromote) {
               Flow fl = Flow::Forward;
-              if (driveTop(out, fl)) return true;
-              if (fl == Flow::Efail) break;
-              continue;
+              {
+                Value v = std::move(stack_.back().v);
+                stack_.pop_back();
+                auto gen = PromoteGen::makeElementGen(v);  // may throw: !x on a non-sequence
+                Susp& s = pushSusp(Susp::Kind::Drive);
+                s.gen = std::move(gen);
+                if (driveTop(out, fl)) return true;
+              }
+              if (fl == Flow::Efail) VM_FAIL();
+              VM_NEXT();
             }
-            case Op::kIn: {
+            VM_OP(kIn) {
               Entry& t = stack_.back();
-              const VarPtr& var = ins.b != 0 ? frame_->var(static_cast<std::size_t>(ins.a))
-                                             : chunk_->vars[static_cast<std::size_t>(ins.a)];
-              var->set(t.v);
-              t.ref = var;  // value stays; the result becomes the variable
-              continue;
+              const VarPtr& var = (ins->b & 1) != 0
+                                      ? frame_->var(static_cast<std::size_t>(ins->a))
+                                      : chunk_->vars[static_cast<std::size_t>(ins->a)];
+              if (Value* c = var->cell()) {
+                *c = t.v;  // plain cells skip the virtual set
+              } else {
+                var->set(t.v);
+              }
+              // Value stays; the result becomes the variable — unless the
+              // compiler proved the entry is discarded (b bit 1), which
+              // skips a shared_ptr copy per backtracking step in the
+              // normalized `(x in e) & rest` conjunction.
+              if ((ins->b & 2) == 0) t.ref = var;
+              VM_NEXT();
             }
-            case Op::kAltBegin: {
+            VM_OP(kAltBegin) {
               Susp& s = pushSusp(Susp::Kind::Alt);
-              s.target = ins.a;
-              continue;  // fall into the left branch
+              s.target = ins->a;
+              VM_NEXT();  // fall into the left branch
             }
-            case Op::kRaltBegin: {
+            VM_OP(kRaltBegin) {
               Susp& s = pushSusp(Susp::Kind::Ralt);
-              s.depth = ins.a;
+              s.depth = ins->a;
               s.prevAux = auxTop_;
               auxTop_ = static_cast<std::int32_t>(resume_.size()) - 1;
-              continue;
+              VM_NEXT();
             }
-            case Op::kRaltNote: {
+            VM_OP(kRaltNote) {
               for (std::int32_t i = auxTop_; i >= 0;
                    i = resume_[static_cast<std::size_t>(i)].prevAux) {
                 Susp& s = resume_[static_cast<std::size_t>(i)];
-                if (s.kind == Susp::Kind::Ralt && s.depth == ins.a) {
+                if (s.kind == Susp::Kind::Ralt && s.depth == ins->a) {
                   s.produced = true;
                   break;
                 }
               }
-              continue;
+              VM_NEXT();
             }
-            case Op::kLimitBegin: {
-              Entry bound = std::move(stack_.back());
-              stack_.pop_back();
-              const std::int64_t nvals = bound.v.requireInt64("limit bound");
-              if (nvals <= 0) break;  // e \ 0 produces nothing
+            VM_OP(kLimitBegin) {
+              std::int64_t nvals = 0;
+              {
+                Entry bound = std::move(stack_.back());
+                stack_.pop_back();
+                nvals = bound.v.requireInt64("limit bound");
+              }
+              if (nvals <= 0) VM_FAIL();  // e \ 0 produces nothing
               Susp& s = pushSusp(Susp::Kind::Limit);
-              s.depth = ins.a;
+              s.depth = ins->a;
               s.remaining = nvals;
               s.prevAux = auxTop_;
               auxTop_ = static_cast<std::int32_t>(resume_.size()) - 1;
-              pc_ = ins.b;  // jump back to the limited expression
-              continue;
+              pc_ = ins->b;  // jump back to the limited expression
+              VM_NEXT();
             }
-            case Op::kLimitExit: {
+            VM_OP(kLimitExit) {
               for (std::int32_t i = auxTop_; i >= 0;
                    i = resume_[static_cast<std::size_t>(i)].prevAux) {
                 Susp& s = resume_[static_cast<std::size_t>(i)];
-                if (s.kind == Susp::Kind::Limit && s.depth == ins.a) {
+                if (s.kind == Susp::Kind::Limit && s.depth == ins->a) {
                   if (--s.remaining == 0) {
                     // Budget spent: drop the record and every suspension
                     // the limited expression still holds above it.
@@ -680,47 +795,48 @@ bool VmGen::run(Result& out) {
                   break;
                 }
               }
-              continue;
+              VM_NEXT();
             }
-            case Op::kLoopBegin:
+            VM_OP(kLoopBegin)
               loops_.push_back({static_cast<std::int32_t>(marks_.size()),
                                 static_cast<std::int32_t>(resume_.size()),
-                                static_cast<std::int32_t>(stack_.size()), -1, ins.a, curPc_});
-              continue;
-            case Op::kLoopBodyMark:
-              marks_.push_back({ins.a, static_cast<std::int32_t>(resume_.size()),
+                                static_cast<std::int32_t>(stack_.size()), -1, ins->a, curPc_});
+              VM_NEXT();
+            VM_OP(kLoopBodyMark)
+              marks_.push_back({ins->a, static_cast<std::int32_t>(resume_.size()),
                                 static_cast<std::int32_t>(stack_.size()), curPc_});
               loops_.back().bodyMarkIdx = static_cast<std::int32_t>(marks_.size()) - 1;
-              continue;
-            case Op::kLoopEnd:
+              VM_NEXT();
+            VM_OP(kLoopEnd)
               loops_.pop_back();
-              continue;
-            case Op::kBreak:
-              performBreak(ins.a);
-              break;  // a broken loop fails
-            case Op::kNext: {
-              if (performNext(ins.a, ins.b != 0) == Flow::Efail) break;
-              continue;
+              VM_NEXT();
+            VM_OP(kBreak)
+              performBreak(ins->a);
+              VM_FAIL();  // a broken loop fails
+            VM_OP(kNext) {
+              if (performNext(ins->a, ins->b != 0) == Flow::Efail) VM_FAIL();
+              VM_NEXT();
             }
-            case Op::kThrowBreak:
+            VM_OP(kThrowBreak)
               throw BreakSignal{};
-            case Op::kThrowNext:
+            VM_OP(kThrowNext)
               throw NextSignal{};
-            case Op::kEscape: {
-              GenPtr& gen = escapes_[static_cast<std::size_t>(ins.a)];
+            VM_OP(kEscape) {
+              GenPtr& gen = escapes_[static_cast<std::size_t>(ins->a)];
               gen->restart();  // shared per site; one live suspension per site
               Susp& s = pushSusp(Susp::Kind::Drive);
               s.gen = gen;
-              s.escapeIdx = ins.a;
+              s.escapeIdx = ins->a;
               Flow fl = Flow::Forward;
               if (driveTop(out, fl)) return true;
-              if (fl == Flow::Efail) break;
-              continue;
+              if (fl == Flow::Efail) VM_FAIL();
+              VM_NEXT();
             }
-          }
-          flow = Flow::Efail;
-          break;
+#if !CONGEN_VM_THREADED
         }
+#endif
+      vm_fail:
+        flow = Flow::Efail;
       }
     } catch (const IconError& e) {
       if (!convertError(e)) throw;
@@ -728,5 +844,9 @@ bool VmGen::run(Result& out) {
     }
   }
 }
+
+#undef VM_OP
+#undef VM_NEXT
+#undef VM_FAIL
 
 }  // namespace congen::interp::vm

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "interp/chunk.hpp"
@@ -40,7 +41,6 @@ class VmGen final : public Gen {
   /// the tree compiler would build them.
   VmGen(Interpreter& interp, ChunkPtr chunk, ScopePtr scope, const FrameLayout* layout,
         FramePtr frame);
-
   static std::shared_ptr<VmGen> create(Interpreter& interp, ChunkPtr chunk, ScopePtr scope,
                                        const FrameLayout* layout, FramePtr frame) {
     return std::make_shared<VmGen>(interp, std::move(chunk), std::move(scope), layout,
@@ -128,6 +128,44 @@ class VmGen final : public Gen {
 
   enum class Flow : std::uint8_t { Forward, Efail };
 
+  /// The resume stack, with storage reuse: popping retires the record
+  /// but keeps it constructed, so the heap capacity its slice vector
+  /// acquired is reused by the next push. Backtracking-heavy code pushes
+  /// suspensions tens of millions of times a second, and the malloc/free
+  /// pair behind a fresh slice per push dominated its profile. Retired
+  /// records drop what they own immediately (slice entries, the driven
+  /// gen) — only raw capacity outlives the pop. pushSusp() reinitializes
+  /// every scalar field, so reuse is invisible to the resolution loop.
+  class SuspStack {
+   public:
+    [[nodiscard]] std::size_t size() const noexcept { return live_; }
+    [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+    [[nodiscard]] Susp& back() noexcept { return store_[live_ - 1]; }
+    [[nodiscard]] const Susp& back() const noexcept { return store_[live_ - 1]; }
+    [[nodiscard]] Susp& operator[](std::size_t i) noexcept { return store_[i]; }
+    [[nodiscard]] const Susp& operator[](std::size_t i) const noexcept { return store_[i]; }
+    void reserve(std::size_t n) { store_.reserve(n); }
+    /// Grow by one, reusing a retired record when available. The caller
+    /// (pushSusp) must reset every field it relies on.
+    [[nodiscard]] Susp& push() {
+      if (live_ == store_.size()) store_.emplace_back();
+      return store_[live_++];
+    }
+    void pop_back() noexcept { retire(store_[--live_]); }
+    void resize(std::size_t n) noexcept {
+      while (live_ > n) pop_back();
+    }
+    void clear() noexcept { resize(0); }
+
+   private:
+    static void retire(Susp& s) noexcept {
+      s.slice.clear();  // destroys the entries, keeps the capacity
+      s.gen.reset();
+    }
+    std::vector<Susp> store_;
+    std::size_t live_ = 0;
+  };
+
   bool run(Result& out);
 
   /// Shrink the value stack to `h` entries. pop_back in a loop inlines
@@ -141,6 +179,31 @@ class VmGen final : public Gen {
   /// inlined for the same reason).
   void appendSlice(const std::vector<Entry>& slice) {
     for (const Entry& e : slice) stack_.push_back(e);
+  }
+
+  /// True when the live entry is bit-identical to the saved one: same
+  /// payload (a Value copy reproduces the exact 16 bytes, including the
+  /// payload pointer) and same ref. Indeterminate trailing bytes can
+  /// only produce a false negative, which costs a copy, never
+  /// correctness.
+  static bool sameEntry(const Entry& live, const Entry& saved) noexcept {
+    return std::memcmp(&live.v, &saved.v, sizeof(Value)) == 0 &&
+           live.ref.get() == saved.ref.get();
+  }
+
+  /// Restore `slice` above `base`, keeping any prefix of the live stack
+  /// that is identical to the saved entries. Backtracking usually fails
+  /// with most of the saved region untouched (a failed call consumed
+  /// only its own operands), so the common restore copies nothing —
+  /// which matters: each copied entry is a refcount bump now and a
+  /// release on the next unwind, paid per backtracking step.
+  void restoreSlice(std::size_t base, const std::vector<Entry>& slice) {
+    const std::size_t above = stack_.size() > base ? stack_.size() - base : 0;
+    const std::size_t limit = above < slice.size() ? above : slice.size();
+    std::size_t keep = 0;
+    while (keep < limit && sameEntry(stack_[base + keep], slice[keep])) ++keep;
+    shrinkStack(base + keep);
+    for (std::size_t i = keep; i < slice.size(); ++i) stack_.push_back(slice[i]);
   }
 
   /// Drive resume_.back()'s gen once. Returns true when the machine
@@ -176,7 +239,7 @@ class VmGen final : public Gen {
   std::vector<GenPtr> escapes_;  // one tree subgen per escape site
 
   std::vector<Entry> stack_;
-  std::vector<Susp> resume_;
+  SuspStack resume_;
   std::vector<MarkRec> marks_;
   std::vector<LoopRec> loops_;
   std::vector<ICEntry> ics_;

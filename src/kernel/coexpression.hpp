@@ -17,8 +17,10 @@
 
 namespace congen {
 
-/// A first-class generator / co-expression.
-class CoExpression : public std::enable_shared_from_this<CoExpression> {
+/// A first-class generator / co-expression. Derives RcBase (first base —
+/// Value stores the upcast pointer) so a co-expression Value is the same
+/// one-pointer, refcounted representation as every other heap type.
+class CoExpression : public RcBase {
  public:
   /// The factory re-creates the body generator from scratch; environment
   /// shadowing is baked into it (it captures copies of the referenced
@@ -28,13 +30,12 @@ class CoExpression : public std::enable_shared_from_this<CoExpression> {
   /// taken here, before the enclosing code mutates its locals (and
   /// before a pipe's producer races them from another thread).
   explicit CoExpression(GenFactory factory)
-      : factory_(std::move(factory)), body_(factory_()) {}
-  virtual ~CoExpression() = default;
-  CoExpression(const CoExpression&) = delete;
-  CoExpression& operator=(const CoExpression&) = delete;
+      : RcBase(static_cast<std::uint8_t>(TypeTag::CoExpr)),
+        factory_(std::move(factory)),
+        body_(factory_()) {}
 
   static CoExprPtr create(GenFactory factory) {
-    return std::make_shared<CoExpression>(std::move(factory));
+    return makeRc<CoExpression>(std::move(factory));
   }
 
   /// Activation @c: step one iteration; nullopt is failure. Unlike a raw
@@ -80,6 +81,9 @@ class CoExpression : public std::enable_shared_from_this<CoExpression> {
   std::size_t results_ = 0;
   bool exhausted_ = false;
 };
+
+static_assert(std::is_base_of_v<RcBase, CoExpression>,
+              "Value stores co-expressions behind an RcBase* upcast");
 
 /// Kernel node for `<>e` / `|<>e`: yields a freshly created co-expression
 /// value once per cycle. Environment shadowing is the factory's concern.

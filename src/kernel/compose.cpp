@@ -250,7 +250,7 @@ class CoActivationGen final : public Gen {
 GenPtr PromoteGen::makeElementGen(const Value& v) {
   switch (v.tag()) {
     case TypeTag::List: return std::make_shared<ListElementsGen>(v.list());
-    case TypeTag::String: return std::make_shared<StringElementsGen>(v.str());
+    case TypeTag::String: return std::make_shared<StringElementsGen>(std::string(v.str()));
     case TypeTag::Table: return std::make_shared<TableElementsGen>(v.table());
     case TypeTag::Set: return ValuesGen::create(v.set()->sortedMembers());
     case TypeTag::Record: return ValuesGen::create(v.record()->values());

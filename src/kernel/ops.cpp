@@ -156,17 +156,19 @@ std::optional<Result> indexTuple(Result& c, Result& i) {
   throw errInvalidValue("subscript applied to " + v.typeName());
 }
 
-std::optional<Result> fieldTuple(Result& o, const std::string& name) {
+std::optional<Result> fieldTuple(Result& o, std::string_view name) {
   if (o.value.isRecord()) {
     auto v = o.value.record()->field(name);
-    if (!v) throw IconError(207, "record " + o.value.typeName() + " has no field " + name);
-    return Result{std::move(*v), RecordFieldVar::create(o.value.record(), name)};
+    if (!v) {
+      throw IconError(207, "record " + o.value.typeName() + " has no field " + std::string(name));
+    }
+    return Result{std::move(*v), RecordFieldVar::create(o.value.record(), std::string(name))};
   }
   if (o.value.isTable()) {
     const Value key = Value::string(name);
     return Result{o.value.table()->lookup(key), TableElemVar::create(o.value.table(), key)};
   }
-  throw errInvalidValue("field ." + name + " applied to " + o.value.typeName());
+  throw errInvalidValue("field ." + std::string(name) + " applied to " + o.value.typeName());
 }
 
 std::optional<Value> sliceTuple(const Value& v, const Value& from, const Value& to) {

@@ -65,7 +65,7 @@ std::optional<Result> applyUnary(UnKind k, Result& r);
 std::optional<Result> indexTuple(Result& c, Result& i);
 
 /// o.name over one object result.
-std::optional<Result> fieldTuple(Result& o, const std::string& name);
+std::optional<Result> fieldTuple(Result& o, std::string_view name);
 
 /// x[i:j] over one (collection, from, to) tuple; nullopt = out of range.
 std::optional<Value> sliceTuple(const Value& v, const Value& from, const Value& to);

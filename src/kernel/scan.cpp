@@ -40,7 +40,7 @@ ScanEnv::State ScanEnv::pop() {
 std::size_t ScanEnv::depth() { return tls().stack.size(); }
 
 std::optional<std::int64_t> ScanEnv::resolvePos(std::int64_t p) {
-  const auto n = static_cast<std::int64_t>(current().subject->size());
+  const auto n = static_cast<std::int64_t>(current().subject.str().size());
   if (p <= 0) p = n + 1 + p;
   if (p < 1 || p > n + 1) return std::nullopt;
   return p;
@@ -66,7 +66,10 @@ bool ScanGen::doNext(Result& out) {
     }
     if (!subject_->next(out)) return false;
     if (out.isControl()) return true;
-    saved_.subject = std::make_shared<const std::string>(out.value.requireString("scan subject"));
+    // A string subject is shared as-is (no copy); non-strings coerce.
+    saved_.subject = out.value.isString()
+                         ? out.value
+                         : Value::string(out.value.requireString("scan subject"));
     saved_.pos = 1;
     scanning_ = true;
     body_->restart();
@@ -108,8 +111,8 @@ class TabStepGen final : public Gen {
     const auto lo = std::min(savedPos_, *target);
     const auto hi = std::max(savedPos_, *target);
     moved_ = true;
-    out.set(Value::string(env.subject->substr(static_cast<std::size_t>(lo - 1),
-                                              static_cast<std::size_t>(hi - lo))));
+    out.set(Value::string(env.subject.str().substr(static_cast<std::size_t>(lo - 1),
+                                                   static_cast<std::size_t>(hi - lo))));
     return true;
   }
   void doRestart() override {
@@ -129,10 +132,10 @@ class TabStepGen final : public Gen {
 
 GenPtr makeSubjectVarGen() {
   return VarGen::create(ComputedVar::create(
-      [] { return Value::string(ScanEnv::current().subject); },
+      [] { return ScanEnv::current().subject; },
       [](Value v) {
         auto& env = ScanEnv::current();
-        env.subject = std::make_shared<const std::string>(v.requireString("&subject"));
+        env.subject = v.isString() ? std::move(v) : Value::string(v.requireString("&subject"));
         env.pos = 1;  // Icon: assigning &subject resets &pos
       }));
 }

@@ -27,8 +27,12 @@ namespace congen {
 /// position semantics: 1..length+1).
 class ScanEnv {
  public:
+  /// The subject is held as a string Value: entering a scan whose
+  /// subject expression already yields a string shares the payload
+  /// (refcount bump or 16 inline bytes) instead of copying it, and
+  /// &subject reads hand the same representation straight back out.
   struct State {
-    std::shared_ptr<const std::string> subject = std::make_shared<const std::string>();
+    Value subject = Value::string(std::string_view{});
     std::int64_t pos = 1;
   };
 

@@ -126,7 +126,7 @@ class TasksGen final : public Gen {
 
  private:
   struct Task {
-    std::shared_ptr<Pipe> pipe;
+    Rc<Pipe> pipe;
     GenFactory body;           // kept so a retry can rebuild the pipe
     std::size_t emitted = 0;   // values already delivered downstream
     std::size_t toSkip = 0;    // replayed prefix still to swallow

@@ -16,8 +16,11 @@ namespace congen {
 
 /// The interned string Value for `s`. Thread-safe; the returned Value
 /// shares the table's representation (copying a Value is a refcount
-/// bump, not a string copy).
+/// bump, not a string copy). Short strings skip the table entirely:
+/// they are stored inline in the Value (SSO), so "interning" them
+/// would only add a lock and a lookup to produce the same 16 bytes.
 inline Value atomString(const std::string& s) {
+  if (s.size() <= Value::kSsoCapacity) return Value::string(s);
   static std::mutex mu;
   static std::unordered_map<std::string, Value> table;
   std::lock_guard lock(mu);

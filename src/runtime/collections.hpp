@@ -18,14 +18,15 @@
 namespace congen {
 
 /// Unicon list: a mutable deque of values.
-class ListImpl {
+class ListImpl : public RcBase {
  public:
-  ListImpl() = default;
-  explicit ListImpl(std::deque<Value> elems) : elems_(std::move(elems)) {}
+  ListImpl() : RcBase(static_cast<std::uint8_t>(TypeTag::List)) {}
+  explicit ListImpl(std::deque<Value> elems)
+      : RcBase(static_cast<std::uint8_t>(TypeTag::List)), elems_(std::move(elems)) {}
 
-  static ListPtr create() { return std::make_shared<ListImpl>(); }
+  static ListPtr create() { return makeRc<ListImpl>(); }
   static ListPtr create(std::deque<Value> elems) {
-    return std::make_shared<ListImpl>(std::move(elems));
+    return makeRc<ListImpl>(std::move(elems));
   }
 
   [[nodiscard]] std::int64_t size() const noexcept { return static_cast<std::int64_t>(elems_.size()); }
@@ -57,12 +58,13 @@ class ListImpl {
 };
 
 /// Unicon table: a map with a default value for absent keys.
-class TableImpl {
+class TableImpl : public RcBase {
  public:
-  explicit TableImpl(Value defaultValue = Value::null()) : default_(std::move(defaultValue)) {}
+  explicit TableImpl(Value defaultValue = Value::null())
+      : RcBase(static_cast<std::uint8_t>(TypeTag::Table)), default_(std::move(defaultValue)) {}
 
   static TablePtr create(Value defaultValue = Value::null()) {
-    return std::make_shared<TableImpl>(std::move(defaultValue));
+    return makeRc<TableImpl>(std::move(defaultValue));
   }
 
   [[nodiscard]] std::int64_t size() const noexcept { return static_cast<std::int64_t>(map_.size()); }
@@ -88,11 +90,11 @@ class TableImpl {
 };
 
 /// Unicon set.
-class SetImpl {
+class SetImpl : public RcBase {
  public:
-  SetImpl() = default;
+  SetImpl() : RcBase(static_cast<std::uint8_t>(TypeTag::Set)) {}
 
-  static SetPtr create() { return std::make_shared<SetImpl>(); }
+  static SetPtr create() { return makeRc<SetImpl>(); }
 
   [[nodiscard]] std::int64_t size() const noexcept { return static_cast<std::int64_t>(set_.size()); }
   [[nodiscard]] bool member(const Value& v) const { return set_.contains(v); }

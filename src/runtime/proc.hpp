@@ -17,7 +17,7 @@
 namespace congen {
 
 /// A first-class procedure: name + variadic body returning a generator.
-class ProcImpl {
+class ProcImpl : public RcBase {
  public:
   /// Body signature: args in, suspendable iterator out. Missing arguments
   /// are &null per Unicon's variadic convention (the body pads).
@@ -30,10 +30,13 @@ class ProcImpl {
   /// identical to one next() of invoke()'s result.
   using NativeFn = std::function<std::optional<Value>(std::vector<Value>&)>;
 
-  ProcImpl(std::string name, Body body) : name_(std::move(name)), body_(std::move(body)) {}
+  ProcImpl(std::string name, Body body)
+      : RcBase(static_cast<std::uint8_t>(TypeTag::Proc)),
+        name_(std::move(name)),
+        body_(std::move(body)) {}
 
   static ProcPtr create(std::string name, Body body) {
-    return std::make_shared<ProcImpl>(std::move(name), std::move(body));
+    return makeRc<ProcImpl>(std::move(name), std::move(body));
   }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }

@@ -33,7 +33,7 @@ class RecordType {
   [[nodiscard]] std::size_t arity() const noexcept { return fields_.size(); }
 
   /// 0-based slot of a field name; nullopt if unknown.
-  [[nodiscard]] std::optional<std::size_t> fieldIndex(const std::string& field) const {
+  [[nodiscard]] std::optional<std::size_t> fieldIndex(std::string_view field) const {
     for (std::size_t i = 0; i < fields_.size(); ++i) {
       if (fields_[i] == field) return i;
     }
@@ -46,15 +46,17 @@ class RecordType {
 };
 
 /// A record instance.
-class RecordImpl {
+class RecordImpl : public RcBase {
  public:
   RecordImpl(RecordTypePtr type, std::vector<Value> values)
-      : type_(std::move(type)), values_(std::move(values)) {
+      : RcBase(static_cast<std::uint8_t>(TypeTag::Record)),
+        type_(std::move(type)),
+        values_(std::move(values)) {
     values_.resize(type_->arity());  // missing constructor args are &null
   }
 
   static RecordPtr create(RecordTypePtr type, std::vector<Value> values) {
-    return std::make_shared<RecordImpl>(std::move(type), std::move(values));
+    return makeRc<RecordImpl>(std::move(type), std::move(values));
   }
 
   [[nodiscard]] const RecordTypePtr& type() const noexcept { return type_; }
@@ -64,12 +66,12 @@ class RecordImpl {
 
   /// Field access by name; nullopt for unknown fields (run-time error at
   /// the caller, Icon error 207).
-  [[nodiscard]] std::optional<Value> field(const std::string& name) const {
+  [[nodiscard]] std::optional<Value> field(std::string_view name) const {
     const auto idx = type_->fieldIndex(name);
     if (!idx) return std::nullopt;
     return values_[*idx];
   }
-  bool assignField(const std::string& name, Value v) {
+  bool assignField(std::string_view name, Value v) {
     const auto idx = type_->fieldIndex(name);
     if (!idx) return false;
     values_[*idx] = std::move(v);

@@ -12,9 +12,20 @@
 
 namespace congen {
 
+// fromHeap/asRc reinterpret the stored pointer across the RcBase<->payload
+// boundary; that is only sound while RcBase is a (polymorphic, hence
+// primary, hence offset-zero) base of every payload class.
+static_assert(std::is_base_of_v<RcBase, detail::StringBox>);
+static_assert(std::is_base_of_v<RcBase, detail::BigIntBox>);
+static_assert(std::is_base_of_v<RcBase, ListImpl>);
+static_assert(std::is_base_of_v<RcBase, TableImpl>);
+static_assert(std::is_base_of_v<RcBase, SetImpl>);
+static_assert(std::is_base_of_v<RcBase, RecordImpl>);
+static_assert(std::is_base_of_v<RcBase, ProcImpl>);
+
 namespace {
 
-std::string quoteString(const std::string& s) {
+std::string quoteString(std::string_view s) {
   std::string out = "\"";
   for (const char c : s) {
     switch (c) {
@@ -97,23 +108,24 @@ std::optional<Value> parseNumeric(std::string_view text) {
 
 Value Value::integer(BigInt v) {
   if (auto small = v.toInt64()) return Value::integer(*small);
-  return Value{std::make_shared<const BigInt>(std::move(v))};
+  return Value(new detail::BigIntBox(std::move(v)), Rep::kBigInt);
 }
 
-TypeTag Value::tag() const noexcept {
-  switch (v_.index()) {
-    case 0: return TypeTag::Null;
-    case 1:
-    case 2: return TypeTag::Integer;
-    case 3: return TypeTag::Real;
-    case 4: return TypeTag::String;
-    case 5: return TypeTag::List;
-    case 6: return TypeTag::Table;
-    case 7: return TypeTag::Set;
-    case 8: return TypeTag::Record;
-    case 9: return TypeTag::Proc;
-    default: return TypeTag::CoExpr;
+Value Value::stringConcat(std::string_view a, std::string_view b) {
+  const std::size_t n = a.size() + b.size();
+  if (n <= kSsoCapacity) {
+    Value r;
+    if (!a.empty()) std::memcpy(r.raw_, a.data(), a.size());
+    if (!b.empty()) std::memcpy(r.raw_ + a.size(), b.data(), b.size());
+    r.aux_ = static_cast<std::uint8_t>(n);
+    r.rep_ = Rep::kSso;
+    return r;
   }
+  std::string s;
+  s.reserve(n);
+  s.append(a);
+  s.append(b);
+  return Value(new detail::StringBox(std::move(s)), Rep::kHeapStr);
 }
 
 std::optional<Value> Value::toIntegerValue() const {
@@ -134,6 +146,7 @@ std::optional<Value> Value::toIntegerValue() const {
 }
 
 std::int64_t Value::requireInt64(std::string_view what) const {
+  if (rep_ == Rep::kInt) return loadScalar<std::int64_t>();
   auto iv = toIntegerValue();
   if (!iv || !iv->isSmallInt()) throw errIntegerExpected(std::string(what) + " = " + image());
   return iv->smallInt();
@@ -161,7 +174,7 @@ double Value::requireReal(std::string_view what) const {
 }
 
 std::string Value::requireString(std::string_view what) const {
-  if (isString()) return str();
+  if (isString()) return std::string(str());
   if (isInteger() || isReal()) return toDisplayString();
   if (isNull()) return "";
   throw errStringExpected(std::string(what) + " = " + image());
@@ -222,7 +235,7 @@ std::string Value::image() const {
 }
 
 std::string Value::toDisplayString() const {
-  if (isString()) return str();
+  if (isString()) return std::string(str());
   return image();
 }
 
@@ -257,7 +270,10 @@ int Value::compare(const Value& other) const {
       return a < b ? -1 : (a > b ? 1 : 0);
     }
     case TypeTag::Real: return cmp3(real(), other.real());
-    case TypeTag::String: return str().compare(other.str()) < 0 ? -1 : (str() == other.str() ? 0 : 1);
+    case TypeTag::String: {
+      const int c = str().compare(other.str());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
     case TypeTag::List: return cmp3(list().get(), other.list().get());
     case TypeTag::Table: return cmp3(table().get(), other.table().get());
     case TypeTag::Set: return cmp3(set().get(), other.set().get());
@@ -276,7 +292,7 @@ std::size_t Value::hash() const {
     case TypeTag::Integer:
       return mix(isSmallInt() ? std::hash<std::int64_t>{}(smallInt()) : bigInt().hash());
     case TypeTag::Real: return mix(std::hash<double>{}(real()));
-    case TypeTag::String: return mix(std::hash<std::string>{}(str()));
+    case TypeTag::String: return mix(std::hash<std::string_view>{}(str()));
     case TypeTag::List: return mix(std::hash<const void*>{}(list().get()));
     case TypeTag::Table: return mix(std::hash<const void*>{}(table().get()));
     case TypeTag::Set: return mix(std::hash<const void*>{}(set().get()));
@@ -474,6 +490,11 @@ std::optional<Value> valEQ(const Value& a, const Value& b) { return succeedWith(
 std::optional<Value> valNE(const Value& a, const Value& b) { return succeedWith(!a.equals(b), b); }
 
 Value concat(const Value& a, const Value& b) {
+  // Fast path: both operands already strings — one reserve, each payload
+  // copied exactly once; short results land inline (SSO), allocating
+  // nothing. requireString would materialize std::string copies of BOTH
+  // sides first.
+  if (a.isString() && b.isString()) return Value::stringConcat(a.str(), b.str());
   return Value::string(a.requireString("left operand of ||") + b.requireString("right operand of ||"));
 }
 

@@ -1,24 +1,31 @@
 // value.hpp — the dynamic value type of the embedded Unicon runtime.
 //
 // Icon/Unicon is dynamically typed; every runtime datum is one of a small
-// set of types. Value is a cheap-to-copy tagged union: immediate types
-// (null, small integer, real) are stored inline, everything else behind a
-// shared_ptr. Integers transparently overflow from a 64-bit fast path into
-// arbitrary-precision BigInt, mirroring Icon's implicit large integers
-// (which the paper's word-count benchmarks rely on).
+// set of types. Value is a 16-byte hand-rolled tagged union: null, int64
+// and real live inline; strings up to kSsoCapacity bytes are stored
+// wholly inline (SSO — table keys and word-count tokens allocate
+// nothing); every heap type sits behind ONE intrusive-refcounted pointer
+// (runtime/rc.hpp), so copying any Value is a 16-byte copy plus at most
+// one non-virtual atomic increment — no variant dispatch, no shared_ptr
+// control blocks. Integers transparently overflow from a 64-bit fast
+// path into arbitrary-precision BigInt, mirroring Icon's implicit large
+// integers (which the paper's word-count benchmarks rely on); the
+// canonical invariant — a BigInt payload never fits int64 — is enforced
+// at construction, so small never equals big.
 #pragma once
 
-#include <concepts>
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <variant>
 #include <vector>
 
 #include "bignum/bigint.hpp"
+#include "runtime/rc.hpp"
 
 namespace congen {
 
@@ -31,12 +38,12 @@ class RecordImpl;
 class CoExpression;  // defined in coexpr/
 class Gen;           // defined in kernel/
 
-using ListPtr = std::shared_ptr<ListImpl>;
-using TablePtr = std::shared_ptr<TableImpl>;
-using SetPtr = std::shared_ptr<SetImpl>;
-using ProcPtr = std::shared_ptr<ProcImpl>;
-using RecordPtr = std::shared_ptr<RecordImpl>;
-using CoExprPtr = std::shared_ptr<CoExpression>;
+using ListPtr = Rc<ListImpl>;
+using TablePtr = Rc<TableImpl>;
+using SetPtr = Rc<SetImpl>;
+using ProcPtr = Rc<ProcImpl>;
+using RecordPtr = Rc<RecordImpl>;
+using CoExprPtr = Rc<CoExpression>;
 using GenPtr = std::shared_ptr<Gen>;
 
 /// Discriminator for Value. Order defines the cross-type sort order used
@@ -55,60 +62,175 @@ enum class TypeTag : std::uint8_t {
   CoExpr,
 };
 
-/// Dynamically typed Unicon value.
+namespace detail {
+
+/// Heap spill for strings longer than the SSO capacity.
+class StringBox final : public RcBase {
+ public:
+  explicit StringBox(std::string s)
+      : RcBase(static_cast<std::uint8_t>(TypeTag::String)), s_(std::move(s)) {}
+  [[nodiscard]] const std::string& str() const noexcept { return s_; }
+
+ private:
+  std::string s_;
+};
+
+/// Heap spill for integers outside int64 (always non-canonical-small).
+class BigIntBox final : public RcBase {
+ public:
+  explicit BigIntBox(BigInt v)
+      : RcBase(static_cast<std::uint8_t>(TypeTag::Integer)), v_(std::move(v)) {}
+  [[nodiscard]] const BigInt& value() const noexcept { return v_; }
+
+ private:
+  BigInt v_;
+};
+
+}  // namespace detail
+
+/// Dynamically typed Unicon value — 16 bytes, cheap to copy.
 class Value {
  public:
+  /// Longest string stored inline (bytes 0..13 of the value; byte 14 is
+  /// the length, byte 15 the representation tag).
+  static constexpr std::size_t kSsoCapacity = 14;
+
   /// The null value (&null).
-  Value() noexcept : v_(std::monostate{}) {}
+  Value() noexcept : aux_(0), rep_(Rep::kNull) { std::memset(raw_, 0, sizeof raw_); }
+
+  Value(const Value& o) noexcept : aux_(o.aux_), rep_(o.rep_) {
+    std::memcpy(raw_, o.raw_, sizeof raw_);
+    if (isHeapRep(rep_)) heapPtr()->retain();
+  }
+  Value(Value&& o) noexcept : aux_(o.aux_), rep_(o.rep_) {
+    std::memcpy(raw_, o.raw_, sizeof raw_);
+    o.rep_ = Rep::kNull;
+  }
+  Value& operator=(const Value& o) noexcept {
+    if (this != &o) {
+      if (isHeapRep(o.rep_)) o.heapPtr()->retain();
+      if (isHeapRep(rep_)) releaseHeap();
+      std::memcpy(raw_, o.raw_, sizeof raw_);
+      aux_ = o.aux_;
+      rep_ = o.rep_;
+    }
+    return *this;
+  }
+  Value& operator=(Value&& o) noexcept {
+    if (this != &o) {
+      if (isHeapRep(rep_)) releaseHeap();
+      std::memcpy(raw_, o.raw_, sizeof raw_);
+      aux_ = o.aux_;
+      rep_ = o.rep_;
+      o.rep_ = Rep::kNull;
+    }
+    return *this;
+  }
+  ~Value() {
+    if (isHeapRep(rep_)) releaseHeap();
+  }
 
   // -- constructors ---------------------------------------------------
   static Value null() noexcept { return Value{}; }
-  static Value integer(std::int64_t v) noexcept { return Value{v}; }
-  static Value integer(BigInt v);
-  static Value real(double v) noexcept { return Value{v}; }
-  static Value string(std::string s) {
-    return Value{std::make_shared<const std::string>(std::move(s))};
+  static Value integer(std::int64_t v) noexcept {
+    Value r;
+    r.storeScalar(v);
+    r.rep_ = Rep::kInt;
+    return r;
   }
-  static Value string(std::shared_ptr<const std::string> s) noexcept { return Value{std::move(s)}; }
-  static Value list(ListPtr l) noexcept { return Value{std::move(l)}; }
-  static Value table(TablePtr t) noexcept { return Value{std::move(t)}; }
-  static Value set(SetPtr s) noexcept { return Value{std::move(s)}; }
-  static Value record(RecordPtr r) noexcept { return Value{std::move(r)}; }
-  static Value proc(ProcPtr p) noexcept { return Value{std::move(p)}; }
-  static Value coexpr(CoExprPtr c) noexcept { return Value{std::move(c)}; }
+  /// Canonicalizing: a BigInt that fits int64 demotes to the inline
+  /// representation (small never equals big).
+  static Value integer(BigInt v);
+  static Value real(double v) noexcept {
+    Value r;
+    r.storeScalar(v);
+    r.rep_ = Rep::kReal;
+    return r;
+  }
+  static Value string(std::string_view s) {
+    if (s.size() <= kSsoCapacity) return ssoString(s.data(), s.size());
+    return Value(new detail::StringBox(std::string(s)), Rep::kHeapStr);
+  }
+  static Value string(std::string&& s) {
+    if (s.size() <= kSsoCapacity) return ssoString(s.data(), s.size());
+    return Value(new detail::StringBox(std::move(s)), Rep::kHeapStr);
+  }
+  static Value string(const std::string& s) { return string(std::string_view(s)); }
+  static Value string(const char* s) { return string(std::string_view(s)); }
+  /// One-reserve concatenation (the ops::concat string×string fast
+  /// path): each payload is copied exactly once, short results land in
+  /// the SSO representation without touching the heap.
+  static Value stringConcat(std::string_view a, std::string_view b);
+  // The structure factories are templates over the handle's pointee so
+  // their bodies (which destroy / detach an Rc) only instantiate at call
+  // sites, where the payload classes are complete; the constraint checks
+  // the type there. This also admits derived handles (Rc<Pipe> is a
+  // co-expression value).
+  template <class T>
+    requires std::convertible_to<T*, ListImpl*>
+  static Value list(Rc<T> l) noexcept { return fromHeap(std::move(l), Rep::kList); }
+  template <class T>
+    requires std::convertible_to<T*, TableImpl*>
+  static Value table(Rc<T> t) noexcept { return fromHeap(std::move(t), Rep::kTable); }
+  template <class T>
+    requires std::convertible_to<T*, SetImpl*>
+  static Value set(Rc<T> s) noexcept { return fromHeap(std::move(s), Rep::kSet); }
+  template <class T>
+    requires std::convertible_to<T*, RecordImpl*>
+  static Value record(Rc<T> r) noexcept { return fromHeap(std::move(r), Rep::kRecord); }
+  template <class T>
+    requires std::convertible_to<T*, ProcImpl*>
+  static Value proc(Rc<T> p) noexcept { return fromHeap(std::move(p), Rep::kProc); }
+  template <class T>
+    requires std::convertible_to<T*, CoExpression*>
+  static Value coexpr(Rc<T> c) noexcept { return fromHeap(std::move(c), Rep::kCoExpr); }
 
   // -- observers ------------------------------------------------------
-  [[nodiscard]] TypeTag tag() const noexcept;
-  [[nodiscard]] bool isNull() const noexcept { return std::holds_alternative<std::monostate>(v_); }
+  [[nodiscard]] TypeTag tag() const noexcept { return kRepTag[static_cast<std::size_t>(rep_)]; }
+  [[nodiscard]] bool isNull() const noexcept { return rep_ == Rep::kNull; }
   [[nodiscard]] bool isInteger() const noexcept {
-    return std::holds_alternative<std::int64_t>(v_) ||
-           std::holds_alternative<std::shared_ptr<const BigInt>>(v_);
+    return rep_ == Rep::kInt || rep_ == Rep::kBigInt;
   }
-  [[nodiscard]] bool isSmallInt() const noexcept { return std::holds_alternative<std::int64_t>(v_); }
-  [[nodiscard]] bool isReal() const noexcept { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool isSmallInt() const noexcept { return rep_ == Rep::kInt; }
+  [[nodiscard]] bool isReal() const noexcept { return rep_ == Rep::kReal; }
   [[nodiscard]] bool isString() const noexcept {
-    return std::holds_alternative<std::shared_ptr<const std::string>>(v_);
+    return rep_ == Rep::kSso || rep_ == Rep::kHeapStr;
   }
-  [[nodiscard]] bool isList() const noexcept { return std::holds_alternative<ListPtr>(v_); }
-  [[nodiscard]] bool isTable() const noexcept { return std::holds_alternative<TablePtr>(v_); }
-  [[nodiscard]] bool isSet() const noexcept { return std::holds_alternative<SetPtr>(v_); }
-  [[nodiscard]] bool isRecord() const noexcept { return std::holds_alternative<RecordPtr>(v_); }
-  [[nodiscard]] bool isProc() const noexcept { return std::holds_alternative<ProcPtr>(v_); }
-  [[nodiscard]] bool isCoExpr() const noexcept { return std::holds_alternative<CoExprPtr>(v_); }
+  [[nodiscard]] bool isList() const noexcept { return rep_ == Rep::kList; }
+  [[nodiscard]] bool isTable() const noexcept { return rep_ == Rep::kTable; }
+  [[nodiscard]] bool isSet() const noexcept { return rep_ == Rep::kSet; }
+  [[nodiscard]] bool isRecord() const noexcept { return rep_ == Rep::kRecord; }
+  [[nodiscard]] bool isProc() const noexcept { return rep_ == Rep::kProc; }
+  [[nodiscard]] bool isCoExpr() const noexcept { return rep_ == Rep::kCoExpr; }
 
   /// Unchecked accessors; call only after the corresponding is*() test.
-  [[nodiscard]] std::int64_t smallInt() const { return std::get<std::int64_t>(v_); }
-  [[nodiscard]] const BigInt& bigInt() const { return *std::get<std::shared_ptr<const BigInt>>(v_); }
-  [[nodiscard]] double real() const { return std::get<double>(v_); }
-  [[nodiscard]] const std::string& str() const {
-    return *std::get<std::shared_ptr<const std::string>>(v_);
+  [[nodiscard]] std::int64_t smallInt() const noexcept {
+    assert(rep_ == Rep::kInt);
+    return loadScalar<std::int64_t>();
   }
-  [[nodiscard]] const ListPtr& list() const { return std::get<ListPtr>(v_); }
-  [[nodiscard]] const TablePtr& table() const { return std::get<TablePtr>(v_); }
-  [[nodiscard]] const SetPtr& set() const { return std::get<SetPtr>(v_); }
-  [[nodiscard]] const RecordPtr& record() const { return std::get<RecordPtr>(v_); }
-  [[nodiscard]] const ProcPtr& proc() const { return std::get<ProcPtr>(v_); }
-  [[nodiscard]] const CoExprPtr& coExpr() const { return std::get<CoExprPtr>(v_); }
+  [[nodiscard]] const BigInt& bigInt() const noexcept {
+    assert(rep_ == Rep::kBigInt);
+    return static_cast<const detail::BigIntBox*>(heapPtr())->value();
+  }
+  [[nodiscard]] double real() const noexcept {
+    assert(rep_ == Rep::kReal);
+    return loadScalar<double>();
+  }
+  /// String payload as a view. For SSO values the view points INTO this
+  /// Value: it is invalidated by assigning to / moving from / destroying
+  /// the Value it came from — never cache it across such an operation
+  /// (and never call str() on a temporary you let die).
+  [[nodiscard]] std::string_view str() const noexcept {
+    if (rep_ == Rep::kSso) return {reinterpret_cast<const char*>(raw_), aux_};
+    assert(rep_ == Rep::kHeapStr);
+    return static_cast<const detail::StringBox*>(heapPtr())->str();
+  }
+  [[nodiscard]] const ListPtr& list() const noexcept { return asRc<ListImpl>(Rep::kList); }
+  [[nodiscard]] const TablePtr& table() const noexcept { return asRc<TableImpl>(Rep::kTable); }
+  [[nodiscard]] const SetPtr& set() const noexcept { return asRc<SetImpl>(Rep::kSet); }
+  [[nodiscard]] const RecordPtr& record() const noexcept { return asRc<RecordImpl>(Rep::kRecord); }
+  [[nodiscard]] const ProcPtr& proc() const noexcept { return asRc<ProcImpl>(Rep::kProc); }
+  [[nodiscard]] const CoExprPtr& coExpr() const noexcept { return asRc<CoExpression>(Rep::kCoExpr); }
 
   // -- coercion (Icon run-time errors 101/102/103 on failure) ---------
   /// Coerce to integer (strings parsed, reals accepted if integral).
@@ -146,21 +268,99 @@ class Value {
   /// Icon *x size: string length, list/table/set size; errors otherwise.
   [[nodiscard]] std::int64_t size() const;
 
-  Value(const Value&) = default;
-  Value(Value&&) noexcept = default;
-  Value& operator=(const Value&) = default;
-  Value& operator=(Value&&) noexcept = default;
-
  private:
-  template <class T>
-    requires(!std::same_as<std::remove_cvref_t<T>, Value>)
-  explicit Value(T&& v) : v_(std::forward<T>(v)) {}
+  /// Physical representation. Inline reps first; isHeapRep is one
+  /// compare. The heap pointer is always the RcBase upcast of the
+  /// payload object (address-preserving: RcBase is every payload's
+  /// polymorphic primary base — see rc.hpp).
+  enum class Rep : std::uint8_t {
+    kNull = 0,
+    kInt,
+    kReal,
+    kSso,
+    kHeapStr,  // first heap rep
+    kBigInt,
+    kList,
+    kTable,
+    kSet,
+    kRecord,
+    kProc,
+    kCoExpr,
+  };
+  static constexpr std::size_t kRepCount = 12;
+  static constexpr TypeTag kRepTag[kRepCount] = {
+      TypeTag::Null, TypeTag::Integer, TypeTag::Real,   TypeTag::String,
+      TypeTag::String, TypeTag::Integer, TypeTag::List, TypeTag::Table,
+      TypeTag::Set,  TypeTag::Record,  TypeTag::Proc,   TypeTag::CoExpr,
+  };
+  static constexpr bool isHeapRep(Rep r) noexcept { return r >= Rep::kHeapStr; }
 
-  std::variant<std::monostate, std::int64_t, std::shared_ptr<const BigInt>, double,
-               std::shared_ptr<const std::string>, ListPtr, TablePtr, SetPtr, RecordPtr, ProcPtr,
-               CoExprPtr>
-      v_;
+  /// Adopt a heap payload (refcount already 1; null is a program error).
+  Value(RcBase* p, Rep rep) noexcept : aux_(0), rep_(rep) {
+    assert(p != nullptr);
+    std::memcpy(raw_, &p, sizeof p);
+    std::memset(raw_ + sizeof p, 0, sizeof raw_ - sizeof p);
+  }
+
+  /// Adopt a payload handle. The payload types are incomplete here, so
+  /// the upcast is spelled reinterpret_cast; it is address-preserving by
+  /// the RcBase-is-primary-base contract (static_asserted in value.cpp
+  /// where the types are complete).
+  template <class T>
+  static Value fromHeap(Rc<T> p, Rep rep) noexcept {
+    return Value(reinterpret_cast<RcBase*>(p.detach()), rep);
+  }
+
+  static Value ssoString(const char* data, std::size_t n) noexcept {
+    Value r;
+    if (n != 0) std::memcpy(r.raw_, data, n);
+    r.aux_ = static_cast<std::uint8_t>(n);
+    r.rep_ = Rep::kSso;
+    return r;
+  }
+
+  template <class T>
+  void storeScalar(T v) noexcept {
+    static_assert(sizeof(T) <= sizeof(raw_));
+    std::memcpy(raw_, &v, sizeof v);
+    std::memset(raw_ + sizeof v, 0, sizeof raw_ - sizeof v);
+  }
+  template <class T>
+  [[nodiscard]] T loadScalar() const noexcept {
+    T v;
+    std::memcpy(&v, raw_, sizeof v);
+    return v;
+  }
+  [[nodiscard]] RcBase* heapPtr() const noexcept { return loadScalar<RcBase*>(); }
+
+  /// Reinterpret the stored pointer bytes as the typed owning handle.
+  /// Sound because Rc<T> is exactly one T* wide and the stored RcBase*
+  /// is address-identical to the payload's T* (primary base at offset
+  /// zero); the returned reference borrows this Value's ownership.
+  template <class T>
+  [[nodiscard]] const Rc<T>& asRc(Rep expect) const noexcept {
+    static_assert(sizeof(Rc<T>) == sizeof(T*));
+    assert(rep_ == expect);
+    (void)expect;
+    return *reinterpret_cast<const Rc<T>*>(raw_);
+  }
+
+  /// Drop this Value's reference to its heap payload. Inline: this sits
+  /// on every heap-Value destroy/overwrite path, and the call overhead
+  /// showed next to the atomic itself in backtracking profiles. The
+  /// virtual dtor reaches the payload class on the last release.
+  void releaseHeap() noexcept {
+    RcBase* p = heapPtr();
+    if (p->release()) delete p;
+  }
+
+  alignas(8) unsigned char raw_[14];
+  std::uint8_t aux_;  // SSO length (0 otherwise)
+  Rep rep_;
 };
+
+static_assert(sizeof(Value) == 16, "Value must stay a 16-byte tagged union");
+static_assert(alignof(Value) == 8);
 
 /// Hash/equality functors so Values can key unordered containers.
 struct ValueHash {

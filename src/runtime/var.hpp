@@ -24,6 +24,16 @@ class Var {
   virtual ~Var() = default;
   [[nodiscard]] virtual Value get() const = 0;
   virtual void set(Value v) = 0;
+
+  /// Non-null when this variable is a plain storage cell (CellVar):
+  /// points at the cell's Value, stable for the Var's lifetime. Hot
+  /// interpreter paths read/write through it directly — a load and a
+  /// branch instead of two virtual dispatches per backtracking step.
+  /// Trapped/computed variables leave it null and take the virtual path.
+  [[nodiscard]] Value* cell() const noexcept { return cell_; }
+
+ protected:
+  Value* cell_ = nullptr;
 };
 
 using VarPtr = std::shared_ptr<Var>;
@@ -31,8 +41,8 @@ using VarPtr = std::shared_ptr<Var>;
 /// A plain storage cell — locals, parameters, temporaries.
 class CellVar final : public Var {
  public:
-  CellVar() = default;
-  explicit CellVar(Value v) : value_(std::move(v)) {}
+  CellVar() { cell_ = &value_; }
+  explicit CellVar(Value v) : value_(std::move(v)) { cell_ = &value_; }
 
   [[nodiscard]] Value get() const override { return value_; }
   void set(Value v) override { value_ = std::move(v); }

@@ -115,7 +115,7 @@ TEST(PipeRefresh, RefreshedPipeRestartsFromScratch) {
   };
   auto pipe = Pipe::create(factory);
   EXPECT_EQ(pipe->activate()->smallInt(), 1);
-  auto fresh = std::static_pointer_cast<Pipe>(pipe->refreshed());
+  auto fresh = rcStaticCast<Pipe>(pipe->refreshed());
   EXPECT_EQ(fresh->activate()->smallInt(), 1) << "^pipe starts over";
   EXPECT_GE(builds.load(), 2);
 }
@@ -226,7 +226,7 @@ TEST(PipeBatching, RefreshedPipePreservesBatchCap) {
   auto pipe = Pipe::create([] { return test::range(1, 3); }, /*capacity=*/16,
                            ThreadPool::global(), /*batchCap=*/8);
   ASSERT_EQ(pipe->batchCap(), 8u);
-  auto fresh = std::static_pointer_cast<Pipe>(pipe->refreshed());
+  auto fresh = rcStaticCast<Pipe>(pipe->refreshed());
   EXPECT_EQ(fresh->batchCap(), 8u) << "^pipe must restart with the same transport knobs";
   EXPECT_EQ(fresh->activate()->smallInt(), 1);
 }
@@ -257,7 +257,7 @@ TEST(PipeBatching, ValuesProducedBeforeAnErrorStillArriveFirst) {
 }
 
 TEST(PipeStress, ManyConcurrentPipes) {
-  std::vector<std::shared_ptr<Pipe>> pipes;
+  std::vector<Rc<Pipe>> pipes;
   pipes.reserve(16);
   for (int p = 0; p < 16; ++p) {
     pipes.push_back(Pipe::create([p]() -> GenPtr { return test::range(p * 100, p * 100 + 99); },

@@ -17,14 +17,14 @@ using test::ci;
 GenPtr cs(const std::string& s) { return ConstGen::create(Value::string(s)); }
 
 TEST(ScanEnvTest, DefaultEnvironmentIsEmptySubject) {
-  EXPECT_EQ(*ScanEnv::current().subject, "");
+  EXPECT_EQ(ScanEnv::current().subject.str(), "");
   EXPECT_EQ(ScanEnv::current().pos, 1);
   EXPECT_EQ(ScanEnv::depth(), 0u);
 }
 
 TEST(ScanEnvTest, ResolvePositionConvention) {
   ScanEnv::State s;
-  s.subject = std::make_shared<const std::string>("abcd");
+  s.subject = Value::string("abcd");
   ScanEnv::push(s);
   EXPECT_EQ(ScanEnv::resolvePos(1), 1);
   EXPECT_EQ(ScanEnv::resolvePos(5), 5) << "n+1 is valid (past the end)";

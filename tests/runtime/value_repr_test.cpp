@@ -1,0 +1,240 @@
+// value_repr_test.cpp — the compact 16-byte Value representation: size
+// pin, SSO boundary behaviour, tag transitions across assignment and
+// move, refcounted payload sharing across threads (meaningful under the
+// tsan / asan-ubsan presets), BigInt demotion invariants, and
+// hash/equals agreement inside unordered containers.
+#include "runtime/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "runtime/collections.hpp"
+
+namespace congen {
+namespace {
+
+// The whole point of the representation: two words, pointer-aligned.
+static_assert(sizeof(Value) <= 16, "Value must stay two machine words");
+static_assert(alignof(Value) == 8, "payload pointer slot must be pointer-aligned");
+
+// -- SSO boundary ------------------------------------------------------
+
+std::string runOf(std::size_t n) { return std::string(n, 'x'); }
+
+TEST(ValueRepr, SsoBoundaryLengths) {
+  // kSsoCapacity is the inline payload size: 13 and 14 fit, 15 spills.
+  ASSERT_EQ(Value::kSsoCapacity, 14u);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{13},
+                              std::size_t{14}, std::size_t{15}, std::size_t{64}}) {
+    const std::string s = runOf(n);
+    const Value v = Value::string(s);
+    ASSERT_TRUE(v.isString());
+    EXPECT_EQ(v.str(), s) << "length " << n;
+    EXPECT_EQ(v.size(), static_cast<std::int64_t>(n));
+  }
+}
+
+TEST(ValueRepr, SsoAndHeapStringsCompareAndHashAlike) {
+  // Same content must be indistinguishable whichever side of the
+  // threshold produced it (e.g. a heap concat result trimmed short).
+  const Value inlineV = Value::string("abcdefghijklmn");       // 14: inline
+  const Value heapV = Value::stringConcat("abcdefg", "hijklmn");  // built via concat
+  ASSERT_EQ(heapV.str().size(), 14u);
+  EXPECT_TRUE(inlineV.equals(heapV));
+  EXPECT_EQ(inlineV.compare(heapV), 0);
+  EXPECT_EQ(inlineV.hash(), heapV.hash());
+}
+
+TEST(ValueRepr, ConcatFastPathProducesExactBytes) {
+  // Short + short staying under the threshold must stay inline-sized;
+  // crossing it must still hold the exact byte sequence.
+  EXPECT_EQ(ops::concat(Value::string("ab"), Value::string("cd")).str(), "abcd");
+  const Value crossing = ops::concat(Value::string(runOf(10)), Value::string(runOf(10)));
+  EXPECT_EQ(crossing.str(), runOf(20));
+  // Non-string operands still coerce through the general path.
+  EXPECT_EQ(ops::concat(Value::integer(4), Value::string("2")).str(), "42");
+}
+
+TEST(ValueRepr, StringViewsRemainValidWhileValueLives) {
+  const Value v = Value::string("short");
+  const std::string_view sv = v.str();
+  const Value copy = v;  // copying must not invalidate the original's view
+  EXPECT_EQ(sv, "short");
+  EXPECT_EQ(copy.str(), "short");
+}
+
+// -- tag transitions through assignment and move -----------------------
+
+TEST(ValueRepr, AssignmentCrossesEveryRepresentationKind) {
+  Value v = Value::null();
+  EXPECT_EQ(v.tag(), TypeTag::Null);
+  v = Value::integer(7);
+  EXPECT_EQ(v.tag(), TypeTag::Integer);
+  v = Value::real(2.5);
+  EXPECT_EQ(v.tag(), TypeTag::Real);
+  v = Value::string("inline");
+  EXPECT_EQ(v.tag(), TypeTag::String);
+  v = Value::string(runOf(40));  // heap string over an SSO string
+  EXPECT_EQ(v.str(), runOf(40));
+  v = Value::integer(BigInt{2}.pow(100));  // BigInt over heap string
+  EXPECT_TRUE(v.isInteger());
+  EXPECT_FALSE(v.isSmallInt());
+  v = Value::list(ListImpl::create());  // collection over BigInt
+  EXPECT_EQ(v.tag(), TypeTag::List);
+  v = Value::null();  // release back to the trivial state
+  EXPECT_TRUE(v.isNull());
+}
+
+TEST(ValueRepr, SelfAssignmentKeepsHeapPayloadAlive) {
+  Value v = Value::string(runOf(32));
+  v = v;  // NOLINT(clang-diagnostic-self-assign-overloaded)
+  EXPECT_EQ(v.str(), runOf(32));
+  Value& alias = v;
+  v = std::move(alias);
+  EXPECT_EQ(v.str(), runOf(32)) << "self-move must not drop the payload";
+}
+
+TEST(ValueRepr, MoveLeavesSourceNullAndTransfersOwnership) {
+  auto list = ListImpl::create();
+  list->push(Value::integer(1));
+  Value a = Value::list(list);
+  const long before = list.use_count();
+  Value b = std::move(a);
+  EXPECT_EQ(b.tag(), TypeTag::List);
+  EXPECT_TRUE(a.isNull()) << "moved-from Value resets to null";  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(list.use_count(), before) << "move transfers, never bumps";
+  a = Value::string("back in use");
+  EXPECT_EQ(a.str(), "back in use");
+}
+
+TEST(ValueRepr, CopyBumpsAndDestroyReleases) {
+  auto table = TableImpl::create();
+  const long solo = table.use_count();
+  {
+    const Value v = Value::table(table);
+    EXPECT_EQ(table.use_count(), solo + 1);
+    const Value w = v;
+    EXPECT_EQ(table.use_count(), solo + 2);
+    EXPECT_EQ(w.table().get(), table.get()) << "copies share the payload";
+  }
+  EXPECT_EQ(table.use_count(), solo) << "both Values released on scope exit";
+}
+
+// -- cross-thread payload sharing --------------------------------------
+
+TEST(ValueRepr, RefcountedPayloadsShareAcrossThreads) {
+  // Copy heap-backed Values into several threads and drop them there:
+  // under -fsanitize=thread this exercises the relaxed-retain /
+  // release-decrement protocol; under asan-ubsan it checks the final
+  // delete happens exactly once.
+  const Value shared = Value::string(runOf(64));
+  const Value wide = Value::integer(BigInt{2}.pow(100));
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([shared, wide] {
+      for (int i = 0; i < 1000; ++i) {
+        const Value copy = shared;
+        ASSERT_EQ(copy.str().size(), 64u);
+        Value churn = wide;
+        churn = copy;  // retain-new-then-release-old across threads
+        ASSERT_TRUE(churn.isString());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(shared.str(), runOf(64));
+  EXPECT_TRUE(wide.equals(Value::integer(BigInt{2}.pow(100))));
+}
+
+// -- BigInt demotion (small-never-equals-big canonical invariant) ------
+
+TEST(ValueBigIntNorm, ArithmeticResultsFittingInt64Demote) {
+  // Overflow promotes to BigInt; the inverse operation must land back
+  // on the inline representation, not a one-limb heap BigInt.
+  const Value max = Value::integer(std::numeric_limits<std::int64_t>::max());
+  const Value over = ops::add(max, Value::integer(1));
+  ASSERT_FALSE(over.isSmallInt());
+  const Value back = ops::sub(over, Value::integer(1));
+  EXPECT_TRUE(back.isSmallInt()) << "re-fitting results must demote";
+  EXPECT_EQ(back.smallInt(), std::numeric_limits<std::int64_t>::max());
+
+  const Value min = Value::integer(std::numeric_limits<std::int64_t>::min());
+  const Value negOver = ops::negate(min);  // -INT64_MIN overflows
+  ASSERT_FALSE(negOver.isSmallInt());
+  EXPECT_TRUE(ops::negate(negOver).isSmallInt());
+
+  const Value product = ops::mul(Value::integer(BigInt{2}.pow(80)), Value::integer(0));
+  EXPECT_TRUE(product.isSmallInt()) << "big * 0 demotes to inline 0";
+  EXPECT_EQ(product.smallInt(), 0);
+
+  const Value quotient = ops::div(Value::integer(BigInt{2}.pow(100)),
+                                  Value::integer(BigInt{2}.pow(90)));
+  EXPECT_TRUE(quotient.isSmallInt());
+  EXPECT_EQ(quotient.smallInt(), 1024);
+
+  const Value remainder = ops::mod(Value::integer(BigInt{2}.pow(100)), Value::integer(1000));
+  EXPECT_TRUE(remainder.isSmallInt());
+}
+
+TEST(ValueBigIntNorm, FactoryDemotesFittingBigInts) {
+  EXPECT_TRUE(Value::integer(BigInt{0}).isSmallInt());
+  EXPECT_TRUE(Value::integer(BigInt{std::numeric_limits<std::int64_t>::max()}).isSmallInt());
+  EXPECT_TRUE(Value::integer(BigInt{std::numeric_limits<std::int64_t>::min()}).isSmallInt());
+  EXPECT_FALSE(Value::integer(BigInt{2}.pow(64)).isSmallInt());
+}
+
+TEST(ValueBigIntNorm, EqualsCompareHashAgreeAcrossTheBoundary) {
+  // Property: for values straddling the small/big boundary, the three
+  // equivalence observers must tell one consistent story.
+  std::vector<Value> samples;
+  for (const std::int64_t base :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+        std::numeric_limits<std::int64_t>::max(), std::numeric_limits<std::int64_t>::min() + 1}) {
+    samples.push_back(Value::integer(base));
+    samples.push_back(Value::integer(BigInt{base}));  // demoted twin
+  }
+  samples.push_back(Value::integer(BigInt{2}.pow(64)));
+  samples.push_back(ops::add(Value::integer(std::numeric_limits<std::int64_t>::max()),
+                             Value::integer(1)));  // promoted twin of max+1
+  samples.push_back(ops::sub(Value::integer(BigInt{2}.pow(64)),
+                             ops::sub(Value::integer(BigInt{2}.pow(64)),
+                                      Value::integer(5))));  // == 5, via big arithmetic
+  for (const Value& a : samples) {
+    for (const Value& b : samples) {
+      const bool eq = a.equals(b);
+      EXPECT_EQ(eq, b.equals(a)) << a.image() << " vs " << b.image();
+      EXPECT_EQ(eq, a.compare(b) == 0) << a.image() << " vs " << b.image();
+      if (eq) {
+        EXPECT_EQ(a.hash(), b.hash()) << a.image() << " vs " << b.image();
+      }
+    }
+  }
+}
+
+// -- unordered containers ----------------------------------------------
+
+TEST(ValueRepr, UnorderedContainersTreatEquivalentKeysAsOne) {
+  std::unordered_set<Value, ValueHash, ValueEq> set;
+  set.insert(Value::integer(5));
+  set.insert(ops::sub(Value::integer(BigInt{2}.pow(64)),
+                      ops::sub(Value::integer(BigInt{2}.pow(64)), Value::integer(5))));
+  set.insert(Value::string("abcdefghijklmn"));
+  set.insert(Value::stringConcat("abcdefg", "hijklmn"));
+  EXPECT_EQ(set.size(), 2u) << "demoted integers and SSO/heap strings unify";
+
+  std::unordered_map<Value, int, ValueHash, ValueEq> map;
+  map[Value::string(runOf(20))] = 1;
+  map[ops::concat(Value::string(runOf(10)), Value::string(runOf(10)))] = 2;
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.at(Value::string(runOf(20))), 2);
+}
+
+}  // namespace
+}  // namespace congen

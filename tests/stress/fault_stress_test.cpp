@@ -127,7 +127,7 @@ TEST(FaultStress, PipesSurviveScheduleShaking) {
     ++tasks;
     ASSERT_EQ(pipe->activate()->smallInt(), 1);
     if (round % 3 == 0) {
-      auto fresh = std::static_pointer_cast<Pipe>(pipe->refreshed());
+      auto fresh = rcStaticCast<Pipe>(pipe->refreshed());
       ++tasks;
       ASSERT_EQ(fresh->activate()->smallInt(), 1);
     }  // abandoned mid-stream otherwise: drop both

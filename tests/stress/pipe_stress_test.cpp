@@ -92,7 +92,7 @@ TEST(PipeStress, RefreshWhileProducerBlocked) {
     ASSERT_EQ(pipe->activate()->smallInt(), 1);
     // Producer is wedged ahead: the capacity-1 queue refilled behind
     // the first take, so the next put() is blocked.
-    auto fresh = std::static_pointer_cast<Pipe>(pipe->refreshed());
+    auto fresh = rcStaticCast<Pipe>(pipe->refreshed());
     EXPECT_EQ(fresh->activate()->smallInt(), 1) << "^p restarts from scratch";
     EXPECT_EQ(pipe->activate()->smallInt(), 2) << "original keeps its position";
     // Both dropped here with blocked producers; close must release both.
