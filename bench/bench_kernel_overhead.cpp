@@ -12,6 +12,7 @@
 
 #include "congen.hpp"
 #include "kernel/trace.hpp"
+#include "runtime/governor.hpp"
 
 namespace {
 
@@ -20,6 +21,25 @@ using namespace congen;
 // --- suspend/resume cost ------------------------------------------------
 
 void bareRange(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    auto g = RangeGen::create(Value::integer(1), Value::integer(n), Value::integer(1));
+    std::int64_t count = 0;
+    while (g->nextValue()) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void governedRange(benchmark::State& state) {
+  // The same bare range under an active ResourceGovernor with generous
+  // limits: the per-element price of live fuel/heap accounting (batched
+  // thread-local counters, INTERNALS §15). range_bare itself carries the
+  // ungoverned cost — one relaxed flag load per charge point.
+  governor::Limits limits;
+  limits.maxFuel = std::uint64_t{1} << 60;
+  limits.maxHeapBytes = std::uint64_t{1} << 40;
+  governor::ScopedGovernor scope{governor::ResourceGovernor::create(limits)};
   const std::int64_t n = state.range(0);
   for (auto _ : state) {
     auto g = RangeGen::create(Value::integer(1), Value::integer(n), Value::integer(1));
@@ -201,6 +221,7 @@ void tracedRange(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(bareRange)->Name("kernel/range_bare")->Arg(100000);
+BENCHMARK(governedRange)->Name("kernel/range_bare_governed")->Arg(100000);
 BENCHMARK(tracedRange)->Name("kernel/range_traced")->Arg(100000);
 BENCHMARK(suspendedRange)->Name("kernel/range_through_suspend")->Arg(100000);
 BENCHMARK(deeplyNestedSuspend)->Name("kernel/suspend_depth")->Arg(1)->Arg(4)->Arg(16);

@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "runtime/collections.hpp"
 #include "runtime/error.hpp"
+#include "runtime/governor.hpp"
 
 namespace congen::builtins {
 
@@ -542,6 +543,64 @@ Table buildTable() {
                     Value::integer(static_cast<std::int64_t>(h.count)));
       table->insert(Value::string(h.name + ".sum"),
                     Value::integer(static_cast<std::int64_t>(h.sum)));
+    }
+    return Value::table(std::move(table));
+  });
+
+  // ---- resource governance (runtime/governor.hpp) ----------------------
+  addNative(t, "setquota", [](std::vector<Value>& args) -> std::optional<Value> {
+    // setquota(name, n): set one budget on this thread's session
+    // governor (lazily created — limitless — for code running outside a
+    // governed Interpreter, so scripts behave identically across the
+    // tree, VM, and emitted backends). n = 0 removes the budget.
+    const std::string name(argOr(args, 0, Value::null()).requireString("setquota budget"));
+    const std::int64_t n = argOr(args, 1, Value::null()).requireInt64("setquota value");
+    if (n < 0) throw errInvalidValue("setquota: " + std::to_string(n));
+    governor::Budget budget;
+    if (name == "fuel") {
+      budget = governor::Budget::Fuel;
+    } else if (name == "heap") {
+      budget = governor::Budget::Heap;
+    } else if (name == "pipes") {
+      budget = governor::Budget::Pipes;
+    } else if (name == "coexprs") {
+      budget = governor::Budget::Coexprs;
+    } else if (name == "pipedepth") {
+      budget = governor::Budget::PipeDepth;
+    } else if (name == "depth") {
+      budget = governor::Budget::Depth;
+    } else {
+      throw errInvalidValue("setquota budget: " + name);
+    }
+    auto gov = governor::currentOrThreadDefault();
+    if (gov == nullptr) return std::nullopt;  // unreachable in practice
+    gov->setLimit(budget, static_cast<std::uint64_t>(n));
+    return Value::integer(n);
+  });
+  addNative(t, "quota", [](std::vector<Value>&) -> std::optional<Value> {
+    // quota(): a table of this session's budgets and usage. Limits and
+    // live counts are deterministic at language level; "fuel_spent" /
+    // "heap_reserved" are backend- and batching-dependent diagnostics —
+    // conformance scripts must not print them.
+    auto gov = governor::currentOrThreadDefault();
+    auto table = TableImpl::create(Value::null());
+    if (gov != nullptr) {
+      const governor::Limits limits = gov->limits();
+      const governor::Usage usage = gov->usage();
+      const auto put = [&table](const char* key, std::uint64_t v) {
+        table->insert(Value::string(key), Value::integer(static_cast<std::int64_t>(v)));
+      };
+      put("fuel", limits.maxFuel);
+      put("heap", limits.maxHeapBytes);
+      put("pipes", limits.maxPipes);
+      put("coexprs", limits.maxCoexprs);
+      put("pipedepth", limits.maxPipeDepth);
+      put("depth", limits.maxDepth);
+      put("fuel_spent", usage.fuelSpent);
+      put("heap_reserved", usage.heapReserved);
+      put("live_pipes", usage.livePipes);
+      put("live_coexprs", usage.liveCoexprs);
+      put("quota_trips", usage.quotaTrips);
     }
     return Value::table(std::move(table));
   });

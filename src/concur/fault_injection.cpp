@@ -33,6 +33,8 @@ const char* faultSiteName(FaultSite site) noexcept {
     case FaultSite::QueueTimedWait: return "BlockingQueue::timedWait";
     case FaultSite::CancelSignal: return "StopSource::requestStop";
     case FaultSite::PoolSteal: return "ThreadPool::steal";
+    case FaultSite::ArenaAlloc: return "Arena::systemAlloc";
+    case FaultSite::RcAlloc: return "RcBase::operator new";
     case FaultSite::kCount: break;
   }
   return "unknown";
@@ -45,6 +47,10 @@ bool faultSiteFailureCapable(FaultSite site) noexcept {
     case FaultSite::QueueTryTake:
     case FaultSite::PoolSubmit:
     case FaultSite::QueuePutAll:
+    // Allocation sites translate InjectedFault to IconError 305 (the same
+    // clean error a real bad_alloc produces), so failure is in-contract.
+    case FaultSite::ArenaAlloc:
+    case FaultSite::RcAlloc:
       return true;
     default:
       return false;

@@ -41,6 +41,8 @@ enum class FaultSite : std::uint8_t {
   QueueTimedWait, // timed/cancellable queue op (putFor family) entry (delay only)
   CancelSignal,   // StopSource::requestStop entry (delay only)
   PoolSteal,      // worker about to sweep sibling deques for work (delay only)
+  ArenaAlloc,     // arena operator-new fall-through (failure-capable: 305)
+  RcAlloc,        // RcBase payload allocation (failure-capable: 305)
   kCount,
 };
 

@@ -9,6 +9,7 @@
 #include "obs/runtime_stats.hpp"
 #include "obs/trace_sink.hpp"
 #include "runtime/error.hpp"
+#include "runtime/governor.hpp"
 
 namespace congen {
 
@@ -111,13 +112,20 @@ void countErrorStored() {
   }
 }
 
+/// Apply the ambient governor's pipe-depth clamp to a requested queue
+/// capacity (graceful degradation — see governor.hpp).
+std::size_t governedCapacity(std::size_t capacity) {
+  if (const auto* gov = governor::current()) return gov->clampPipeCapacity(capacity);
+  return capacity;
+}
+
 }  // namespace
 
 Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool, std::size_t batchCap,
            ChannelTransport transport)
     : CoExpression(std::move(factory)),
-      state_(std::make_shared<State>(capacity, transport)),
-      capacity_(capacity),
+      state_(std::make_shared<State>(governedCapacity(capacity), transport)),
+      capacity_(governedCapacity(capacity)),
       pool_(&pool),
       // Capacity <= 1 pipes are futures/mailboxes: latency-sensitive and
       // single-valued, so they always run the unbatched protocol. A
@@ -137,11 +145,18 @@ Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool, std::size
   // this thread by the CoExpression base. The producer captures only the
   // shared state and that body — never the Pipe itself — so
   // consumer-side destruction cannot race it.
-  pool.submit([state = state_, body = takeBody(), cap = batchCap_] {
+  pool.submit([state = state_, body = takeBody(), cap = batchCap_,
+               gov = governor::currentShared()] {
     const CancelToken token = state->source.token();
     // Make this pipe's token ambient for the body: co-expressions and
     // pipes the body creates while running pick it up via the scope.
     CancelScope scope(token);
+    // The creator's governor travels with the work: the body's fuel,
+    // heap, and child pipes/co-expressions charge the same budgets on
+    // this pool thread as they would on the creating one. (ScopedGovernor
+    // never throws — a pending-batch trip re-fires at the body's next
+    // charge site, inside the try below.)
+    governor::ScopedGovernor governed(gov);
     obs::TraceSpan span("pipe.producer", "pipe");
     try {
       if (cap <= 1) {

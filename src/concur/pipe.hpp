@@ -150,6 +150,11 @@ class Pipe final : public CoExpression {
   std::optional<Value> step(QueueDeadline deadline);
   [[nodiscard]] bool producerErrorPending() const;
 
+  // First member: the pipe quota must trip (812) before the queue is
+  // allocated or a producer submitted. The base CoExpression already
+  // charged the co-expression budget — a pipe is one, and counts there
+  // too.
+  governor::PipeCharge quotaCharge_;
   std::shared_ptr<State> state_;
   std::size_t capacity_;
   ThreadPool* pool_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <mutex>
+#include <optional>
 #include <string_view>
 
 #include "builtins/builtins.hpp"
@@ -474,8 +475,58 @@ class Compiler {
 // Interpreter
 // ---------------------------------------------------------------------
 
+namespace {
+
+/// Resolve Options::quotas (folding in the legacy vmStepLimit fuel
+/// alias) into a governor, or null for an ungoverned interpreter. Runs
+/// the admission gate — may throw IconError 815 (the shed path).
+std::shared_ptr<governor::ResourceGovernor> makeGovernor(Interpreter::Options& options) {
+  if (options.quotas.maxFuel == 0 && options.vmStepLimit != 0) {
+    options.quotas.maxFuel = options.vmStepLimit;
+  }
+  if (!options.quotas.any() && !options.governed) return nullptr;
+  return governor::ResourceGovernor::create(options.quotas);
+}
+
+/// Root wrapper for every drive of a governed interpreter: each next()
+/// runs with the interpreter's governor installed on the driving thread
+/// and the governor's stop token ambient, so pipes created during the
+/// drive link under the session's cancellation root. Destruction of the
+/// wrapped tree also happens governed, so payload frees credit the heap
+/// budget they were charged to.
+class GovernedRootGen final : public Gen {
+ public:
+  GovernedRootGen(GenPtr inner, std::shared_ptr<governor::ResourceGovernor> gov)
+      : inner_(std::move(inner)), gov_(std::move(gov)) {}
+
+  ~GovernedRootGen() override {
+    governor::ScopedGovernor governed(gov_);
+    inner_.reset();
+  }
+
+  static GenPtr wrap(GenPtr inner, const std::shared_ptr<governor::ResourceGovernor>& gov) {
+    if (gov == nullptr) return inner;
+    return std::make_shared<GovernedRootGen>(std::move(inner), gov);
+  }
+
+ protected:
+  bool doNext(Result& out) override {
+    governor::ScopedGovernor governed(gov_);
+    CancelScope scope(gov_->stopToken());
+    return inner_->next(out);
+  }
+  void doRestart() override { inner_->restart(); }
+
+ private:
+  GenPtr inner_;
+  std::shared_ptr<governor::ResourceGovernor> gov_;
+};
+
+}  // namespace
+
 Interpreter::Interpreter(Options options)
-    : options_(options), globals_(Scope::makeGlobal()) {}
+    : options_(std::move(options)), governor_(makeGovernor(options_)),
+      globals_(Scope::makeGlobal()) {}
 
 Interpreter::~Interpreter() {
   // A pipe stored in a global (`p := |> e`) cycles back to the global
@@ -484,7 +535,10 @@ Interpreter::~Interpreter() {
   // its producer blocked in put() for the global pool's destructor to
   // join at process exit (deadlock). Clearing the bindings breaks the
   // cycle: the pipe's destructor closes the queue and the producer
-  // retires.
+  // retires. Teardown runs governed so the session's heap credits land
+  // on its own budget.
+  std::optional<governor::ScopedGovernor> governed;
+  if (governor_ != nullptr) governed.emplace(governor_);
   globals_->clear();
 }
 
@@ -495,6 +549,14 @@ void Interpreter::load(const std::string& source) {
 void Interpreter::loadProgram(const ast::NodePtr& program) {
   if (obs::metricsEnabled()) [[unlikely]] obs::KernelStats::get().interpLoads.add(1);
   ast::NodePtr prog = options_.normalize ? transform::normalizeProgram(program) : program;
+  // Top-level statements are a drive: run them governed, with the
+  // session's stop token ambient (mirrors GovernedRootGen).
+  std::optional<governor::ScopedGovernor> governed;
+  std::optional<CancelScope> scope;
+  if (governor_ != nullptr) {
+    governed.emplace(governor_);
+    scope.emplace(governor_->stopToken());
+  }
   for (const auto& item : prog->kids) {
     if (item->kind == Kind::Def) {
       globals_->declare(item->text, Value::proc(makeProcedure(item)));
@@ -519,9 +581,10 @@ GenPtr Interpreter::eval(const std::string& source) {
   }
   if (options_.backend == Backend::kVm) {
     vm::ChunkCompiler cc(*this, globals_);
-    return vm::VmGen::create(*this, cc.compileExpr(tree), globals_, nullptr, nullptr);
+    return GovernedRootGen::wrap(
+        vm::VmGen::create(*this, cc.compileExpr(tree), globals_, nullptr, nullptr), governor_);
   }
-  return compileExpr(tree, globals_);
+  return GovernedRootGen::wrap(compileExpr(tree, globals_), governor_);
 }
 
 std::vector<Value> Interpreter::evalAll(const std::string& source) {
@@ -542,7 +605,7 @@ GenPtr Interpreter::call(const std::string& name, std::vector<Value> args) {
       throw errCallableExpected(name);
     }
   }
-  return f.proc()->invoke(std::move(args));
+  return GovernedRootGen::wrap(f.proc()->invoke(std::move(args)), governor_);
 }
 
 void Interpreter::registerNative(const std::string& name, ProcPtr proc) {

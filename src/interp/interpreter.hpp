@@ -14,6 +14,7 @@
 #include "frontend/ast.hpp"
 #include "interp/scope.hpp"
 #include "kernel/gen.hpp"
+#include "runtime/governor.hpp"
 #include "runtime/proc.hpp"
 
 namespace congen {
@@ -47,9 +48,22 @@ class Interpreter {
     std::size_t pipeBatch = 64;  // adaptive batch cap for |> transport (1 = unbatched)
     bool normalize = true;       // run the Section V.A flattening pass first
     Backend backend = defaultBackend();
-    /// VM dispatch budget per machine, 0 = unlimited. When exhausted the
-    /// machine raises IconError 316 — the fuzz harness's bounded-step
-    /// run (tests/fuzz/fuzz_compile_run.cpp).
+    /// Hard resource budgets (0 = unlimited). Any non-zero budget gives
+    /// this interpreter a ResourceGovernor: the process admission gate
+    /// runs at construction (throws IconError 815 when shedding), and
+    /// every drive — top-level statements, eval'd generators, call() —
+    /// runs governed, on whichever thread it happens (pipe producers
+    /// re-install the creator's governor). Exhaustion raises the
+    /// catchable 81x errQuotaExceeded family.
+    governor::Limits quotas;
+    /// Create a (limitless) governor even when quotas are all-zero, so
+    /// the session has a StopSource root and can be supervised
+    /// (congen-run --supervise without --max-*).
+    bool governed = false;
+    /// Legacy alias for quotas.maxFuel: the old VM-only dispatch budget,
+    /// honored when quotas.maxFuel is 0. It now draws on the unified
+    /// fuel counter (BOTH backends charge it) and exhaustion raises
+    /// IconError 810, not the retired 316.
     std::uint64_t vmStepLimit = 0;
   };
 
@@ -105,10 +119,19 @@ class Interpreter {
   [[nodiscard]] const ScopePtr& globalScope() const noexcept { return globals_; }
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
+  /// This interpreter's resource governor — null when Options::quotas is
+  /// all-zero (an ungoverned interpreter pays no governance cost at
+  /// all). congen-run hands it to the Supervisor for --supervise.
+  [[nodiscard]] const std::shared_ptr<governor::ResourceGovernor>& resourceGovernor()
+      const noexcept {
+    return governor_;
+  }
+
  private:
   friend class Compiler;
 
   Options options_;
+  std::shared_ptr<governor::ResourceGovernor> governor_;
   ScopePtr globals_;
 };
 

@@ -27,6 +27,7 @@
 #include "obs/runtime_stats.hpp"
 #include "runtime/collections.hpp"
 #include "runtime/error.hpp"
+#include "runtime/governor.hpp"
 
 namespace congen::interp::vm {
 
@@ -36,9 +37,7 @@ VmGen::VmGen(Interpreter& interp, ChunkPtr chunk, ScopePtr scope, const FrameLay
       chunk_(std::move(chunk)),
       scope_(std::move(scope)),
       layout_(layout),
-      frame_(std::move(frame)),
-      stepLimitTrip_(interp.options().vmStepLimit ? interp.options().vmStepLimit
-                                                  : ~std::uint64_t{0}) {
+      frame_(std::move(frame)) {
   ics_.resize(static_cast<std::size_t>(chunk_->nCaches));
   stack_.reserve(16);
   resume_.reserve(8);
@@ -48,6 +47,23 @@ VmGen::VmGen(Interpreter& interp, ChunkPtr chunk, ScopePtr scope, const FrameLay
     escapes_.push_back(
         interp_.compileSubtree(site.node, scope_, layout_, frame_.get(), site.stmtPos));
   }
+}
+
+void VmGen::syncFuel() {
+  // Bulk-charge the dispatches accumulated since the last sync. Unlike
+  // the tree walker (which batches through the thread-local cell), the
+  // VM owns its own counter, so it charges the governor directly — one
+  // cold call per kFuelSyncInterval dispatches. The ambient governor is
+  // re-read every sync: a setquota() mid-run, or a supervisor
+  // terminate(), takes effect within one interval.
+  if (governor::stepActive()) {
+    if (auto* gov = governor::current()) {
+      const std::uint64_t delta = steps_ - fuelSyncBase_;
+      fuelSyncBase_ = steps_;  // recorded even if the charge trips
+      gov->chargeSteps(delta);
+    }
+  }
+  stepLimitTrip_ = steps_ + kFuelSyncInterval;
 }
 
 bool VmGen::doNext(Result& out) {
@@ -71,6 +87,8 @@ void VmGen::doRestart() {
   auxTop_ = -1;
   pc_ = curPc_ = 0;
   steps_ = 0;
+  fuelSyncBase_ = 0;
+  stepLimitTrip_ = kFuelSyncInterval;
   phase_ = Phase::Start;
   for (auto& g : escapes_) g->restart();
   // Inline caches deliberately survive restarts: the scope-version check
@@ -239,7 +257,7 @@ bool VmGen::convertError(const IconError& e) {
 #if CONGEN_VM_THREADED
 #define VM_OP(name) op_##name:
 // Replicated fetch: identical to the vm_fetch site, one steps_ tick
-// per dispatch; the cold step-limit throw is shared via vm_step_limit.
+// per dispatch; the cold periodic fuel sync is shared via vm_step_limit.
 //
 // INVARIANT: no local with a non-trivial destructor may be in scope at
 // a VM_NEXT() — the computed goto is a GNU extension and does NOT run
@@ -378,13 +396,18 @@ bool VmGen::run(Result& out) {
 #if CONGEN_VM_THREADED
         VM_NEXT();
       vm_step_limit:
-        throw IconError(316, "VM step limit exceeded in " + chunk_->name);
+        // Not a limit at all: the periodic fuel sync point. syncFuel may
+        // throw the typed 810/816 quota error (caught by the handler
+        // below like any run-time error — &error conversion applies);
+        // otherwise re-dispatch the already-fetched instruction.
+        syncFuel();
+        goto* kOpLabels[static_cast<std::size_t>(ins->op)];
 #else
       vm_fetch:
         curPc_ = pc_;
         ins = &code[pc_++];
-        if (++steps_ >= stepLimitTrip_) {
-          throw IconError(316, "VM step limit exceeded in " + chunk_->name);
+        if (++steps_ >= stepLimitTrip_) [[unlikely]] {
+          syncFuel();
         }
         switch (ins->op) {
 #endif

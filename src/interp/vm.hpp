@@ -229,6 +229,14 @@ class VmGen final : public Gen {
     return marks_.empty() ? 0 : marks_.back().valH;
   }
 
+  /// Periodic fuel sync: charge the dispatches since the last sync to
+  /// the ambient governor (throws 810/816 on a trip) and re-arm
+  /// stepLimitTrip_ one interval ahead. The trip counter is ALWAYS
+  /// finite so a governor installed mid-run is honored within one
+  /// interval; when no governor enforces fuel the sync is one relaxed
+  /// load per interval — noise.
+  void syncFuel();
+
   Susp& pushSusp(Susp::Kind kind);
 
   Interpreter& interp_;
@@ -249,7 +257,12 @@ class VmGen final : public Gen {
   std::int32_t auxTop_ = -1;
   Phase phase_ = Phase::Start;
   std::uint64_t steps_ = 0;
-  std::uint64_t stepLimitTrip_;
+  // The VM's fuel batch: dispatches between governor syncs. It bounds
+  // the fuel-budget overrun per VmGen the same way the tree walker's
+  // thread-local step batch does per thread.
+  static constexpr std::uint64_t kFuelSyncInterval = 8192;
+  std::uint64_t stepLimitTrip_ = kFuelSyncInterval;
+  std::uint64_t fuelSyncBase_ = 0;  // steps_ already charged to the governor
 
   // Local metric tallies, flushed once per doNext (obs::VmStats).
   // Dispatch counts ride on steps_ deltas; only the IC tallies need

@@ -30,6 +30,10 @@
 #include <utility>
 #include <vector>
 
+#include "concur/fault_injection.hpp"
+#include "runtime/error.hpp"
+#include "runtime/governor_hooks.hpp"
+
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define CONGEN_ARENA_PASSTHROUGH 1
 #elif defined(__has_feature)
@@ -89,6 +93,40 @@ inline Tally& tally() {
   return h.t;
 }
 
+/// The system-allocator fall-through, and the governor's heap charge
+/// point: bin hit/park fast paths stay branch-free (a parked block
+/// remains "reserved"); only bytes actually requested from operator new
+/// are charged. Out-of-line for the same register-allocation reason as
+/// make() below — the miss path already pays a call.
+///
+/// Allocation failure — a real bad_alloc or an injected ArenaAlloc
+/// fault — surfaces as the catchable Icon error 305, with the governor
+/// charge credited back first.
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+inline void*
+systemAlloc(std::size_t bytes) {
+  governor::onHeapAlloc(bytes);  // may throw 811/816; nothing charged then
+  try {
+    CONGEN_FAULT_POINT(ArenaAlloc);
+    return ::operator new(bytes);
+  } catch (const testing::InjectedFault&) {
+  } catch (const std::bad_alloc&) {
+  }
+  governor::onHeapFree(bytes);
+  throw errOutOfMemory("arena block");
+}
+
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
+inline void
+systemFree(void* p, std::size_t bytes) noexcept {
+  ::operator delete(p);
+  governor::onHeapFree(bytes);
+}
+
 struct ThreadCache {
   std::vector<void*> bins[kMaxBytes / kGranularity];
   // Set false by the destructor: late deallocations (statics destroyed
@@ -97,9 +135,9 @@ struct ThreadCache {
 
   ~ThreadCache() {
     alive = false;
-    for (auto& bin : bins) {
-      for (void* p : bin) ::operator delete(p);
-      bin.clear();
+    for (std::size_t i = 0; i < std::size(bins); ++i) {
+      for (void* p : bins[i]) systemFree(p, (i + 1) * kGranularity);
+      bins[i].clear();
     }
   }
 };
@@ -113,9 +151,9 @@ inline ThreadCache& cache() {
 
 inline void* allocate(std::size_t bytes) {
 #ifdef CONGEN_ARENA_PASSTHROUGH
-  return ::operator new(bytes);
+  return detail::systemAlloc(bytes);
 #else
-  if (bytes == 0 || bytes > kMaxBytes) return ::operator new(bytes);
+  if (bytes == 0 || bytes > kMaxBytes) return detail::systemAlloc(bytes);
   const std::size_t cls = (bytes + kGranularity - 1) / kGranularity;
   auto& c = detail::cache();
   if (c.alive) {
@@ -128,16 +166,16 @@ inline void* allocate(std::size_t bytes) {
     }
     detail::bump(detail::tally().misses);
   }
-  return ::operator new(cls * kGranularity);  // sized for the class, reusable
+  return detail::systemAlloc(cls * kGranularity);  // sized for the class, reusable
 #endif
 }
 
-inline void deallocate(void* p, [[maybe_unused]] std::size_t bytes) noexcept {
+inline void deallocate(void* p, std::size_t bytes) noexcept {
 #ifdef CONGEN_ARENA_PASSTHROUGH
-  ::operator delete(p);
+  detail::systemFree(p, bytes);
 #else
   if (bytes == 0 || bytes > kMaxBytes) {
-    ::operator delete(p);
+    detail::systemFree(p, bytes);
     return;
   }
   const std::size_t cls = (bytes + kGranularity - 1) / kGranularity;
@@ -154,7 +192,7 @@ inline void deallocate(void* p, [[maybe_unused]] std::size_t bytes) noexcept {
       }
     }
   }
-  ::operator delete(p);
+  detail::systemFree(p, cls * kGranularity);
 #endif
 }
 

@@ -76,6 +76,10 @@ class CoExpression : public RcBase {
   [[nodiscard]] GenPtr takeBody() noexcept { return std::move(body_); }
 
  private:
+  // Declared before factory_/body_: the co-expression quota charge must
+  // trip (throwing 812) BEFORE the expensive environment copy the eager
+  // factory_() call performs. Destruction credits it back.
+  governor::CoexprCharge quotaCharge_;
   GenFactory factory_;
   GenPtr body_;
   std::size_t results_ = 0;

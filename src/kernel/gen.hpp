@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/governor_hooks.hpp"
 #include "runtime/value.hpp"
 #include "runtime/var.hpp"
 
@@ -114,6 +115,10 @@ class Gen {
       doRestart();
       failed_ = false;
     }
+    // One fuel step per resumption on the tree spine; the VM charges the
+    // same budget in dispatch batches (interp/vm.cpp syncFuel), so the
+    // two backends drain one unified fuel counter.
+    governor::onStep();
     if (trace::enabled()) [[unlikely]] {
       const int depth = trace::enter(*this);
       const bool ok = doNext(out);

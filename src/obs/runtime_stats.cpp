@@ -82,6 +82,17 @@ KernelStats& KernelStats::get() {
   return *s;
 }
 
+GovernorStats& GovernorStats::get() {
+  auto& r = Registry::global();
+  static GovernorStats* s = new GovernorStats{
+      r.counter("governor.fuel_spent"),
+      r.gauge("governor.heap_reserved"),
+      r.counter("governor.quota_trips"),
+      r.counter("governor.sheds"),
+  };
+  return *s;
+}
+
 VmStats& VmStats::get() {
   auto& r = Registry::global();
   static VmStats* s = new VmStats{

@@ -102,6 +102,18 @@ struct KernelStats {
   static KernelStats& get();
 };
 
+/// ResourceGovernor (runtime/governor.hpp) — totals across live and
+/// retired governors, bridged by a snapshot-time collector registered in
+/// governor.cpp (the same pull pattern as the arena tallies: charge
+/// paths update governor-local atomics, never these handles).
+struct GovernorStats {
+  Counter& fuelSpent;    ///< evaluation steps charged under fuel governance
+  Gauge& heapReserved;   ///< live heap bytes charged across governors
+  Counter& quotaTrips;   ///< errQuotaExceeded raises (all budgets)
+  Counter& sheds;        ///< admission-gate refusals (errAdmissionRefused)
+  static GovernorStats& get();
+};
+
 /// Bytecode VM backend (interp/vm.hpp).
 struct VmStats {
   Counter& dispatches;    ///< instructions dispatched

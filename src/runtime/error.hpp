@@ -56,6 +56,12 @@ inline IconError errCoExprExpected(const std::string& what) {
 inline IconError errDivisionByZero() { return {201, "division by zero"}; }
 /// 205: invalid value.
 inline IconError errInvalidValue(const std::string& what) { return {205, "invalid value: " + what}; }
+/// 305: the system allocator failed (real exhaustion or an injected
+/// ArenaAlloc/RcAlloc fault) — Icon's "inadequate space", surfaced as a
+/// catchable run-time error instead of a raw std::bad_alloc.
+inline IconError errOutOfMemory(const std::string& what) {
+  return {305, "inadequate space: " + what};
+}
 /// 801: a concurrent stage died with a non-Icon exception; the original
 /// cause is preserved in the message so containment never loses it.
 inline IconError errStageFailed(const std::string& what) {
@@ -65,5 +71,28 @@ inline IconError errStageFailed(const std::string& what) {
 inline IconError errRetryExhausted(const std::string& what) {
   return {802, "retry budget exhausted: " + what};
 }
+
+// 81x — the errQuotaExceeded family (runtime/governor.hpp). All are
+// ordinary catchable run-time errors: `&error` conversion applies at the
+// shared kernel operator nodes, so tree, VM, and emitted backends trip
+// with identical number and message.
+/// 810: the session's evaluation-fuel budget is exhausted.
+inline IconError errFuelExhausted() { return {810, "quota exceeded: evaluation fuel"}; }
+/// 811: the session's heap-byte budget is exhausted.
+inline IconError errHeapQuota() { return {811, "quota exceeded: heap bytes"}; }
+/// 812: too many live co-expressions for the session's budget.
+inline IconError errCoexprQuota() { return {812, "quota exceeded: co-expressions"}; }
+/// 812: too many live pipes for the session's budget (same number as the
+/// co-expression trip — a pipe IS a co-expression — message differs).
+inline IconError errPipeQuota() { return {812, "quota exceeded: pipes"}; }
+/// 813: recursion/suspension depth budget exceeded.
+inline IconError errDepthQuota() { return {813, "quota exceeded: recursion depth"}; }
+/// 815: the process admission gate refused a new governed session.
+inline IconError errAdmissionRefused(const std::string& what) {
+  return {815, "session admission refused: " + what};
+}
+/// 816: the Supervisor hard-terminated this session; every governed
+/// thread raises this at its next charge point and unwinds.
+inline IconError errSessionTerminated() { return {816, "session terminated by supervisor"}; }
 
 }  // namespace congen

@@ -19,8 +19,14 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <utility>
+
+#include "concur/fault_injection.hpp"
+#include "runtime/error.hpp"
+#include "runtime/governor_hooks.hpp"
 
 namespace congen {
 
@@ -35,6 +41,28 @@ class RcBase {
 
   /// Count value marking an immortal object (see makeImmortal).
   static constexpr std::uint32_t kImmortalBit = 1u << 30;
+
+  /// Every payload allocation funnels through here (class-level operator
+  /// new is inherited), making this the governor's second heap charge
+  /// point — long strings, lists, tables, co-expression environments all
+  /// derive from RcBase. Ungoverned cost: one relaxed load. Failure — a
+  /// real bad_alloc or an injected RcAlloc fault — becomes the catchable
+  /// Icon error 305 with the charge credited back.
+  static void* operator new(std::size_t bytes) {
+    governor::onHeapAlloc(bytes);  // may throw 811/816; nothing charged then
+    try {
+      CONGEN_FAULT_POINT(RcAlloc);
+      return ::operator new(bytes);
+    } catch (const testing::InjectedFault&) {
+    } catch (const std::bad_alloc&) {
+    }
+    governor::onHeapFree(bytes);
+    throw errOutOfMemory("value payload");
+  }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    ::operator delete(p);
+    governor::onHeapFree(bytes);
+  }
 
   /// Bump the refcount. Relaxed: acquiring a new reference needs no
   /// ordering — the holder already reaches the object through a pointer

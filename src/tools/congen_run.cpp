@@ -28,6 +28,19 @@
 //   congen-run --backend=vm|tree ...    pick the execution backend
 //                                       (default: CONGEN_BACKEND env,
 //                                       else the tree walker)
+//   congen-run --max-heap=64M ...       resource quotas (K/M/G suffixes
+//                                       where bytes make sense):
+//                                       --max-heap, --max-fuel,
+//                                       --max-pipes, --max-coexprs,
+//                                       --max-pipe-depth, --max-depth.
+//                                       Exhaustion raises the catchable
+//                                       81x errQuotaExceeded family; an
+//                                       uncaught trip exits 1 with the
+//                                       typed error on stderr.
+//   congen-run --supervise <s> <h> ...  cooperative watchdog over the
+//                                       governed session: soft-cancel
+//                                       after <s> seconds, diagnostics +
+//                                       hard teardown after <h>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -49,6 +62,25 @@
 namespace {
 
 constexpr std::size_t kReplResultLimit = 64;  // guard against infinite generators
+
+/// Parse "64M"-style budget values (K/M/G binary suffixes). Returns
+/// false on garbage; 0 is accepted and means unlimited.
+bool parseBudget(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long raw = std::strtoull(text.c_str(), &end, 10);
+  std::uint64_t scale = 1;
+  if (*end == 'K' || *end == 'k') {
+    scale = 1024, ++end;
+  } else if (*end == 'M' || *end == 'm') {
+    scale = 1024 * 1024, ++end;
+  } else if (*end == 'G' || *end == 'g') {
+    scale = 1024ULL * 1024 * 1024, ++end;
+  }
+  if (end == text.c_str() || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(raw) * scale;
+  return true;
+}
 
 void printResults(congen::GenPtr gen, std::size_t limit) {
   std::size_t count = 0;
@@ -159,6 +191,8 @@ int run(int argc, char** argv, congen::interp::Interpreter& interp) {
 int main(int argc, char** argv) {
   congen::interp::Interpreter::Options options;
   ObsOptions obs;
+  long superviseSoftSec = 0;
+  long superviseHardSec = 0;
   // Prefix options, in any order: --timeout <sec> arms the watchdog,
   // --trace enables iterator-protocol monitoring, --stats /
   // --metrics-json / --trace-out wire the metrics registry and the
@@ -230,9 +264,62 @@ int main(int argc, char** argv) {
       argv += 2;
       continue;
     }
+    if (argc >= 2 && std::string(argv[1]).rfind("--max-", 0) == 0) {
+      const std::string arg(argv[1]);
+      auto budgetFlag = [&](const std::string& prefix, std::uint64_t& slot) -> int {
+        if (arg.rfind(prefix, 0) != 0) return 0;
+        if (!parseBudget(arg.substr(prefix.size()), slot)) {
+          std::cerr << "congen-run: bad value in " << arg << " (want e.g. 64M)\n";
+          return -1;
+        }
+        return 1;
+      };
+      int r = 0;
+      if ((r = budgetFlag("--max-heap=", options.quotas.maxHeapBytes)) != 0 ||
+          (r = budgetFlag("--max-fuel=", options.quotas.maxFuel)) != 0 ||
+          (r = budgetFlag("--max-pipes=", options.quotas.maxPipes)) != 0 ||
+          (r = budgetFlag("--max-coexprs=", options.quotas.maxCoexprs)) != 0 ||
+          (r = budgetFlag("--max-pipe-depth=", options.quotas.maxPipeDepth)) != 0 ||
+          (r = budgetFlag("--max-depth=", options.quotas.maxDepth)) != 0) {
+        if (r < 0) return 2;
+        --argc;
+        ++argv;
+        continue;
+      }
+      std::cerr << "congen-run: unknown option " << arg << "\n";
+      return 2;
+    }
+    if (argc >= 4 && std::string(argv[1]) == "--supervise") {
+      superviseSoftSec = std::strtol(argv[2], nullptr, 10);
+      superviseHardSec = std::strtol(argv[3], nullptr, 10);
+      if (superviseSoftSec <= 0 || superviseHardSec < superviseSoftSec) {
+        std::cerr << "congen-run: --supervise wants SOFT HARD seconds, 0 < SOFT <= HARD\n";
+        return 2;
+      }
+      options.governed = true;  // supervision needs a session governor
+      argc -= 3;
+      argv += 3;
+      continue;
+    }
     break;
   }
   congen::interp::Interpreter interp(options);
+  // Arm the cooperative watchdog over the session governor. The
+  // diagnostics callback is injected here — the governor layer never
+  // names concur or obs types. The Watch is destroyed (un-watched) when
+  // a healthy run returns before the deadlines.
+  congen::governor::Supervisor::Watch watch;
+  if (superviseSoftSec > 0 && interp.resourceGovernor() != nullptr) {
+    watch = congen::governor::Supervisor::global().watch(
+        interp.resourceGovernor(), std::chrono::seconds(superviseSoftSec),
+        std::chrono::seconds(superviseHardSec), [] {
+          std::cerr << "congen-run: supervisor hard teardown — live pipe state:\n";
+          congen::Pipe::dumpAll(std::cerr);
+          if (congen::obs::metricsEnabled()) {
+            congen::obs::Registry::global().snapshot().writeText(std::cerr);
+          }
+        });
+  }
   int code = 0;
   try {
     code = run(argc, argv, interp);

@@ -22,6 +22,7 @@
 #include "conf_errors.hpp"
 #include "conf_mapreduce.hpp"
 #include "conf_nqueens.hpp"
+#include "conf_quota.hpp"
 #include "conf_retry.hpp"
 #include "conf_timeout.hpp"
 #include "conf_wordcount.hpp"
@@ -88,6 +89,7 @@ void expectScriptConformance(const std::string& name) {
 TEST(ConformanceScripts, Errors) { expectScriptConformance<Conf_errors>("errors"); }
 TEST(ConformanceScripts, Mapreduce) { expectScriptConformance<Conf_mapreduce>("mapreduce"); }
 TEST(ConformanceScripts, Nqueens) { expectScriptConformance<Conf_nqueens>("nqueens"); }
+TEST(ConformanceScripts, Quota) { expectScriptConformance<Conf_quota>("quota"); }
 TEST(ConformanceScripts, Retry) { expectScriptConformance<Conf_retry>("retry"); }
 TEST(ConformanceScripts, Timeout) { expectScriptConformance<Conf_timeout>("timeout"); }
 TEST(ConformanceScripts, Wordcount) { expectScriptConformance<Conf_wordcount>("wordcount"); }
@@ -103,8 +105,8 @@ TEST(ConformanceCorpus, CoversEveryShippedExample) {
   for (const auto& e : std::filesystem::directory_iterator(kRoot + "/examples/embedded")) {
     if (e.path().extension() == ".ccg") embedded.insert(e.path().stem().string());
   }
-  EXPECT_EQ(scripts, (std::set<std::string>{"errors", "mapreduce", "nqueens", "retry", "timeout",
-                                            "wordcount", "wordfreq"}))
+  EXPECT_EQ(scripts, (std::set<std::string>{"errors", "mapreduce", "nqueens", "quota", "retry",
+                                            "timeout", "wordcount", "wordfreq"}))
       << "new script: add it to tests/conformance";
   EXPECT_EQ(embedded, (std::set<std::string>{"logstats_embedded", "wordcount_embedded"}))
       << "new embedded example: add it to tests/conformance";

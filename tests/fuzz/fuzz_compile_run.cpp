@@ -2,17 +2,19 @@
 // source → parse → normalize → chunk-compile → bounded-step VM run.
 //
 // Anything the parser accepts must compile and execute without crashing:
-// run-time faults must surface as IconError (including 316, the
-// vmStepLimit trip that bounds runaway programs), syntax faults as
+// run-time faults must surface as IconError (including 810, the
+// evaluation-fuel trip that bounds runaway programs — vmStepLimit is now
+// an alias for the governor's unified fuel budget), syntax faults as
 // SyntaxError, and absurd literals as the BigInt constructor's
 // std::invalid_argument/out_of_range. Output is swallowed — generated
 // programs love write() — and the result drain is capped so a prolific
 // generator terminates the iteration quickly.
 //
-// Tree-compiled escape subtrees (scanning, case, co-expressions) run
-// un-metered, so a pathological input can still spin inside one; the
-// libFuzzer -timeout flag (or the ctest replay timeout) is the backstop
-// there, exactly as for the other harnesses.
+// Unlike the retired VM-only step limit, the fuel budget also meters the
+// tree-compiled escape subtrees (scanning, case, co-expressions) — every
+// Gen::next charges the same counter — so a pathological input spinning
+// inside one now trips 810 too; the libFuzzer -timeout flag (or the
+// ctest replay timeout) remains the backstop of last resort.
 #include <cstddef>
 #include <cstdint>
 #include <iostream>
@@ -44,7 +46,7 @@ void compileAndRun(const std::string& source) {
   try {
     interp::Interpreter::Options opts;
     opts.backend = interp::Backend::kVm;
-    opts.vmStepLimit = 200000;  // IconError 316 bounds runaway chunks
+    opts.vmStepLimit = 200000;  // fuel alias: IconError 810 bounds runaway chunks
     interp::Interpreter interp{opts};
     interp.load(source);  // compiles every body; runs top-level stmts
     auto gen = interp.call("main", {Value::list(ListImpl::create())});
