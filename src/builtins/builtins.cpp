@@ -552,7 +552,12 @@ Table buildTable() {
     // setquota(name, n): set one budget on this thread's session
     // governor (lazily created — limitless — for code running outside a
     // governed Interpreter, so scripts behave identically across the
-    // tree, VM, and emitted backends). n = 0 removes the budget.
+    // tree, VM, and emitted backends). The update is tighten-only
+    // against the host's envelope: on a script-owned budget n = 0
+    // removes it, but a limit imposed by the embedder / congen-run
+    // --max-* is a ceiling — n clamps to it and n = 0 restores it, so
+    // a contained session can never loosen its own containment.
+    // Returns the effective limit.
     const std::string name(argOr(args, 0, Value::null()).requireString("setquota budget"));
     const std::int64_t n = argOr(args, 1, Value::null()).requireInt64("setquota value");
     if (n < 0) throw errInvalidValue("setquota: " + std::to_string(n));
@@ -574,8 +579,8 @@ Table buildTable() {
     }
     auto gov = governor::currentOrThreadDefault();
     if (gov == nullptr) return std::nullopt;  // unreachable in practice
-    gov->setLimit(budget, static_cast<std::uint64_t>(n));
-    return Value::integer(n);
+    const std::uint64_t effective = gov->setScriptLimit(budget, static_cast<std::uint64_t>(n));
+    return Value::integer(static_cast<std::int64_t>(effective));
   });
   addNative(t, "quota", [](std::vector<Value>&) -> std::optional<Value> {
     // quota(): a table of this session's budgets and usage. Limits and

@@ -123,9 +123,13 @@ std::size_t governedCapacity(std::size_t capacity) {
 
 Pipe::Pipe(GenFactory factory, std::size_t capacity, ThreadPool& pool, std::size_t batchCap,
            ChannelTransport transport)
+    : Pipe(Resolved{}, std::move(factory), governedCapacity(capacity), pool, batchCap, transport) {}
+
+Pipe::Pipe(Resolved, GenFactory factory, std::size_t capacity, ThreadPool& pool,
+           std::size_t batchCap, ChannelTransport transport)
     : CoExpression(std::move(factory)),
-      state_(std::make_shared<State>(governedCapacity(capacity), transport)),
-      capacity_(governedCapacity(capacity)),
+      state_(std::make_shared<State>(capacity, transport)),
+      capacity_(capacity),
       pool_(&pool),
       // Capacity <= 1 pipes are futures/mailboxes: latency-sensitive and
       // single-valued, so they always run the unbatched protocol. A

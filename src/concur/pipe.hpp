@@ -147,6 +147,15 @@ class Pipe final : public CoExpression {
     std::mutex errorMutex;
   };
 
+  /// Tag for the delegated constructor: `capacity` has already been
+  /// through the governor's pipe-depth clamp. The public constructor
+  /// resolves the clamp exactly once and delegates, so a concurrent
+  /// setquota("pipedepth") can never leave state_ and capacity_
+  /// disagreeing about the actual queue capacity.
+  struct Resolved {};
+  Pipe(Resolved, GenFactory factory, std::size_t capacity, ThreadPool& pool,
+       std::size_t batchCap, ChannelTransport transport);
+
   std::optional<Value> step(QueueDeadline deadline);
   [[nodiscard]] bool producerErrorPending() const;
 

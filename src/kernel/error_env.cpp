@@ -12,6 +12,12 @@ ErrorEnv::State& ErrorEnv::current() {
 }
 
 bool ErrorEnv::convertToFailure(const IconError& e) {
+  // 816 is the Supervisor unwinding the session, not a fault the script
+  // gets to handle: converting it to failure would let a hostile script
+  // with &error credit keep executing one charge batch per conversion,
+  // defeating terminate(). Everything else — the catchable quota 81x
+  // family included — converts normally.
+  if (e.number() == kErrSessionTerminated) return false;
   auto& s = current();
   if (s.credit <= 0) return false;
   --s.credit;

@@ -72,10 +72,13 @@ inline IconError errRetryExhausted(const std::string& what) {
   return {802, "retry budget exhausted: " + what};
 }
 
-// 81x — the errQuotaExceeded family (runtime/governor.hpp). All are
-// ordinary catchable run-time errors: `&error` conversion applies at the
-// shared kernel operator nodes, so tree, VM, and emitted backends trip
-// with identical number and message.
+// 81x — the errQuotaExceeded family (runtime/governor.hpp). With one
+// exception these are ordinary catchable run-time errors: `&error`
+// conversion applies at the shared kernel operator nodes, so tree, VM,
+// and emitted backends trip with identical number and message. The
+// exception is 816 (session terminated): it is the Supervisor tearing
+// the session down, and ErrorEnv::convertToFailure refuses to convert
+// it — a script cannot spend &error credit to outlive its own teardown.
 /// 810: the session's evaluation-fuel budget is exhausted.
 inline IconError errFuelExhausted() { return {810, "quota exceeded: evaluation fuel"}; }
 /// 811: the session's heap-byte budget is exhausted.
@@ -92,7 +95,11 @@ inline IconError errAdmissionRefused(const std::string& what) {
   return {815, "session admission refused: " + what};
 }
 /// 816: the Supervisor hard-terminated this session; every governed
-/// thread raises this at its next charge point and unwinds.
-inline IconError errSessionTerminated() { return {816, "session terminated by supervisor"}; }
+/// thread raises this at its next charge point and unwinds. NOT
+/// convertible to failure via &error (see kErrSessionTerminated).
+inline constexpr int kErrSessionTerminated = 816;
+inline IconError errSessionTerminated() {
+  return {kErrSessionTerminated, "session terminated by supervisor"};
+}
 
 }  // namespace congen

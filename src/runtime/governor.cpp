@@ -84,7 +84,15 @@ struct Tls {
         // Thread teardown: the spent total is recorded; the trip has
         // nowhere to surface.
       }
-      if (pendingHeap != 0) gov->adjustHeap(pendingHeap < 0 ? pendingHeap : 0, 0);
+      try {
+        // Positive batches must land too: the allocations are live and
+        // their eventual frees (possibly on other threads) will be
+        // credited — dropping the charge would drift heapReserved low.
+        // A trip is swallowed like the fuel one above (newBytes = 0, so
+        // the charge itself stays on the books).
+        if (pendingHeap != 0) gov->adjustHeap(pendingHeap, 0);
+      } catch (...) {
+      }
       pendingSteps = 0;
       pendingHeap = 0;
     }
@@ -201,7 +209,9 @@ void recomputeFlags() {
 // ResourceGovernor
 
 ResourceGovernor::ResourceGovernor(const Limits& limits)
-    : fuelLimit_(limits.maxFuel),
+    : admitted_(limits),
+      hostLimits_(limits),
+      fuelLimit_(limits.maxFuel),
       heapLimit_(limits.maxHeapBytes),
       pipeLimit_(limits.maxPipes),
       coexprLimit_(limits.maxCoexprs),
@@ -221,7 +231,10 @@ std::shared_ptr<ResourceGovernor> ResourceGovernor::create(const Limits& limits)
 }
 
 ResourceGovernor::~ResourceGovernor() {
-  const Limits admitted = limits();
+  // Release exactly what create() admitted — effective limits may have
+  // been tightened (setScriptLimit) or moved (setLimit) since, and the
+  // gate's committed totals must stay balanced regardless.
+  const Limits admitted = admitted_;
   auto& r = registry();
   {
     std::lock_guard lock(r.m);
@@ -244,35 +257,72 @@ Limits ResourceGovernor::limits() const {
   return l;
 }
 
-void ResourceGovernor::setLimit(Budget budget, std::uint64_t value) {
+std::atomic<std::uint64_t>& ResourceGovernor::limitCell(Budget budget) noexcept {
   switch (budget) {
-    case Budget::Fuel:
-      // A fresh fuel budget, not the remainder of an old one: setquota
-      // restarts the accounting epoch (live counts, by contrast, must
-      // keep their credits balanced and are never reset).
-      fuelSpent_.store(0, std::memory_order_relaxed);
-      fuelLimit_.store(value, std::memory_order_relaxed);
-      break;
-    case Budget::Heap:
-      heapLimit_.store(value, std::memory_order_relaxed);
-      break;
-    case Budget::Pipes:
-      pipeLimit_.store(value, std::memory_order_relaxed);
-      break;
-    case Budget::Coexprs:
-      coexprLimit_.store(value, std::memory_order_relaxed);
-      break;
-    case Budget::PipeDepth:
-      pipeDepthLimit_.store(value, std::memory_order_relaxed);
-      break;
-    case Budget::Depth:
-      depthLimit_.store(value, std::memory_order_relaxed);
-      break;
+    case Budget::Fuel: return fuelLimit_;
+    case Budget::Heap: return heapLimit_;
+    case Budget::Pipes: return pipeLimit_;
+    case Budget::Coexprs: return coexprLimit_;
+    case Budget::PipeDepth: return pipeDepthLimit_;
+    case Budget::Depth: return depthLimit_;
+  }
+  return fuelLimit_;  // unreachable
+}
+
+namespace {
+
+std::uint64_t& hostField(Limits& l, Budget budget) noexcept {
+  switch (budget) {
+    case Budget::Fuel: return l.maxFuel;
+    case Budget::Heap: return l.maxHeapBytes;
+    case Budget::Pipes: return l.maxPipes;
+    case Budget::Coexprs: return l.maxCoexprs;
+    case Budget::PipeDepth: return l.maxPipeDepth;
+    case Budget::Depth: return l.maxDepth;
+  }
+  return l.maxFuel;  // unreachable
+}
+
+}  // namespace
+
+void ResourceGovernor::setLimit(Budget budget, std::uint64_t value) {
+  {
+    std::lock_guard lock(limitMu_);
+    // A fresh fuel budget, not the remainder of an old one: the host
+    // restarts the accounting epoch (live counts, by contrast, must
+    // keep their credits balanced and are never reset).
+    if (budget == Budget::Fuel) fuelSpent_.store(0, std::memory_order_relaxed);
+    hostField(hostLimits_, budget) = value;
+    limitCell(budget).store(value, std::memory_order_relaxed);
   }
   // Note: admission commitments are negotiated at create() and are NOT
   // re-negotiated here (a tenant cannot grow its admitted footprint by
   // raising its own limit mid-session).
   recomputeFlags();
+}
+
+std::uint64_t ResourceGovernor::setScriptLimit(Budget budget, std::uint64_t value) {
+  std::uint64_t effective = 0;
+  {
+    std::lock_guard lock(limitMu_);
+    const std::uint64_t host = hostField(hostLimits_, budget);
+    // Tighten-only against the host baseline: 0 restores the host value
+    // (only "unlimited" when the host never imposed one), anything else
+    // clamps to it. A governed script can thus never widen the envelope
+    // congen-run --max-* / Interpreter::Options committed it to.
+    if (value == 0) {
+      effective = host;
+    } else {
+      effective = host == 0 ? value : std::min(value, host);
+    }
+    // The epoch restart (fresh fuel) is only available when the fuel
+    // budget is script-owned — resetting fuelSpent_ under a host limit
+    // would let a script re-grant its own budget every trip.
+    if (budget == Budget::Fuel && host == 0) fuelSpent_.store(0, std::memory_order_relaxed);
+    limitCell(budget).store(effective, std::memory_order_relaxed);
+  }
+  recomputeFlags();
+  return effective;
 }
 
 Usage ResourceGovernor::usage() const noexcept {
@@ -465,8 +515,15 @@ struct SupervisorState {
   std::mutex m;
   std::condition_variable cv;
   std::vector<WatchEntry> entries;
+  // Watch ids whose escalation has been scheduled by a tick but has not
+  // finished executing yet (the tick runs requestSoftStop / diagnostics
+  // / terminate outside the lock). Watch::cancel waits until its id
+  // leaves this set, so a cancelled watch is never escalated *and*
+  // never observed mid-escalation.
+  std::vector<std::uint64_t> inFlight;
   std::uint64_t nextId = 1;
   bool threadStarted = false;
+  std::thread::id watchdogThread;
   std::atomic<std::uint64_t> softIssued{0};
   std::atomic<std::uint64_t> hardIssued{0};
 };
@@ -482,38 +539,53 @@ void supervisorTick(SupervisorState& s) {
   // Escalations collected under the lock, executed outside it: the
   // diagnostics callback is arbitrary caller code (Pipe::dumpAll, a
   // metrics snapshot) and must not run under the supervisor mutex.
-  std::vector<std::shared_ptr<ResourceGovernor>> toSoftStop;
-  std::vector<std::pair<std::shared_ptr<ResourceGovernor>, std::function<void()>>> toTerminate;
+  // Every scheduled escalation parks its watch id in s.inFlight first,
+  // so a concurrent Watch::cancel blocks until it has fully executed.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<ResourceGovernor>>> toSoftStop;
+  struct Hard {
+    std::uint64_t id;
+    std::shared_ptr<ResourceGovernor> gov;
+    std::function<void()> diagnostics;
+  };
+  std::vector<Hard> toTerminate;
   {
     std::lock_guard lock(s.m);
     std::erase_if(s.entries, [&](WatchEntry& e) {
       auto gov = e.gov.lock();
       if (gov == nullptr) return true;  // session finished on its own
       if (now >= e.hardAt) {
-        toTerminate.emplace_back(std::move(gov), std::move(e.diagnostics));
+        s.inFlight.push_back(e.id);
+        toTerminate.push_back({e.id, std::move(gov), std::move(e.diagnostics)});
         return true;  // fully escalated: nothing left to watch
       }
       if (!e.softDone && now >= e.softAt) {
         e.softDone = true;
-        toSoftStop.push_back(std::move(gov));
+        s.inFlight.push_back(e.id);
+        toSoftStop.emplace_back(e.id, std::move(gov));
       }
       return false;
     });
   }
-  for (auto& gov : toSoftStop) {
+  for (auto& [id, gov] : toSoftStop) {
     s.softIssued.fetch_add(1, std::memory_order_relaxed);
     gov->requestSoftStop();
   }
-  for (auto& [gov, diagnostics] : toTerminate) {
+  for (auto& h : toTerminate) {
     s.hardIssued.fetch_add(1, std::memory_order_relaxed);
-    if (diagnostics) {
+    if (h.diagnostics) {
       try {
-        diagnostics();
+        h.diagnostics();
       } catch (...) {
         // Diagnostics are best-effort; teardown proceeds regardless.
       }
     }
-    gov->terminate();
+    h.gov->terminate();
+  }
+  if (!toSoftStop.empty() || !toTerminate.empty()) {
+    std::lock_guard lock(s.m);
+    for (const auto& [id, gov] : toSoftStop) std::erase(s.inFlight, id);
+    for (const auto& h : toTerminate) std::erase(s.inFlight, h.id);
+    s.cv.notify_all();  // wake cancel()ers waiting out an escalation
   }
 }
 
@@ -523,6 +595,7 @@ void ensureSupervisorThread(SupervisorState& s) {
   s.threadStarted = true;
   std::thread([&s] {
     std::unique_lock lock(s.m);
+    s.watchdogThread = std::this_thread::get_id();
     for (;;) {
       s.cv.wait_for(lock, std::chrono::milliseconds(20));
       lock.unlock();
@@ -575,10 +648,21 @@ Supervisor::Watch& Supervisor::Watch::operator=(Watch&& o) noexcept {
 
 void Supervisor::Watch::cancel() noexcept {
   if (id_ == 0) return;
-  auto& s = supervisorState();
-  std::lock_guard lock(s.m);
-  std::erase_if(s.entries, [this](const WatchEntry& e) { return e.id == id_; });
+  const std::uint64_t id = id_;
   id_ = 0;
+  auto& s = supervisorState();
+  std::unique_lock lock(s.m);
+  std::erase_if(s.entries, [id](const WatchEntry& e) { return e.id == id; });
+  // A deadline that fired concurrently already left entries; its
+  // escalation may be running right now, outside the lock. Wait it out
+  // so the caller can rely on "after cancel(), the supervisor never
+  // touches this session again" — except on the watchdog thread itself
+  // (a diagnostics callback cancelling a watch must not self-deadlock).
+  if (std::this_thread::get_id() != s.watchdogThread) {
+    s.cv.wait(lock, [&s, id] {
+      return std::find(s.inFlight.begin(), s.inFlight.end(), id) == s.inFlight.end();
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------

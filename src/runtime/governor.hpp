@@ -97,11 +97,23 @@ class ResourceGovernor : public std::enable_shared_from_this<ResourceGovernor> {
   ResourceGovernor& operator=(const ResourceGovernor&) = delete;
 
   [[nodiscard]] Limits limits() const;
-  /// Update one budget. Setting Fuel also restarts the fuel accounting
-  /// epoch (spent resets to 0), so `setquota("fuel", n)` grants a fresh
-  /// budget rather than whatever is left of an old one. Live counts
-  /// (heap/pipes/coexprs) are NOT reset — their credits must balance.
+  /// HOST-side budget update (embedder code, tests, congen-run): moves
+  /// the host baseline and the effective limit together, unrestricted.
+  /// Setting Fuel also restarts the fuel accounting epoch (spent resets
+  /// to 0) — a fresh budget, not the remainder of an old one. Live
+  /// counts (heap/pipes/coexprs) are NOT reset — their credits must
+  /// balance.
   void setLimit(Budget budget, std::uint64_t value);
+  /// SCRIPT-side budget update (the setquota() builtin). A session can
+  /// tighten its containment, never loosen it: the request combines
+  /// with the host baseline — 0 restores the host value (which is
+  /// "unlimited" only when the host never set one, e.g. the lazily
+  /// created thread-default governor), anything else clamps to it. The
+  /// fuel epoch restarts only when the fuel budget is script-owned
+  /// (host baseline 0); under a host fuel limit neither the limit nor
+  /// the spent counter can be refreshed from inside the session.
+  /// Returns the effective limit after the update.
+  std::uint64_t setScriptLimit(Budget budget, std::uint64_t value);
 
   [[nodiscard]] Usage usage() const noexcept;
   [[nodiscard]] bool terminated() const noexcept {
@@ -152,9 +164,20 @@ class ResourceGovernor : public std::enable_shared_from_this<ResourceGovernor> {
   friend class CoexprCharge;
   friend class PipeCharge;
 
-  // Limits are lock-free reads on charge paths (setquota may race a
-  // running script; relaxed is fine — a charge sees the old or the new
-  // limit, both valid).
+  [[nodiscard]] std::atomic<std::uint64_t>& limitCell(Budget budget) noexcept;
+
+  // What create() passed the Admission gate; the destructor releases
+  // exactly this, however the limits moved afterwards.
+  const Limits admitted_;
+  // The host baseline: what create()/setLimit() imposed, the ceiling a
+  // script-side setScriptLimit() can never exceed. Guarded by limitMu_
+  // (limit updates are cold; charge paths never read it).
+  mutable std::mutex limitMu_;
+  Limits hostLimits_;
+
+  // Effective limits are lock-free reads on charge paths (setquota may
+  // race a running script; relaxed is fine — a charge sees the old or
+  // the new limit, both valid).
   std::atomic<std::uint64_t> fuelLimit_;
   std::atomic<std::uint64_t> heapLimit_;
   std::atomic<std::uint64_t> pipeLimit_;
@@ -216,7 +239,12 @@ class Supervisor {
     ~Watch() { cancel(); }
     Watch(const Watch&) = delete;
     Watch& operator=(const Watch&) = delete;
-    /// Unwatch without waiting for the deadline (idempotent).
+    /// Unwatch without waiting for the deadline (idempotent). If a
+    /// deadline fired concurrently, blocks until the in-flight
+    /// escalation (soft stop, or diagnostics + terminate) completes —
+    /// after cancel() returns, no supervisor code can still touch the
+    /// session. (Called from the supervisor's own diagnostics callback
+    /// it does not wait, to stay deadlock-free.)
     void cancel() noexcept;
 
    private:

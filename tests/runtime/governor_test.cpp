@@ -72,6 +72,55 @@ TEST(GovernorCore, FuelTripsAt810AndSetLimitRestartsTheEpoch) {
   EXPECT_EQ(gov->usage().fuelSpent, 150u);
 }
 
+TEST(GovernorCore, ScriptLimitsCannotLoosenHostBudgets) {
+  Limits limits;
+  limits.maxFuel = 100;
+  limits.maxHeapBytes = 1000;
+  auto gov = ResourceGovernor::create(limits);
+  gov->chargeSteps(60);
+
+  // setquota("fuel", 0) restores the host limit instead of removing it,
+  // and a host-imposed fuel epoch is never restarted by the script.
+  EXPECT_EQ(gov->setScriptLimit(Budget::Fuel, 0), 100u);
+  EXPECT_EQ(gov->usage().fuelSpent, 60u);
+  // A raise clamps to the host ceiling; spent still stands.
+  EXPECT_EQ(gov->setScriptLimit(Budget::Fuel, 1u << 30), 100u);
+  EXPECT_EQ(gov->usage().fuelSpent, 60u);
+  EXPECT_EQ(iconErrorNumber([&] { gov->chargeSteps(60); }), 810);
+
+  // Tightening below the host value is allowed...
+  EXPECT_EQ(gov->setScriptLimit(Budget::Heap, 400), 400u);
+  EXPECT_EQ(iconErrorNumber([&] { gov->adjustHeap(500, 500); }), 811);
+  // ...and 0 goes back to the host baseline, not to unlimited.
+  EXPECT_EQ(gov->setScriptLimit(Budget::Heap, 0), 1000u);
+  gov->adjustHeap(500, 500);
+  EXPECT_EQ(gov->usage().heapReserved, 500u);
+
+  // Budgets the host never set stay fully script-managed — the
+  // thread-default governor is the all-zero case of this.
+  EXPECT_EQ(gov->setScriptLimit(Budget::Coexprs, 2), 2u);
+  EXPECT_EQ(gov->setScriptLimit(Budget::Coexprs, 0), 0u);
+
+  // The host API stays unrestricted and moves the baseline with it.
+  gov->setLimit(Budget::Fuel, 200);
+  EXPECT_EQ(gov->usage().fuelSpent, 0u) << "host setLimit grants a fresh epoch";
+  EXPECT_EQ(gov->setScriptLimit(Budget::Fuel, 0), 200u);
+}
+
+TEST(GovernorCore, ThreadTeardownChargesPositivePendingHeap) {
+  std::shared_ptr<ResourceGovernor> gov;
+  std::thread([&] {
+    gov = governor::currentOrThreadDefault();  // limitless thread default
+    // Stays pending (below the 64 KiB flush batch) until the thread's
+    // accounting cell is destroyed — which must charge it, not drop it:
+    // the matching frees may be credited from other threads later.
+    governor::detail::chargeHeapSlow(4096);
+  }).join();
+  ASSERT_NE(gov, nullptr);
+  EXPECT_EQ(gov->usage().heapReserved, 4096u)
+      << "a dying thread's positive pending batch must land on the governor";
+}
+
 TEST(GovernorCore, TerminateThrows816AndSignalsStop) {
   auto gov = ResourceGovernor::create(Limits{});
   EXPECT_FALSE(gov->stopToken().cancelled());
@@ -225,6 +274,26 @@ TEST(GovernorSupervisor, EscalatesSoftStopThenHardTeardownWithDiagnostics) {
   EXPECT_EQ(iconErrorNumber([&] { gov->chargeSteps(1); }), 816);
 }
 
+TEST(GovernorSupervisor, CancelWaitsOutAnInFlightEscalation) {
+  auto gov = ResourceGovernor::create(Limits{});
+  std::atomic<bool> started{false};
+  std::atomic<bool> finished{false};
+  // Both deadlines already due: the next tick escalates straight to the
+  // hard teardown, whose diagnostics callback runs for a while.
+  auto watch = governor::Supervisor::global().watch(
+      gov, std::chrono::milliseconds(0), std::chrono::milliseconds(0), [&] {
+        started = true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        finished = true;
+      });
+  while (!started.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // The escalation is in flight: cancel() must block until it completes
+  // rather than return while diagnostics can still observe the session.
+  watch.cancel();
+  EXPECT_TRUE(finished.load()) << "cancel() returned while diagnostics still ran";
+  EXPECT_TRUE(gov->terminated()) << "cancel() returned before terminate() finished";
+}
+
 TEST(GovernorSupervisor, CancelledWatchNeverEscalates) {
   auto gov = ResourceGovernor::create(Limits{});
   auto watch = governor::Supervisor::global().watch(gov, std::chrono::milliseconds(20),
@@ -281,6 +350,35 @@ TEST(GovernorInterpreter, FuelTripIsCatchableViaErrorConversion) {
   // Grant fresh fuel so the inspection itself can run.
   interp.resourceGovernor()->setLimit(Budget::Fuel, 1u << 20);
   EXPECT_EQ(interp.evalOne("&errornumber")->smallInt(), 810);
+}
+
+TEST(GovernorInterpreter, SetquotaCannotEraseHostImposedBudgets) {
+  for (const auto backend : {interp::Backend::kTree, interp::Backend::kVm}) {
+    interp::Interpreter::Options opts;
+    opts.backend = backend;
+    opts.quotas.maxFuel = 50000;
+    interp::Interpreter interp{opts};
+    // The escape attempt: drop the fuel budget, then grab a huge one
+    // (either of which used to reset the spent counter too). Both must
+    // clamp to the host envelope and leave the epoch alone.
+    interp.load(
+        "def jail() { setquota(\"fuel\", 0); setquota(\"fuel\", 100000000); while 1 do 0; }");
+    EXPECT_EQ(iconErrorNumber([&] { interp.evalAll("jail()"); }), 810);
+  }
+}
+
+TEST(GovernorInterpreter, SupervisorTerminationIsNotConvertibleViaError) {
+  interp::Interpreter::Options opts;
+  opts.backend = interp::Backend::kTree;
+  opts.governed = true;
+  interp::Interpreter interp{opts};
+  // A script holding a mountain of &error credit still cannot convert
+  // the supervisor's 816 into failure and keep running — termination
+  // must unwind, not degrade into one charge batch per credit.
+  interp.load("def resist() { &error := 1000000000; while 1 do 0; }");
+  auto watch = governor::Supervisor::global().watch(
+      interp.resourceGovernor(), std::chrono::milliseconds(20), std::chrono::milliseconds(60));
+  EXPECT_EQ(iconErrorNumber([&] { interp.evalAll("resist()"); }), 816);
 }
 
 TEST(GovernorInterpreter, DepthQuotaParityBothBackendsRaise813) {
