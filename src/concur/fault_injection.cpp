@@ -35,6 +35,8 @@ const char* faultSiteName(FaultSite site) noexcept {
     case FaultSite::PoolSteal: return "ThreadPool::steal";
     case FaultSite::ArenaAlloc: return "Arena::systemAlloc";
     case FaultSite::RcAlloc: return "RcBase::operator new";
+    case FaultSite::ServeAccept: return "serve::Listener::accept";
+    case FaultSite::ServeWrite: return "serve::writeAll";
     case FaultSite::kCount: break;
   }
   return "unknown";
@@ -51,6 +53,11 @@ bool faultSiteFailureCapable(FaultSite site) noexcept {
     // clean error a real bad_alloc produces), so failure is in-contract.
     case FaultSite::ArenaAlloc:
     case FaultSite::RcAlloc:
+    // The serve layer's socket boundaries already tolerate syscall
+    // failure (EMFILE on accept, EPIPE on write): an injected throw
+    // exercises the same recovery paths deterministically.
+    case FaultSite::ServeAccept:
+    case FaultSite::ServeWrite:
       return true;
     default:
       return false;

@@ -43,6 +43,10 @@ enum class FaultSite : std::uint8_t {
   PoolSteal,      // worker about to sweep sibling deques for work (delay only)
   ArenaAlloc,     // arena operator-new fall-through (failure-capable: 305)
   RcAlloc,        // RcBase payload allocation (failure-capable: 305)
+  ServeAccept,    // serve listener about to accept() (failure-capable)
+  ServeWrite,     // serve socket write-loop iteration (failure-capable:
+                  // a throw mid-loop leaves a partial frame on the wire,
+                  // exactly the torn-write path the daemon must survive)
   kCount,
 };
 

@@ -104,4 +104,25 @@ VmStats& VmStats::get() {
   return *s;
 }
 
+ServeStats& ServeStats::get() {
+  auto& r = Registry::global();
+  static ServeStats* s = new ServeStats{
+      r.counter("serve.connections_accepted"),
+      r.counter("serve.accept_failures"),
+      r.gauge("serve.sessions_active"),
+      r.counter("serve.sessions_opened"),
+      r.counter("serve.sessions_shed"),
+      r.counter("serve.sessions_terminated"),
+      r.counter("serve.requests"),
+      r.counter("serve.results_streamed"),
+      r.counter("serve.protocol_errors"),
+      r.counter("serve.disconnects"),
+      r.counter("serve.http_requests"),
+      r.counter("serve.bytes_read"),
+      r.counter("serve.bytes_written"),
+      r.histogram("serve.request_latency_micros", latencyBoundsMicros()),
+  };
+  return *s;
+}
+
 }  // namespace congen::obs

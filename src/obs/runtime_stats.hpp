@@ -123,4 +123,25 @@ struct VmStats {
   static VmStats& get();
 };
 
+/// congen-serve — the multi-tenant script-execution daemon
+/// (src/serve/server.hpp). Request latency is measured from complete
+/// frame decode to the last response byte handed to the kernel.
+struct ServeStats {
+  Counter& connectionsAccepted;  ///< sockets accepted (incl. HTTP probes)
+  Counter& acceptFailures;       ///< accept() throws survived (EMFILE kin)
+  Gauge& sessionsActive;         ///< sessions currently open
+  Counter& sessionsOpened;       ///< protocol sessions begun (post-hello)
+  Counter& sessionsShed;         ///< admission refusals answered with 815
+  Counter& sessionsTerminated;   ///< supervisor hard teardowns (816 path)
+  Counter& requests;             ///< complete request frames processed
+  Counter& resultsStreamed;      ///< values delivered in NEXT responses
+  Counter& protocolErrors;       ///< 9xx responses (bad frame/verb/state)
+  Counter& disconnects;          ///< sessions torn down by peer hangup
+  Counter& httpRequests;         ///< /metrics, /metrics.json, /healthz hits
+  Counter& bytesRead;            ///< request bytes off the wire
+  Counter& bytesWritten;         ///< response bytes onto the wire
+  Histogram& requestLatencyMicros;
+  static ServeStats& get();
+};
+
 }  // namespace congen::obs

@@ -1,0 +1,142 @@
+#include "serve/net.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "concur/fault_injection.hpp"
+
+namespace congen::serve {
+
+namespace {
+
+[[noreturn]] void throwErrno(const char* what) {
+  throw NetError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdownWrite() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::setNonBlocking(bool on) {
+  const int flags = ::fcntl(fd_, F_GETFL);
+  if (flags < 0) throwErrno("fcntl(F_GETFL)");
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, next) < 0) throwErrno("fcntl(F_SETFL)");
+}
+
+Listener::Listener(const std::string& host, std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throwErrno("socket");
+  socket_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad bind address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) throwErrno("bind");
+  if (::listen(fd, backlog) != 0) throwErrno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throwErrno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  socket_.setNonBlocking(true);
+}
+
+Socket Listener::accept() {
+  CONGEN_FAULT_POINT(ServeAccept);
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED || errno == EINTR) {
+      return Socket{};
+    }
+    throwErrno("accept");
+  }
+  Socket s(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return s;
+}
+
+Socket connectTo(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throwErrno("socket");
+  Socket s(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad host address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) throwErrno("connect");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return s;
+}
+
+void writeAll(Socket& socket, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    CONGEN_FAULT_POINT(ServeWrite);
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t n =
+        ::send(socket.fd(), data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{socket.fd(), POLLOUT, 0};
+      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) throwErrno("poll(POLLOUT)");
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throwErrno("send");
+  }
+}
+
+bool readSome(Socket& socket, std::string& out, std::size_t max) {
+  std::string buf(max, '\0');
+  for (;;) {
+    const ssize_t n = ::recv(socket.fd(), buf.data(), buf.size(), 0);
+    if (n > 0) {
+      out.append(buf.data(), static_cast<std::size_t>(n));
+      return true;
+    }
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{socket.fd(), POLLIN, 0};
+      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) throwErrno("poll(POLLIN)");
+      continue;
+    }
+    throwErrno("recv");
+  }
+}
+
+}  // namespace congen::serve

@@ -1,0 +1,95 @@
+// net.hpp — minimal POSIX socket layer for congen-serve.
+//
+// RAII descriptors plus the two blocking helpers the daemon and the
+// load driver share. Sockets handed to the server's event loop are
+// switched non-blocking; writeAll() then poll()s for writability
+// between partial writes, so a slow client throttles only its own
+// session task, never the event thread.
+//
+// Fault sites (sanitizer presets only, see concur/fault_injection.hpp):
+//   ServeAccept — Listener::accept entry; an injected throw stands in
+//     for EMFILE/ENFILE and must leave the accept loop running.
+//   ServeWrite  — every write-loop iteration; an injected throw after a
+//     partial write leaves a torn frame on the wire, which the peer
+//     must survive as a disconnect.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace congen::serve {
+
+/// Thrown by the helpers on a dead peer or a failed syscall; the server
+/// maps it to session teardown, the client to a failed session.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Owning socket descriptor. Move-only; close() is idempotent.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Socket& operator=(Socket&& o) noexcept {
+    if (this != &o) {
+      close();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+  /// Half-close the write side (client CLOSE without losing responses).
+  void shutdownWrite() noexcept;
+  void setNonBlocking(bool on);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1 (or `host`) : `port`.
+/// port 0 binds an ephemeral port; port() reports the real one.
+class Listener {
+ public:
+  Listener(const std::string& host, std::uint16_t port, int backlog = 128);
+
+  [[nodiscard]] int fd() const noexcept { return socket_.fd(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Accept one pending connection (the listener must be non-blocking
+  /// and known-readable — the event loop polls first). Returns an
+  /// invalid Socket when the kernel has nothing after all (EAGAIN —
+  /// spurious readiness) or on transient per-connection failures
+  /// (ECONNABORTED). Throws NetError only for descriptor exhaustion and
+  /// kin; the ServeAccept fault site injects exactly that.
+  [[nodiscard]] Socket accept();
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking client connect to host:port (the loadgen / test side).
+[[nodiscard]] Socket connectTo(const std::string& host, std::uint16_t port);
+
+/// Write all of `data`, polling for writability on EAGAIN. Throws
+/// NetError on a dead peer (EPIPE/ECONNRESET) or injected ServeWrite
+/// fault. Returns normally only when every byte is on the wire.
+void writeAll(Socket& socket, std::string_view data);
+
+/// Read at most `max` bytes into `out` (appended), blocking until at
+/// least one byte arrives. Returns false on orderly EOF.
+bool readSome(Socket& socket, std::string& out, std::size_t max = 64 * 1024);
+
+}  // namespace congen::serve

@@ -1,0 +1,181 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+
+namespace congen::serve {
+
+namespace {
+
+void appendU32be(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>(v & 0xFF));
+}
+
+[[nodiscard]] std::uint32_t readU32be(const char* p) noexcept {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return (static_cast<std::uint32_t>(u[0]) << 24) | (static_cast<std::uint32_t>(u[1]) << 16) |
+         (static_cast<std::uint32_t>(u[2]) << 8) | static_cast<std::uint32_t>(u[3]);
+}
+
+}  // namespace
+
+std::string encodePayload(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 4);
+  appendU32be(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::string encodeFrame(const Request& request) {
+  std::string payload;
+  switch (request.verb) {
+    case Verb::kSubmit:
+      payload = "SUBMIT\n";
+      payload += request.body;
+      break;
+    case Verb::kNext:
+      payload = "NEXT " + std::to_string(request.n);
+      break;
+    case Verb::kCancel:
+      payload = "CANCEL";
+      break;
+    case Verb::kClose:
+      payload = "CLOSE";
+      break;
+  }
+  return encodePayload(payload);
+}
+
+std::optional<Request> parseRequest(std::string_view payload, std::string& error) {
+  const std::size_t eol = payload.find('\n');
+  const std::string_view line = eol == std::string_view::npos ? payload : payload.substr(0, eol);
+  const std::string_view body = eol == std::string_view::npos ? std::string_view{}
+                                                              : payload.substr(eol + 1);
+  Request req;
+  if (line == "SUBMIT") {
+    if (body.empty()) {
+      error = "SUBMIT needs a script body after the verb line";
+      return std::nullopt;
+    }
+    req.verb = Verb::kSubmit;
+    req.body.assign(body);
+    return req;
+  }
+  if (line.rfind("NEXT ", 0) == 0) {
+    const std::string_view arg = line.substr(5);
+    std::uint64_t n = 0;
+    if (arg.empty()) {
+      error = "NEXT needs a count";
+      return std::nullopt;
+    }
+    for (char c : arg) {
+      if (c < '0' || c > '9') {
+        error = "NEXT count is not a number";
+        return std::nullopt;
+      }
+      if (n <= kMaxNextBatch) n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (n == 0) {
+      error = "NEXT count must be positive";
+      return std::nullopt;
+    }
+    req.verb = Verb::kNext;
+    req.n = n > kMaxNextBatch ? kMaxNextBatch : n;
+    return req;
+  }
+  if (line == "CANCEL") {
+    req.verb = Verb::kCancel;
+    return req;
+  }
+  if (line == "CLOSE") {
+    req.verb = Verb::kClose;
+    return req;
+  }
+  error = "unknown verb";
+  return std::nullopt;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (poisoned_) return;
+  buffer_.append(bytes);
+  for (;;) {
+    if (buffer_.size() < 4) return;
+    const std::uint32_t len = readU32be(buffer_.data());
+    if (len > maxPayload_) {
+      poisoned_ = true;
+      buffer_.clear();
+      return;
+    }
+    if (buffer_.size() < 4 + static_cast<std::size_t>(len)) return;
+    complete_.emplace_back(buffer_.substr(4, len));
+    buffer_.erase(0, 4 + static_cast<std::size_t>(len));
+  }
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (complete_.empty()) return std::nullopt;
+  std::string payload = std::move(complete_.front());
+  complete_.pop_front();
+  return payload;
+}
+
+bool looksLikeHttp(std::string_view firstBytes) noexcept {
+  if (firstBytes.size() < 4) return false;
+  const std::string_view head = firstBytes.substr(0, 4);
+  return head == "GET " || head == "HEAD" || head == "POST";
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string makeHello() {
+  return "{\"ok\":true,\"event\":\"hello\",\"proto\":" + std::to_string(kProtocolVersion) + "}\n";
+}
+
+std::string makeOk(std::string_view kind) {
+  return "{\"ok\":true,\"kind\":\"" + jsonEscape(kind) + "\"}\n";
+}
+
+std::string makeResults(const std::vector<std::string>& results, bool done) {
+  std::string out = "{\"ok\":true,\"done\":";
+  out += done ? "true" : "false";
+  out += ",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += jsonEscape(results[i]);
+    out += '"';
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string makeError(int code, std::string_view message) {
+  return "{\"ok\":false,\"code\":" + std::to_string(code) + ",\"error\":\"" +
+         jsonEscape(message) + "\"}\n";
+}
+
+}  // namespace congen::serve

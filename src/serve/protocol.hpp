@@ -1,0 +1,125 @@
+// protocol.hpp — the congen-serve wire protocol (pure: no sockets).
+//
+// A session is one TCP connection. The client sends length-prefixed
+// request frames; the server answers each frame with exactly one
+// newline-terminated JSON object, in request order:
+//
+//   frame    := u32 payload length (big-endian) ++ payload bytes
+//   payload  := verb line, '\n', optional body
+//   verbs    := "SUBMIT"            body = script or expression text
+//             | "NEXT <n>"          drive up to n results (1 <= n <= max)
+//             | "CANCEL"            drop the current generator
+//             | "CLOSE"             end the session
+//   response := one JSON object, '\n'-terminated (see makeOk/makeError)
+//
+// The client speaks first: the server classifies the connection on its
+// first bytes, so a protocol client pipelines its first frame without
+// waiting. Once classified, the server answers with a hello object
+// (before the first response) — or a typed 815 refusal when the
+// admission gate sheds the session, after which the connection closes.
+// The same port also answers plain HTTP GETs for /metrics,
+// /metrics.json, and /healthz — an HTTP request is recognised by its
+// first bytes ("GET " is not a plausible length prefix: 0x47455420 is
+// far beyond any sane frame bound), so the two protocols cannot be
+// confused.
+//
+// Error taxonomy in response frames:
+//   - Icon run-time errors keep their numbers (810/811/... quota trips,
+//     815 admission, 816 supervisor termination, 201 division by zero,
+//     ...): {"ok":false,"code":810,"error":"quota exceeded: ..."}
+//   - serve-level protocol faults use the 9xx space, which no Icon
+//     error occupies: 900 malformed frame / unknown verb, 901 NEXT with
+//     no current generator, 902 frame too large, 903 internal error
+//     (an unexpected non-Icon exception escaped a handler).
+//
+// Everything in this header is deterministic byte-in/byte-out — the
+// golden transcript suite (tests/serve/golden) and the fuzz harness
+// (tests/fuzz/fuzz_serve_frame.cpp) both lean on that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace congen::serve {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Hard ceiling on one request payload; a frame announcing more is a
+/// 902 protocol error and closes the connection (a length prefix is a
+/// promise the server must not buffer unboundedly on).
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+/// Clamp on NEXT batch size (results are buffered into one response).
+inline constexpr std::uint64_t kMaxNextBatch = 65536;
+
+// serve-level error codes (9xx: disjoint from Icon's numbering).
+inline constexpr int kErrProtocol = 900;
+inline constexpr int kErrNoGenerator = 901;
+inline constexpr int kErrFrameTooLarge = 902;
+inline constexpr int kErrInternal = 903;
+
+enum class Verb : std::uint8_t { kSubmit, kNext, kCancel, kClose };
+
+struct Request {
+  Verb verb = Verb::kClose;
+  std::string body;     // SUBMIT: script / expression text
+  std::uint64_t n = 0;  // NEXT: requested result count (post-clamp)
+};
+
+/// Render a request back into a frame (length prefix included) — the
+/// client side of the protocol, used by congen-loadgen and the tests.
+[[nodiscard]] std::string encodeFrame(const Request& request);
+/// Frame a raw payload verbatim (malformed-input tests).
+[[nodiscard]] std::string encodePayload(std::string_view payload);
+
+/// Parse one complete payload into a Request. On failure returns
+/// nullopt and fills `error` with a human-readable reason (the caller
+/// wraps it into a 900 response).
+[[nodiscard]] std::optional<Request> parseRequest(std::string_view payload, std::string& error);
+
+/// Incremental frame decoder: feed() bytes as they arrive, take
+/// complete payloads out of next(). A frame whose announced length
+/// exceeds maxPayload poisons the decoder (error() becomes true and
+/// stays true): the byte stream is unsynchronized garbage from that
+/// point, so the connection must be failed, not resynced.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t maxPayload = kMaxFramePayload) : maxPayload_(maxPayload) {}
+
+  void feed(std::string_view bytes);
+  /// The next complete payload, FIFO; nullopt when none is buffered.
+  [[nodiscard]] std::optional<std::string> next();
+  [[nodiscard]] bool error() const noexcept { return poisoned_; }
+  /// Bytes buffered but not yet consumed as a complete frame.
+  [[nodiscard]] std::size_t pendingBytes() const noexcept { return buffer_.size(); }
+
+ private:
+  std::size_t maxPayload_;
+  std::string buffer_;
+  std::deque<std::string> complete_;
+  bool poisoned_ = false;
+};
+
+/// True when the first buffered bytes can only be an HTTP request
+/// ("GET " / "HEAD" / "POST"), never a binary frame this server would
+/// accept. Needs at least 4 bytes to decide; returns false until then.
+[[nodiscard]] bool looksLikeHttp(std::string_view firstBytes) noexcept;
+
+// ---- responses (newline-terminated JSON) ---------------------------------
+
+[[nodiscard]] std::string jsonEscape(std::string_view s);
+
+/// {"ok":true,"event":"hello","proto":1}
+[[nodiscard]] std::string makeHello();
+/// {"ok":true,"kind":"<kind>"} — SUBMIT/CANCEL/CLOSE acknowledgements.
+[[nodiscard]] std::string makeOk(std::string_view kind);
+/// {"ok":true,"done":<done>,"results":[...]} — a NEXT response; results
+/// are Icon images of the produced values.
+[[nodiscard]] std::string makeResults(const std::vector<std::string>& results, bool done);
+/// {"ok":false,"code":<code>,"error":"..."} — Icon and serve errors.
+[[nodiscard]] std::string makeError(int code, std::string_view message);
+
+}  // namespace congen::serve

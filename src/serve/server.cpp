@@ -1,0 +1,411 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <sstream>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include "concur/fault_injection.hpp"
+#include "concur/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/runtime_stats.hpp"
+#include "runtime/error.hpp"
+
+#ifndef POLLRDHUP
+#define POLLRDHUP 0
+#endif
+
+namespace congen::serve {
+
+namespace {
+
+/// Cap on buffered HTTP header bytes before the connection is dropped.
+constexpr std::size_t kMaxHttpHeader = 16 * 1024;
+/// Event-loop park budget: a safety tick — every state change that
+/// matters (readable socket, finished task, stop()) wakes the parker.
+constexpr std::chrono::milliseconds kParkTick{250};
+
+std::string httpResponse(int code, const char* reason, const char* contentType,
+                         const std::string& body, bool headOnly) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + contentType +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  if (!headOnly) out += body;
+  return out;
+}
+
+}  // namespace
+
+Server::Server(Config config) : config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  if (config_.enableMetrics) obs::enableMetrics();
+  if (config_.admission.maxSessions != 0 || config_.admission.maxCommittedHeapBytes != 0) {
+    priorAdmission_ = governor::Admission::global().config();
+    governor::Admission::global().configure(config_.admission);
+    admissionInstalled_ = true;
+  }
+  listener_ = std::make_unique<Listener>(config_.host, config_.port);
+  port_ = listener_->port();
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  eventThread_ = std::thread([this] { eventLoop(); });
+}
+
+void Server::stop() {
+  if (eventThread_.joinable()) {
+    stopping_.store(true, std::memory_order_release);
+    parker_.wake();
+    eventThread_.join();
+  }
+  running_.store(false, std::memory_order_release);
+  if (admissionInstalled_) {
+    governor::Admission::global().configure(priorAdmission_);
+    admissionInstalled_ = false;
+  }
+}
+
+std::size_t Server::liveSessions() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->session != nullptr && !conn->closing) ++n;
+  }
+  return n;
+}
+
+void Server::eventLoop() {
+  std::vector<pollfd> fds;
+  bool listenerOpen = true;
+  for (;;) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping && listenerOpen) {
+      listener_.reset();  // refuse new connects while draining
+      listenerOpen = false;
+    }
+    // Sweep closeable connections and build the poll set. Session
+    // destruction (interpreter teardown) runs outside the lock.
+    std::vector<std::shared_ptr<Conn>> reaped;
+    bool drainedOut = false;
+    {
+      std::lock_guard lock(mu_);
+      if (stopping) {
+        for (auto& [fd, conn] : conns_) {
+          if (!conn->closing) beginCloseLockedImpl(conn, /*peerHungUp=*/false);
+        }
+      }
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if (it->second->closing && !it->second->scheduled) {
+          reaped.push_back(std::move(it->second));
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      drainedOut = stopping && conns_.empty() && tasksInFlight_ == 0;
+      fds.clear();
+      if (listenerOpen) fds.push_back({listener_->fd(), POLLIN, 0});
+      for (const auto& [fd, conn] : conns_) {
+        if (!conn->closing) fds.push_back({fd, POLLIN | POLLRDHUP, 0});
+      }
+    }
+    reaped.clear();
+    if (drainedOut) return;
+    parker_.park(fds, kParkTick);
+    for (const pollfd& p : fds) {
+      if (p.revents == 0) continue;
+      if (listenerOpen && p.fd == listener_->fd()) {
+        acceptPending();
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard lock(mu_);
+        auto it = conns_.find(p.fd);
+        if (it != conns_.end()) conn = it->second;
+      }
+      if (conn == nullptr || conn->closing.load(std::memory_order_acquire)) continue;
+      bool peerHungUp = false;
+      if (!pumpConn(conn, peerHungUp)) beginClose(conn, peerHungUp);
+    }
+  }
+}
+
+void Server::acceptPending() {
+  const bool metrics = obs::metricsEnabled();
+  for (;;) {
+    Socket s;
+    try {
+      s = listener_->accept();
+    } catch (const std::exception&) {
+      // EMFILE and kin (or an injected ServeAccept fault): survive it —
+      // the pending connection stays queued and the next readable edge
+      // retries. The loop must keep serving existing sessions.
+      if (metrics) [[unlikely]] obs::ServeStats::get().acceptFailures.add(1);
+      return;
+    }
+    if (!s.valid()) return;
+    s.setNonBlocking(true);
+    if (metrics) [[unlikely]] obs::ServeStats::get().connectionsAccepted.add(1);
+    auto conn = std::make_shared<Conn>();
+    conn->socket = std::move(s);
+    conn->decoder = FrameDecoder(config_.maxFramePayload);
+    std::lock_guard lock(mu_);
+    conn->id = nextConnId_++;
+    conns_.emplace(conn->socket.fd(), conn);
+  }
+}
+
+bool Server::pumpConn(const std::shared_ptr<Conn>& conn, bool& peerHungUp) {
+  const bool metrics = obs::metricsEnabled();
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->socket.fd(), buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      peerHungUp = true;  // reset and kin: peer is gone
+      return false;
+    }
+    if (n == 0) {
+      peerHungUp = true;
+      return false;
+    }
+    if (metrics) [[unlikely]] {
+      obs::ServeStats::get().bytesRead.add(static_cast<std::uint64_t>(n));
+    }
+    const std::string_view bytes(buf, static_cast<std::size_t>(n));
+    if (conn->kind == ConnKind::kUnknown) {
+      conn->sniff.append(bytes);
+      classify(conn);
+      if (conn->closing) return true;  // shed or bad classification
+      if (conn->kind == ConnKind::kUnknown) continue;  // need more bytes
+    } else if (conn->kind == ConnKind::kHttp) {
+      conn->sniff.append(bytes);
+    } else {
+      conn->decoder.feed(bytes);
+    }
+    if (conn->kind == ConnKind::kHttp) {
+      if (conn->sniff.find("\r\n\r\n") != std::string::npos) {
+        answerHttp(conn);
+        return true;  // closing was set by answerHttp
+      }
+      if (conn->sniff.size() > kMaxHttpHeader) return false;
+      continue;
+    }
+    // Session frames.
+    if (conn->decoder.error()) {
+      if (metrics) [[unlikely]] obs::ServeStats::get().protocolErrors.add(1);
+      try {
+        writeAll(conn->socket, makeError(kErrFrameTooLarge, "frame exceeds payload limit"));
+      } catch (const std::exception&) {
+      }
+      return false;
+    }
+    std::lock_guard lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    while (auto payload = conn->decoder.next()) {
+      conn->pending.emplace_back(now, std::move(*payload));
+    }
+    scheduleLocked(conn);
+  }
+  return true;
+}
+
+void Server::classify(const std::shared_ptr<Conn>& conn) {
+  if (looksLikeHttp(conn->sniff)) {
+    conn->kind = ConnKind::kHttp;
+    if (obs::metricsEnabled()) [[unlikely]] obs::ServeStats::get().httpRequests.add(1);
+    return;
+  }
+  // A frame's length prefix always leads with 0x00 (the payload cap is
+  // far below 2^24); any other first byte might still grow into an HTTP
+  // method token, so wait for the 4 bytes that decide.
+  if (conn->sniff.size() < 4 && !(conn->sniff.size() >= 1 && conn->sniff[0] == '\0')) return;
+  conn->kind = ConnKind::kSession;
+  const bool metrics = obs::metricsEnabled();
+  std::shared_ptr<Session> session;
+  std::string refusal;
+  try {
+    session = std::make_shared<Session>(config_.session);
+  } catch (const IconError& e) {
+    refusal = makeError(e.number(), e.message());
+    if (metrics) [[unlikely]] {
+      if (e.number() == 815) obs::ServeStats::get().sessionsShed.add(1);
+    }
+  } catch (const std::exception& e) {
+    refusal = makeError(kErrInternal, e.what());
+  }
+  if (session == nullptr) {
+    try {
+      writeAll(conn->socket, refusal);
+      if (metrics) [[unlikely]] {
+        obs::ServeStats::get().bytesWritten.add(refusal.size());
+      }
+    } catch (const std::exception&) {
+    }
+    std::lock_guard lock(mu_);
+    beginCloseLockedImpl(conn, /*peerHungUp=*/false);
+    return;
+  }
+  const std::string hello = makeHello();
+  try {
+    writeAll(conn->socket, hello);
+  } catch (const std::exception&) {
+    std::lock_guard lock(mu_);
+    beginCloseLockedImpl(conn, /*peerHungUp=*/true);
+    return;
+  }
+  if (metrics) [[unlikely]] {
+    auto& stats = obs::ServeStats::get();
+    stats.sessionsOpened.add(1);
+    stats.sessionsActive.add(1);
+    stats.bytesWritten.add(hello.size());
+  }
+  {
+    std::lock_guard lock(mu_);
+    conn->session = std::move(session);
+  }
+  conn->decoder.feed(conn->sniff);
+  conn->sniff.clear();
+  conn->sniff.shrink_to_fit();
+}
+
+void Server::answerHttp(const std::shared_ptr<Conn>& conn) {
+  const std::string& raw = conn->sniff;
+  const std::size_t eol = raw.find("\r\n");
+  const std::string line = raw.substr(0, eol == std::string::npos ? raw.size() : eol);
+  std::istringstream reqLine(line);
+  std::string method, path;
+  reqLine >> method >> path;
+  const bool headOnly = method == "HEAD";
+  std::string response;
+  if (method != "GET" && method != "HEAD") {
+    response = httpResponse(405, "Method Not Allowed", "text/plain", "method not allowed\n",
+                            false);
+  } else if (path == "/healthz") {
+    std::string body = "{\"status\":\"ok\",\"proto\":" + std::to_string(kProtocolVersion) +
+                       ",\"sessions\":" + std::to_string(liveSessions()) + "}\n";
+    response = httpResponse(200, "OK", "application/json", body, headOnly);
+  } else if (path == "/metrics") {
+    std::ostringstream body;
+    obs::Registry::global().snapshot().writeText(body);
+    response = httpResponse(200, "OK", "text/plain; charset=utf-8", body.str(), headOnly);
+  } else if (path == "/metrics.json") {
+    std::ostringstream body;
+    obs::Registry::global().snapshot().writeJson(body);
+    response = httpResponse(200, "OK", "application/json", body.str(), headOnly);
+  } else {
+    response = httpResponse(404, "Not Found", "text/plain", "not found\n", false);
+  }
+  try {
+    writeAll(conn->socket, response);
+    if (obs::metricsEnabled()) [[unlikely]] {
+      obs::ServeStats::get().bytesWritten.add(response.size());
+    }
+  } catch (const std::exception&) {
+  }
+  conn->socket.shutdownWrite();
+  std::lock_guard lock(mu_);
+  beginCloseLockedImpl(conn, /*peerHungUp=*/false);
+}
+
+void Server::beginClose(const std::shared_ptr<Conn>& conn, bool peerHungUp) {
+  std::lock_guard lock(mu_);
+  beginCloseLockedImpl(conn, peerHungUp);
+}
+
+void Server::beginCloseLockedImpl(const std::shared_ptr<Conn>& conn, bool peerHungUp) {
+  if (conn->closing) return;
+  conn->closing = true;
+  conn->hungUp = conn->hungUp || peerHungUp;
+  if (conn->session != nullptr) {
+    // The disconnect IS the cancellation: terminating the governor
+    // cancels every pipe linked under the session root (parked queue
+    // ops abort within one operation) and makes any in-flight drive
+    // throw 816 at its next charge point.
+    conn->session->onDisconnect();
+    if (conn->hungUp && obs::metricsEnabled()) [[unlikely]] {
+      obs::ServeStats::get().disconnects.add(1);
+    }
+    if (obs::metricsEnabled()) [[unlikely]] obs::ServeStats::get().sessionsActive.sub(1);
+  }
+}
+
+void Server::scheduleLocked(const std::shared_ptr<Conn>& conn) {
+  if (conn->scheduled || conn->closing || conn->session == nullptr || conn->pending.empty()) {
+    return;
+  }
+  conn->scheduled = true;
+  ++tasksInFlight_;
+  try {
+    ThreadPool::global().submit([this, conn] { sessionTask(std::move(conn)); });
+  } catch (const std::exception&) {
+    // Submit failure (cap, injected fault): the frames stay queued; the
+    // next readable edge retries. Nothing is lost, just delayed.
+    conn->scheduled = false;
+    --tasksInFlight_;
+  }
+}
+
+void Server::sessionTask(std::shared_ptr<Conn> conn) {
+  const bool metrics = obs::metricsEnabled();
+  for (;;) {
+    std::pair<std::chrono::steady_clock::time_point, std::string> item;
+    {
+      std::unique_lock lock(mu_);
+      if (conn->closing || conn->pending.empty()) {
+        conn->scheduled = false;
+        // Drop our Conn reference BEFORE decrementing tasksInFlight_:
+        // if the event thread already erased this conn from the map, we
+        // hold the last reference, and the Session (with its admitted
+        // governor budget) must be fully released before stop() can
+        // observe the drain and return.
+        lock.unlock();
+        conn.reset();
+        lock.lock();
+        --tasksInFlight_;
+        drained_.notify_all();
+        parker_.wake();  // let the event loop reap / re-check drain
+        return;
+      }
+      item = std::move(conn->pending.front());
+      conn->pending.pop_front();
+    }
+    std::string parseError;
+    std::optional<Request> request = parseRequest(item.second, parseError);
+    std::string response;
+    if (!request) {
+      if (metrics) [[unlikely]] obs::ServeStats::get().protocolErrors.add(1);
+      response = makeError(kErrProtocol, parseError);
+    } else {
+      if (metrics) [[unlikely]] obs::ServeStats::get().requests.add(1);
+      response = conn->session->handle(*request);
+    }
+    bool wrote = true;
+    try {
+      writeAll(conn->socket, response);
+    } catch (const std::exception&) {
+      wrote = false;  // dead peer or injected ServeWrite fault
+    }
+    if (metrics) [[unlikely]] {
+      auto& stats = obs::ServeStats::get();
+      if (wrote) stats.bytesWritten.add(response.size());
+      const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - item.first);
+      stats.requestLatencyMicros.record(static_cast<std::uint64_t>(micros.count()));
+    }
+    if (!wrote) {
+      beginClose(conn, /*peerHungUp=*/true);
+    } else if (conn->session->closeRequested() || conn->session->dead()) {
+      beginClose(conn, /*peerHungUp=*/false);
+    }
+  }
+}
+
+}  // namespace congen::serve

@@ -1,0 +1,145 @@
+// server.hpp — the congen-serve daemon core.
+//
+// One event thread owns the listener and every connection's read side;
+// session request processing runs as tasks on the work-stealing
+// ThreadPool (the same pool the sessions' own pipes use — a blocked
+// drive grows the pool, it never starves the event loop). The event
+// thread parks in poll(2) via concur/fd_park.hpp, wakeable by stop()
+// and by finishing session tasks.
+//
+// Connection lifecycle:
+//   accept -> classify on first bytes
+//     "GET " / "HEAD" / "POST"  -> HTTP mode: answer /metrics (registry
+//         writeText), /metrics.json (writeJson), /healthz; close.
+//     anything else             -> protocol mode: construct the governed
+//         Session (Admission gate here: IconError 815 becomes the typed
+//         shed response and the socket closes), answer the hello frame,
+//         then decode request frames.
+//   frames -> appended to the connection's request queue; a session task
+//         is scheduled when none is in flight and drains the queue
+//         serially (responses in request order — pipelining is free).
+//   hangup (POLLRDHUP / EOF / read error) -> Session::onDisconnect()
+//         terminates the governor: in-flight drives unwind with 816 at
+//         the next charge point, linked pipes cancel, parked queue ops
+//         abort within one operation. The connection is reaped once the
+//         in-flight task (if any) finishes.
+//
+// The event thread never blocks on a session: reads are non-blocking,
+// HTTP responses are bounded, and session work always happens on the
+// pool. Session tasks write responses directly to the (non-blocking)
+// socket, polling for writability — a slow client throttles exactly its
+// own session.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "concur/fd_park.hpp"
+#include "runtime/governor.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+
+namespace congen {
+class ThreadPool;
+}
+
+namespace congen::serve {
+
+class Server {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral; see Server::port()
+    /// Per-session budgets and knobs (Session::Config semantics).
+    Session::Config session;
+    /// Process admission ceiling (0/0 = unlimited). When any field is
+    /// set, start() installs it on governor::Admission::global() and
+    /// stop() restores what was there before.
+    governor::Admission::Config admission;
+    std::size_t maxFramePayload = kMaxFramePayload;
+    /// start() turns the metrics registry on (the /metrics endpoint and
+    /// the serve.* instruments need it). Leave on outside tests.
+    bool enableMetrics = true;
+  };
+
+  explicit Server(Config config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and launch the event thread. Throws NetError when
+  /// the address is unavailable.
+  void start();
+  /// Graceful shutdown: stop accepting, terminate every live session,
+  /// drain in-flight tasks, join the event thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// Live protocol sessions (tests poll this toward 0 after hangups).
+  [[nodiscard]] std::size_t liveSessions() const;
+
+ private:
+  enum class ConnKind : std::uint8_t { kUnknown, kHttp, kSession };
+
+  struct Conn {
+    std::uint64_t id = 0;
+    Socket socket;
+    ConnKind kind = ConnKind::kUnknown;
+    std::string sniff;  // bytes buffered before classification
+    FrameDecoder decoder{kMaxFramePayload};
+    std::shared_ptr<Session> session;
+    // Complete request payloads with their arrival timestamps, awaiting
+    // the session task. Guarded by the server mutex.
+    std::deque<std::pair<std::chrono::steady_clock::time_point, std::string>> pending;
+    bool scheduled = false;  // a pool task is draining `pending`
+    // No further reads; reap when unscheduled. Written only under the
+    // server mutex, but atomic because the event thread checks it
+    // between lock regions (a session task can close concurrently).
+    std::atomic<bool> closing{false};
+    bool hungUp = false;  // peer disconnected (vs. server-side close); under mu_
+  };
+
+  void eventLoop();
+  void acceptPending();
+  /// Drain readable bytes; classify; enqueue frames. Returns false when
+  /// the connection should be torn down, setting `peerHungUp` when the
+  /// reason was EOF or a read error (vs. a server-side decision).
+  bool pumpConn(const std::shared_ptr<Conn>& conn, bool& peerHungUp);
+  void classify(const std::shared_ptr<Conn>& conn);
+  void answerHttp(const std::shared_ptr<Conn>& conn);
+  void beginClose(const std::shared_ptr<Conn>& conn, bool peerHungUp);
+  void beginCloseLockedImpl(const std::shared_ptr<Conn>& conn, bool peerHungUp);
+  void scheduleLocked(const std::shared_ptr<Conn>& conn);
+  void sessionTask(std::shared_ptr<Conn> conn);
+
+  Config config_;
+  std::unique_ptr<Listener> listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  FdParker parker_;
+  std::thread eventThread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  // by fd
+  std::uint64_t nextConnId_ = 1;
+  std::size_t tasksInFlight_ = 0;
+
+  bool admissionInstalled_ = false;
+  governor::Admission::Config priorAdmission_;
+};
+
+}  // namespace congen::serve

@@ -191,6 +191,7 @@ int run(int argc, char** argv, congen::interp::Interpreter& interp) {
 int main(int argc, char** argv) {
   congen::interp::Interpreter::Options options;
   ObsOptions obs;
+  long timeoutSeconds = 0;
   long superviseSoftSec = 0;
   long superviseHardSec = 0;
   // Prefix options, in any order: --timeout <sec> arms the watchdog,
@@ -213,22 +214,11 @@ int main(int argc, char** argv) {
       continue;
     }
     if (argc >= 3 && std::string(argv[1]) == "--timeout") {
-      const long seconds = std::strtol(argv[2], nullptr, 10);
-      if (seconds <= 0) {
+      timeoutSeconds = std::strtol(argv[2], nullptr, 10);
+      if (timeoutSeconds <= 0) {
         std::cerr << "congen-run: --timeout needs a positive number of seconds\n";
         return 2;
       }
-      // Detached on purpose: the watchdog never fires on a healthy run,
-      // and a hung run is exactly when joining would be impossible.
-      std::thread([seconds] {
-        std::this_thread::sleep_for(std::chrono::seconds(seconds));
-        std::cerr << "congen-run: watchdog expired after " << seconds << "s\n";
-        congen::Pipe::dumpAll(std::cerr);
-        if (congen::obs::metricsEnabled()) {
-          congen::obs::Registry::global().snapshot().writeText(std::cerr);
-        }
-        std::_Exit(3);
-      }).detach();
       argc -= 2;
       argv += 2;
       continue;
@@ -302,6 +292,23 @@ int main(int argc, char** argv) {
       continue;
     }
     break;
+  }
+  // Arm the watchdog only after the whole prefix-flag loop: `--timeout`
+  // may appear before `--metrics-json`/`--trace-out`, and the watchdog
+  // must flush whatever observability the full command line asked for.
+  // Detached on purpose: it never fires on a healthy run, and a hung
+  // run is exactly when joining would be impossible.
+  if (timeoutSeconds > 0) {
+    std::thread([seconds = timeoutSeconds, obs] {
+      std::this_thread::sleep_for(std::chrono::seconds(seconds));
+      std::cerr << "congen-run: watchdog expired after " << seconds << "s\n";
+      congen::Pipe::dumpAll(std::cerr);
+      if (congen::obs::metricsEnabled() && !obs.stats) {
+        congen::obs::Registry::global().snapshot().writeText(std::cerr);
+      }
+      emitObservability(obs);
+      std::_Exit(3);
+    }).detach();
   }
   congen::interp::Interpreter interp(options);
   // Arm the cooperative watchdog over the session governor. The

@@ -1,0 +1,192 @@
+// congen-serve — multi-tenant script-execution daemon (ROADMAP item 3).
+//
+// Serves the congen wire protocol (src/serve/protocol.hpp) on one TCP
+// port: each connection is an isolated, governed interpreter session on
+// the work-stealing pool, contained by per-tenant quotas (PR 9
+// governor), shed by the process admission gate when over budget, and
+// cancelled end-to-end when the client disconnects. The same port
+// answers HTTP GETs for /metrics, /metrics.json, and /healthz.
+//
+// Usage:
+//   congen-serve [--host H] [--port N]         bind address (default
+//                                              127.0.0.1:7117; port 0 =
+//                                              ephemeral, printed on
+//                                              stdout)
+//   --backend=vm|tree                          per-session backend
+//   --max-heap=64M --max-fuel=... etc.         per-session quotas, same
+//                                              spelling as congen-run
+//                                              (K/M/G suffixes)
+//   --admission-sessions N                     process admission gate:
+//   --admission-heap 1G                        shed (typed 815) past
+//                                              N live sessions or the
+//                                              committed-heap ceiling
+//   --request-soft MS --request-hard MS        per-request supervision:
+//                                              soft-cancel / hard 816
+//   --pipe-capacity N --pipe-batch N           session pipe knobs
+//   --duration S                               exit after S seconds
+//                                              (CI smoke; 0 = run until
+//                                              SIGINT/SIGTERM)
+//   --stats                                    text metrics snapshot to
+//                                              stderr at exit
+//   --metrics-json FILE                        JSON snapshot at exit
+//
+// On a successful bind the daemon prints exactly one line to stdout:
+//   congen-serve: listening on HOST:PORT
+// and flushes it — scripts wait for that line before connecting.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void onSignal(int) { g_signalled = 1; }
+
+bool parseBudget(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long raw = std::strtoull(text.c_str(), &end, 10);
+  std::uint64_t scale = 1;
+  if (*end == 'K' || *end == 'k') {
+    scale = 1024, ++end;
+  } else if (*end == 'M' || *end == 'm') {
+    scale = 1024 * 1024, ++end;
+  } else if (*end == 'G' || *end == 'g') {
+    scale = 1024ULL * 1024 * 1024, ++end;
+  }
+  if (end == text.c_str() || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(raw) * scale;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  congen::serve::Server::Config config;
+  config.port = 7117;
+  bool stats = false;
+  std::string metricsJsonPath;
+  long durationSec = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "congen-serve: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      config.host = value("--host");
+    } else if (arg == "--port") {
+      config.port = static_cast<std::uint16_t>(std::strtoul(value("--port"), nullptr, 10));
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const std::string which = arg.substr(10);
+      if (which == "vm") {
+        config.session.backend = congen::interp::Backend::kVm;
+      } else if (which == "tree") {
+        config.session.backend = congen::interp::Backend::kTree;
+      } else {
+        std::cerr << "congen-serve: unknown backend '" << which << "' (want vm or tree)\n";
+        return 2;
+      }
+    } else if (arg.rfind("--max-", 0) == 0) {
+      auto& q = config.session.quotas;
+      auto budgetFlag = [&](const std::string& prefix, std::uint64_t& slot) -> int {
+        if (arg.rfind(prefix, 0) != 0) return 0;
+        if (!parseBudget(arg.substr(prefix.size()), slot)) {
+          std::cerr << "congen-serve: bad value in " << arg << " (want e.g. 64M)\n";
+          return -1;
+        }
+        return 1;
+      };
+      int r = 0;
+      if ((r = budgetFlag("--max-heap=", q.maxHeapBytes)) != 0 ||
+          (r = budgetFlag("--max-fuel=", q.maxFuel)) != 0 ||
+          (r = budgetFlag("--max-pipes=", q.maxPipes)) != 0 ||
+          (r = budgetFlag("--max-coexprs=", q.maxCoexprs)) != 0 ||
+          (r = budgetFlag("--max-pipe-depth=", q.maxPipeDepth)) != 0 ||
+          (r = budgetFlag("--max-depth=", q.maxDepth)) != 0) {
+        if (r < 0) return 2;
+      } else {
+        std::cerr << "congen-serve: unknown option " << arg << "\n";
+        return 2;
+      }
+    } else if (arg == "--admission-sessions") {
+      config.admission.maxSessions =
+          static_cast<std::size_t>(std::strtoull(value("--admission-sessions"), nullptr, 10));
+    } else if (arg == "--admission-heap") {
+      std::uint64_t bytes = 0;
+      if (!parseBudget(value("--admission-heap"), bytes)) {
+        std::cerr << "congen-serve: bad --admission-heap value (want e.g. 1G)\n";
+        return 2;
+      }
+      config.admission.maxCommittedHeapBytes = bytes;
+    } else if (arg == "--request-soft") {
+      config.session.requestSoft =
+          std::chrono::milliseconds(std::strtol(value("--request-soft"), nullptr, 10));
+    } else if (arg == "--request-hard") {
+      config.session.requestHard =
+          std::chrono::milliseconds(std::strtol(value("--request-hard"), nullptr, 10));
+    } else if (arg == "--pipe-capacity") {
+      config.session.pipeCapacity =
+          static_cast<std::size_t>(std::strtoull(value("--pipe-capacity"), nullptr, 10));
+    } else if (arg == "--pipe-batch") {
+      config.session.pipeBatch =
+          static_cast<std::size_t>(std::strtoull(value("--pipe-batch"), nullptr, 10));
+    } else if (arg == "--duration") {
+      durationSec = std::strtol(value("--duration"), nullptr, 10);
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--metrics-json") {
+      metricsJsonPath = value("--metrics-json");
+    } else {
+      std::cerr << "congen-serve: unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+
+  congen::serve::Server server(config);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "congen-serve: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "congen-serve: listening on " << config.host << ":" << server.port() << "\n"
+            << std::flush;
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);  // dead peers surface as EPIPE, not death
+#endif
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(durationSec);
+  while (g_signalled == 0) {
+    if (durationSec > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cerr << "congen-serve: shutting down\n";
+  server.stop();
+
+  if (stats) congen::obs::Registry::global().snapshot().writeText(std::cerr);
+  if (!metricsJsonPath.empty()) {
+    std::ofstream out(metricsJsonPath);
+    if (!out) {
+      std::cerr << "congen-serve: cannot write " << metricsJsonPath << "\n";
+      return 1;
+    }
+    congen::obs::Registry::global().snapshot().writeJson(out);
+  }
+  return 0;
+}

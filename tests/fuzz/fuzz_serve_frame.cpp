@@ -1,0 +1,67 @@
+// fuzz_serve_frame.cpp — libFuzzer harness for the serve wire layer.
+//
+// The input buffer is treated as hostile bytes off a socket. Three
+// passes per input:
+//   1. FrameDecoder fed the whole buffer at once, every completed
+//      payload pushed through parseRequest.
+//   2. The same bytes fed one at a time — the decoder's length-prefix
+//      reassembly must reach the exact same payloads regardless of
+//      read-boundary placement.
+//   3. The raw buffer parsed directly as a request payload (the decoder
+//      already bounds payload size, so this models a maximal frame).
+// None of these may crash or trip UB; parseRequest reports failures via
+// nullopt + message, the decoder via its sticky error() poison. A
+// divergence between pass 1 and pass 2 is a framing bug even when
+// nothing crashes.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace {
+
+// Small cap so adversarial length prefixes exercise the poison path
+// instead of making the decoder buffer gigabytes.
+constexpr std::size_t kFuzzMaxPayload = 1 << 16;
+
+std::vector<std::string> drain(congen::serve::FrameDecoder& decoder) {
+  std::vector<std::string> payloads;
+  while (auto payload = decoder.next()) payloads.push_back(*payload);
+  return payloads;
+}
+
+void parseAll(const std::vector<std::string>& payloads) {
+  for (const auto& payload : payloads) {
+    std::string error;
+    const auto request = congen::serve::parseRequest(payload, error);
+    if (!request && error.empty()) __builtin_trap();  // failure must carry a reason
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  congen::serve::FrameDecoder whole(kFuzzMaxPayload);
+  whole.feed(bytes);
+  const auto wholePayloads = drain(whole);
+  parseAll(wholePayloads);
+
+  congen::serve::FrameDecoder trickle(kFuzzMaxPayload);
+  std::vector<std::string> tricklePayloads;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    trickle.feed(bytes.substr(i, 1));
+    while (auto payload = trickle.next()) tricklePayloads.push_back(*payload);
+  }
+  if (whole.error() != trickle.error()) __builtin_trap();
+  if (wholePayloads != tricklePayloads) __builtin_trap();
+
+  std::string error;
+  (void)congen::serve::parseRequest(bytes, error);
+  return 0;
+}

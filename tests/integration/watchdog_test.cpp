@@ -1,0 +1,82 @@
+// watchdog_test.cpp — regression for the congen-run --timeout watchdog.
+//
+// The watchdog used to _Exit(3) without flushing observability sinks:
+// a hung run under --metrics-json produced exit code 3 and an EMPTY
+// metrics file, which is exactly the run you most need the metrics
+// from. The fix flushes the requested sinks (and dumps pipe stats to
+// stderr) before exiting. This test drives the real binary — the
+// watchdog lives in the tool's main(), not in any library — via
+// popen(2), with the path injected at build time (CONGEN_RUN_BIN).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exitCode = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult runCommand(const std::string& command) {
+  RunResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) result.output += buffer;
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exitCode = WEXITSTATUS(status);
+  return result;
+}
+
+std::string tempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name + "." +
+         std::to_string(::getpid());
+}
+
+// A script the interpreter will grind on far longer than the watchdog
+// window: every result of a billion-wide range is resumed.
+const char kHangScript[] = "def main(args) { every 1 to 10000000000; }\n";
+
+TEST(Watchdog, TimeoutExitsThreeAndStillWritesMetricsJson) {
+  const std::string metricsPath = tempPath("watchdog_metrics");
+  const std::string scriptPath = tempPath("watchdog_hang") + ".jn";
+  std::remove(metricsPath.c_str());
+  std::ofstream(scriptPath) << kHangScript;
+  const auto result = runCommand(std::string(CONGEN_RUN_BIN) + " --timeout 1 --metrics-json " +
+                                 metricsPath + " " + scriptPath);
+  EXPECT_EQ(result.exitCode, 3) << result.output;
+  EXPECT_NE(result.output.find("watchdog expired"), std::string::npos) << result.output;
+
+  // The whole point of the fix: the metrics sink must be flushed even
+  // though the process dies on the watchdog path.
+  std::ifstream in(metricsPath);
+  ASSERT_TRUE(in.good()) << "watchdog exit dropped the metrics file";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_FALSE(json.empty()) << "metrics file written but empty";
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json.substr(0, 200);
+  EXPECT_NE(json.find("\"schema\""), std::string::npos) << json.substr(0, 200);
+  std::remove(metricsPath.c_str());
+  std::remove(scriptPath.c_str());
+}
+
+TEST(Watchdog, FastRunIsUntouchedByTimeout) {
+  const std::string metricsPath = tempPath("watchdog_fast_metrics");
+  std::remove(metricsPath.c_str());
+  const auto result = runCommand(std::string(CONGEN_RUN_BIN) + " --timeout 30 --metrics-json " +
+                                 metricsPath + " -e \"1 + 2\"");
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("3"), std::string::npos) << result.output;
+  std::ifstream in(metricsPath);
+  EXPECT_TRUE(in.good());
+  std::remove(metricsPath.c_str());
+}
+
+}  // namespace

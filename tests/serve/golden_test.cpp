@@ -1,0 +1,146 @@
+// golden_test.cpp — protocol conformance via golden transcripts.
+//
+// Each tests/serve/golden/*.txt is a recorded conversation with the
+// daemon: request payloads and the exact response lines the server must
+// produce, in order. The test replays the requests over a real socket
+// against an in-process Server and compares every response line
+// byte-for-byte — the whole response surface (hello, acks, results,
+// typed errors) is pinned as reviewable text.
+//
+// Transcript format (line-oriented):
+//   --- request          the following lines (joined with '\n') are one
+//                        request payload, framed and sent verbatim
+//   --- response         the following single line is the expected
+//                        response, byte-for-byte without the newline
+// The first blocks may be responses-after-the-first-request: the server
+// speaks hello only once the client's first bytes classify the
+// connection, so every transcript starts with a request.
+//
+// To regenerate after an intentional protocol change:
+//   ./serve_golden_test --update-golden   (or CONGEN_UPDATE_GOLDEN=1)
+// then review and commit the .txt diffs.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/server.hpp"
+#include "serve_client.hpp"
+
+namespace congen::serve {
+namespace {
+
+bool g_updateGolden = false;
+
+struct TranscriptStep {
+  bool isRequest = false;
+  std::string text;  // request: payload; response: expected line
+};
+
+std::string goldenPath(const std::string& name) {
+  return std::string(CONGEN_SOURCE_DIR) + "/tests/serve/golden/" + name + ".txt";
+}
+
+std::vector<TranscriptStep> parseTranscript(const std::string& text) {
+  std::vector<TranscriptStep> steps;
+  std::istringstream in(text);
+  std::string line;
+  TranscriptStep* current = nullptr;
+  bool firstLineOfBlock = true;
+  while (std::getline(in, line)) {
+    if (line == "--- request") {
+      steps.push_back({true, ""});
+      current = &steps.back();
+      firstLineOfBlock = true;
+      continue;
+    }
+    if (line == "--- response") {
+      steps.push_back({false, ""});
+      current = &steps.back();
+      firstLineOfBlock = true;
+      continue;
+    }
+    if (current == nullptr) continue;  // leading comments/blank lines
+    if (!firstLineOfBlock) current->text += '\n';
+    current->text += line;
+    firstLineOfBlock = false;
+  }
+  return steps;
+}
+
+std::string renderTranscript(const std::vector<TranscriptStep>& steps) {
+  std::string out;
+  for (const auto& step : steps) {
+    out += step.isRequest ? "--- request\n" : "--- response\n";
+    out += step.text;
+    out += '\n';
+  }
+  return out;
+}
+
+void playTranscript(const std::string& name, Server::Config config = {}) {
+  const std::string path = goldenPath(name);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden transcript " << path;
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  std::vector<TranscriptStep> steps = parseTranscript(raw.str());
+  ASSERT_FALSE(steps.empty()) << path << " holds no steps";
+  ASSERT_TRUE(steps.front().isRequest)
+      << path << " must start with a request (the client speaks first)";
+
+  config.port = 0;
+  Server server(config);
+  server.start();
+  {
+    testing::TestClient client(server.port());
+    for (auto& step : steps) {
+      if (step.isRequest) {
+        client.sendPayload(step.text);
+        continue;
+      }
+      const std::string actual = client.readLine();
+      if (g_updateGolden) {
+        step.text = actual;
+      } else {
+        EXPECT_EQ(actual, step.text)
+            << "transcript '" << name
+            << "' diverged. If intentional, regenerate with: serve_golden_test --update-golden";
+      }
+    }
+  }
+  server.stop();
+
+  if (g_updateGolden) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << renderTranscript(steps);
+  }
+}
+
+TEST(ServeGolden, Lifecycle) { playTranscript("lifecycle"); }
+
+TEST(ServeGolden, PipelinedBatch) { playTranscript("pipelined_batch"); }
+
+TEST(ServeGolden, ProtocolErrors) { playTranscript("protocol_errors"); }
+
+TEST(ServeGolden, QuotaTrip) {
+  Server::Config config;
+  config.session.quotas.maxFuel = 50000;
+  playTranscript("quota_trip", config);
+}
+
+}  // namespace
+}  // namespace congen::serve
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") congen::serve::g_updateGolden = true;
+  }
+  if (std::getenv("CONGEN_UPDATE_GOLDEN") != nullptr) congen::serve::g_updateGolden = true;
+  return RUN_ALL_TESTS();
+}

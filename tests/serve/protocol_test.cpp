@@ -1,0 +1,121 @@
+// protocol_test.cpp — unit tests for the pure wire-protocol layer
+// (framing, request grammar, HTTP sniffing, response rendering). No
+// sockets: everything here is byte-in/byte-out, the same property the
+// golden transcripts and the fuzz harness lean on.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hpp"
+
+namespace congen::serve {
+namespace {
+
+TEST(FrameCodec, RoundTripsThroughDecoder) {
+  FrameDecoder decoder;
+  decoder.feed(encodeFrame({Verb::kSubmit, "1 to 3", 0}));
+  decoder.feed(encodeFrame({Verb::kNext, "", 10}));
+  auto first = decoder.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "SUBMIT\n1 to 3");
+  auto second = decoder.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, "NEXT 10");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.pendingBytes(), 0u);
+}
+
+TEST(FrameCodec, ReassemblesByteAtATime) {
+  const std::string frame = encodeFrame({Verb::kSubmit, "every 1 to 10", 0});
+  FrameDecoder decoder;
+  for (char c : frame) decoder.feed(std::string_view(&c, 1));
+  auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "SUBMIT\nevery 1 to 10");
+}
+
+TEST(FrameCodec, EmptyPayloadFrameIsDelivered) {
+  FrameDecoder decoder;
+  decoder.feed(encodePayload(""));
+  auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_TRUE(payload->empty());
+}
+
+TEST(FrameCodec, OversizedLengthPoisonsPermanently) {
+  FrameDecoder decoder(64);
+  decoder.feed(encodePayload(std::string(65, 'x')));
+  EXPECT_TRUE(decoder.error());
+  EXPECT_FALSE(decoder.next().has_value());
+  // Feeding a now-valid frame cannot resync a poisoned stream.
+  decoder.feed(encodePayload("CLOSE"));
+  EXPECT_TRUE(decoder.error());
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(RequestGrammar, ParsesEveryVerb) {
+  std::string error;
+  auto submit = parseRequest("SUBMIT\n1 to 3", error);
+  ASSERT_TRUE(submit.has_value());
+  EXPECT_EQ(submit->verb, Verb::kSubmit);
+  EXPECT_EQ(submit->body, "1 to 3");
+  auto next = parseRequest("NEXT 17", error);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->verb, Verb::kNext);
+  EXPECT_EQ(next->n, 17u);
+  EXPECT_EQ(parseRequest("CANCEL", error)->verb, Verb::kCancel);
+  EXPECT_EQ(parseRequest("CLOSE", error)->verb, Verb::kClose);
+}
+
+TEST(RequestGrammar, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parseRequest("", error).has_value());
+  EXPECT_FALSE(parseRequest("SUBMIT", error).has_value());       // no body
+  EXPECT_FALSE(parseRequest("SUBMIT\n", error).has_value());     // empty body
+  EXPECT_FALSE(parseRequest("NEXT ", error).has_value());        // no count
+  EXPECT_FALSE(parseRequest("NEXT x", error).has_value());       // not a number
+  EXPECT_FALSE(parseRequest("NEXT 0", error).has_value());       // not positive
+  EXPECT_FALSE(parseRequest("NEXT 12x", error).has_value());     // trailing junk
+  EXPECT_FALSE(parseRequest("next 1", error).has_value());       // verbs are upper-case
+  EXPECT_FALSE(parseRequest("EXPLODE", error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RequestGrammar, ClampsNextToMaxBatch) {
+  std::string error;
+  // A count past the clamp — including ones that would overflow u64 —
+  // parses as the maximum batch, with every digit still validated.
+  auto big = parseRequest("NEXT 99999999999999999999999", error);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->n, kMaxNextBatch);
+  EXPECT_FALSE(parseRequest("NEXT 99999999999999999999999x", error).has_value());
+}
+
+TEST(HttpSniff, DistinguishesHttpFromFrames) {
+  EXPECT_TRUE(looksLikeHttp("GET /metrics HTTP/1.1"));
+  EXPECT_TRUE(looksLikeHttp("HEAD /healthz"));
+  EXPECT_TRUE(looksLikeHttp("POST /x"));
+  EXPECT_FALSE(looksLikeHttp("GET"));  // undecidable until 4 bytes
+  EXPECT_FALSE(looksLikeHttp(std::string("\x00\x00\x00\x05CLOSE", 9)));
+  EXPECT_FALSE(looksLikeHttp("PUT /x"));  // unsupported method: not HTTP mode
+}
+
+TEST(Responses, RenderStableJson) {
+  EXPECT_EQ(makeHello(), "{\"ok\":true,\"event\":\"hello\",\"proto\":1}\n");
+  EXPECT_EQ(makeOk("bye"), "{\"ok\":true,\"kind\":\"bye\"}\n");
+  EXPECT_EQ(makeResults({"1", "2"}, false), "{\"ok\":true,\"done\":false,\"results\":[\"1\",\"2\"]}\n");
+  EXPECT_EQ(makeResults({}, true), "{\"ok\":true,\"done\":true,\"results\":[]}\n");
+  EXPECT_EQ(makeError(810, "quota exceeded"),
+            "{\"ok\":false,\"code\":810,\"error\":\"quota exceeded\"}\n");
+}
+
+TEST(Responses, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(jsonEscape("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+  EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+  // An Icon string image ("abc") travels escaped but intact.
+  EXPECT_EQ(makeResults({"\"abc\""}, true),
+            "{\"ok\":true,\"done\":true,\"results\":[\"\\\"abc\\\"\"]}\n");
+}
+
+}  // namespace
+}  // namespace congen::serve

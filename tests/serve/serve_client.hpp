@@ -1,0 +1,79 @@
+// serve_client.hpp — blocking test client for the congen-serve protocol.
+//
+// Deliberately dumber than the daemon's event loop: connect, write
+// frames, read newline-terminated JSON responses. The server speaks
+// hello only after the client's first bytes classify the connection, so
+// tests either pipeline their first frame and then expect the hello in
+// front of the first response (expectHello), or poke raw bytes for the
+// malformed-input paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace congen::serve::testing {
+
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port, const std::string& host = "127.0.0.1")
+      : sock_(connectTo(host, port)) {}
+
+  void send(const Request& request) { writeAll(sock_, encodeFrame(request)); }
+  void sendRaw(std::string_view bytes) { writeAll(sock_, std::string(bytes)); }
+  void sendPayload(std::string_view payload) { writeAll(sock_, encodePayload(payload)); }
+
+  /// Next newline-terminated response (without the newline); fails the
+  /// test on EOF.
+  std::string readLine() {
+    std::string line;
+    if (!tryReadLine(line)) ADD_FAILURE() << "unexpected EOF from server";
+    return line;
+  }
+
+  bool tryReadLine(std::string& line) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line.assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      if (!readSome(sock_, buf_)) return false;
+    }
+  }
+
+  /// True when the connection yields EOF (drains any buffered bytes).
+  bool atEof() {
+    std::string line;
+    while (tryReadLine(line)) {
+    }
+    return true;
+  }
+
+  void expectHello() {
+    const std::string line = readLine();
+    EXPECT_NE(line.find("\"event\":\"hello\""), std::string::npos) << line;
+  }
+
+  /// Send one request and read one response (hello must already have
+  /// been consumed).
+  std::string roundTrip(const Request& request) {
+    send(request);
+    return readLine();
+  }
+
+  Socket& socket() { return sock_; }
+  /// Abrupt teardown: close the descriptor mid-stream.
+  void hangUp() { sock_.close(); }
+
+ private:
+  Socket sock_;
+  std::string buf_;
+};
+
+}  // namespace congen::serve::testing
